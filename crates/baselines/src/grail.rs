@@ -1,0 +1,245 @@
+//! GRAIL (Paparrizos & Franklin, VLDB 2019) — the state-of-the-art *non-deep-learning*
+//! representation-learning baseline used in §6.4 (Fig. 5).
+//!
+//! GRAIL selects landmark series, builds a kernel matrix between every series and the
+//! landmarks, and uses the kernel representation for downstream tasks with classical
+//! classifiers. This reproduction keeps that structure:
+//!
+//! * landmarks are chosen with k-means over z-normalised series (our stand-in for GRAIL's
+//!   k-shape-style landmark selection);
+//! * the kernel is a shift-invariant normalised cross-correlation (a SINK-style
+//!   similarity), evaluated over a small set of circular shifts;
+//! * classification is 1-nearest-neighbour in the representation space.
+//!
+//! GRAIL only supports univariate series, exactly as the paper notes.
+
+use rand::Rng;
+use rita_core::group::kmeans_matmul;
+use rita_core::tasks::timed;
+use rita_data::TimeseriesDataset;
+use rita_tensor::NdArray;
+
+/// Configuration of the GRAIL baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GrailConfig {
+    /// Number of landmark series.
+    pub landmarks: usize,
+    /// Number of circular shifts evaluated on each side when computing the
+    /// shift-invariant similarity (0 = plain correlation).
+    pub shifts: usize,
+    /// Stride between evaluated shifts.
+    pub shift_step: usize,
+    /// RBF width applied on top of the correlation distance.
+    pub gamma: f32,
+}
+
+impl Default for GrailConfig {
+    fn default() -> Self {
+        Self { landmarks: 16, shifts: 4, shift_step: 4, gamma: 1.0 }
+    }
+}
+
+/// A fitted GRAIL model: landmarks plus the training-set representations and labels.
+pub struct Grail {
+    /// Configuration.
+    pub config: GrailConfig,
+    /// Landmark series, shape `(k, length)`.
+    pub landmarks: NdArray,
+    train_features: Vec<Vec<f32>>,
+    train_labels: Vec<usize>,
+    /// Wall-clock seconds spent fitting (landmark selection + training representations).
+    pub fit_seconds: f64,
+}
+
+/// z-normalises a 1-D slice (zero mean, unit variance).
+fn z_normalise(x: &[f32]) -> Vec<f32> {
+    let n = x.len().max(1) as f32;
+    let mean: f32 = x.iter().sum::<f32>() / n;
+    let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    x.iter().map(|v| (v - mean) / std).collect()
+}
+
+/// Shift-invariant normalised correlation between two z-normalised series: the maximum
+/// dot product over the evaluated circular shifts, divided by the length.
+fn sink_similarity(a: &[f32], b: &[f32], shifts: usize, step: usize) -> f32 {
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    let mut best = f32::NEG_INFINITY;
+    let mut evaluate = |offset: i64| {
+        let mut dot = 0.0f32;
+        for i in 0..n {
+            let j = (i as i64 + offset).rem_euclid(n as i64) as usize;
+            dot += a[i] * b[j];
+        }
+        best = best.max(dot / n as f32);
+    };
+    evaluate(0);
+    for s in 1..=shifts {
+        let offset = (s * step) as i64;
+        evaluate(offset);
+        evaluate(-offset);
+    }
+    best
+}
+
+impl Grail {
+    /// Fits the model on a labelled univariate dataset.
+    pub fn fit(config: GrailConfig, data: &TimeseriesDataset, _rng: &mut impl Rng) -> Self {
+        assert_eq!(data.channels(), 1, "GRAIL only supports univariate timeseries");
+        let labels = data.labels.clone().expect("GRAIL classification needs labels");
+        assert!(!data.is_empty(), "empty training set");
+        let length = data.length();
+
+        let ((landmarks, train_features), fit_seconds) = timed(|| {
+            // z-normalised series matrix (n, length)
+            let mut flat = Vec::with_capacity(data.len() * length);
+            for s in &data.samples {
+                flat.extend(z_normalise(&s.as_slice()[..length]));
+            }
+            let matrix = NdArray::from_vec(flat, &[data.len(), length]).expect("series matrix");
+            // Landmark selection: k-means centroids over the series themselves.
+            let k = config.landmarks.min(data.len());
+            let grouping = kmeans_matmul(&matrix, k, 5);
+            let landmarks = grouping.centers;
+            // Training representations.
+            let features: Vec<Vec<f32>> = (0..data.len())
+                .map(|i| {
+                    represent_row(&matrix.as_slice()[i * length..(i + 1) * length], &landmarks, &config)
+                })
+                .collect();
+            (landmarks, features)
+        });
+
+        Self { config, landmarks, train_features, train_labels: labels, fit_seconds }
+    }
+
+    /// The kernel representation of one raw univariate series.
+    pub fn represent(&self, series: &NdArray) -> Vec<f32> {
+        let length = self.landmarks.shape()[1];
+        let raw = &series.as_slice()[..length.min(series.len())];
+        let z = z_normalise(raw);
+        represent_row(&z, &self.landmarks, &self.config)
+    }
+
+    /// 1-NN classification of one series.
+    pub fn classify(&self, series: &NdArray) -> usize {
+        let feat = self.represent(series);
+        let mut best = 0usize;
+        let mut best_dist = f32::INFINITY;
+        for (i, train_feat) in self.train_features.iter().enumerate() {
+            let dist: f32 =
+                feat.iter().zip(train_feat).map(|(a, b)| (a - b) * (a - b)).sum();
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        self.train_labels[best]
+    }
+
+    /// Accuracy on a labelled univariate dataset.
+    pub fn evaluate(&self, data: &TimeseriesDataset) -> f32 {
+        let labels = data.labels.as_ref().expect("evaluation needs labels");
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .samples
+            .iter()
+            .zip(labels)
+            .filter(|(s, &l)| self.classify(s) == l)
+            .count();
+        correct as f32 / labels.len() as f32
+    }
+
+    /// Number of landmarks actually selected.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.shape()[0]
+    }
+}
+
+fn represent_row(z: &[f32], landmarks: &NdArray, config: &GrailConfig) -> Vec<f32> {
+    let k = landmarks.shape()[0];
+    let length = landmarks.shape()[1];
+    let ld = landmarks.as_slice();
+    (0..k)
+        .map(|i| {
+            let corr = sink_similarity(z, &ld[i * length..(i + 1) * length], config.shifts, config.shift_step);
+            // RBF on the correlation distance keeps features in (0, 1].
+            (-config.gamma * (1.0 - corr).max(0.0)).exp()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rita_data::DatasetKind;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    fn univariate_data(n: usize, seed: u64) -> TimeseriesDataset {
+        let multi = TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, n, 0, 80, &mut rng(seed));
+        multi.to_univariate(0)
+    }
+
+    #[test]
+    fn z_normalisation_properties() {
+        let z = z_normalise(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f32 = z.iter().sum::<f32>() / 4.0;
+        let var: f32 = z.iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sink_similarity_detects_shifted_copies() {
+        let n = 64;
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut b = a.clone();
+        b.rotate_left(4);
+        let a = z_normalise(&a);
+        let b = z_normalise(&b);
+        let with_shifts = sink_similarity(&a, &b, 4, 2);
+        let without = sink_similarity(&a, &b, 0, 1);
+        assert!(with_shifts > without, "{with_shifts} vs {without}");
+        assert!(with_shifts > 0.95);
+        // self-similarity is 1
+        assert!((sink_similarity(&a, &a, 0, 1) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fit_and_classify_beats_chance_on_easy_classes() {
+        let mut r = rng(1);
+        let data = univariate_data(48, 2);
+        let grail = Grail::fit(GrailConfig { landmarks: 8, ..Default::default() }, &data, &mut r);
+        assert_eq!(grail.num_landmarks(), 8);
+        assert!(grail.fit_seconds > 0.0);
+        let acc = grail.evaluate(&data);
+        // 8 classes → chance = 0.125; nearest-neighbour on the training set should beat it.
+        assert!(acc > 0.3, "accuracy {acc}");
+    }
+
+    #[test]
+    fn representation_dimension_equals_landmarks() {
+        let mut r = rng(3);
+        let data = univariate_data(20, 4);
+        let grail = Grail::fit(GrailConfig { landmarks: 6, ..Default::default() }, &data, &mut r);
+        let feat = grail.represent(&data.samples[0]);
+        assert_eq!(feat.len(), 6);
+        assert!(feat.iter().all(|&f| (0.0..=1.0 + 1e-6).contains(&f)));
+    }
+
+    #[test]
+    #[should_panic(expected = "univariate")]
+    fn rejects_multivariate_input() {
+        let mut r = rng(5);
+        let data = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 10, 0, 40, &mut r);
+        let _ = Grail::fit(GrailConfig::default(), &data, &mut r);
+    }
+}

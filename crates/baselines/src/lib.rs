@@ -1,0 +1,25 @@
+//! # rita-baselines
+//!
+//! The two external baselines of the RITA evaluation, reimplemented on the same substrate
+//! so comparisons isolate the *algorithmic* differences:
+//!
+//! * [`tst`] — TST (Zerveas et al., KDD 2021), the state-of-the-art Transformer framework
+//!   for timeseries representation learning: per-timestamp tokens, batch normalisation,
+//!   and a concatenated-output classifier (§6.2 of the RITA paper discusses why these
+//!   choices hurt on long series).
+//! * [`grail`] — GRAIL (Paparrizos & Franklin, VLDB 2019), the state-of-the-art
+//!   non-deep-learning representation learner: landmark selection + shift-invariant
+//!   kernel features + a classical classifier (Fig. 5 of the paper).
+//!
+//! The other comparison points of the paper — Vanilla self-attention, Performer and
+//! Linformer inside the RITA architecture — live in `rita-core::attention`, because the
+//! paper builds them by swapping RITA's attention module.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod grail;
+pub mod tst;
+
+pub use grail::{Grail, GrailConfig};
+pub use tst::{TstClassifier, TstConfig, TstImputer, TstModel};

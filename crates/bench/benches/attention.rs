@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the attention mechanisms: forward-pass cost as the
+//! number of windows grows. This is the micro-level version of Fig. 4(b) and the §6.3.2
+//! speed-up claim — group attention's advantage over vanilla attention should widen with
+//! the sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rita_core::attention::{
+    Attention, AttentionKind, GroupAttention, GroupAttentionConfig, LinformerAttention,
+    PerformerAttention, VanillaAttention,
+};
+use rita_nn::{no_grad, Var};
+use rita_tensor::{NdArray, SeedableRng64};
+
+fn qkv(n: usize, dh: usize, seed: u64) -> (Var, Var, Var) {
+    let mut rng = SeedableRng64::seed_from_u64(seed);
+    // Periodic-looking keys: a handful of prototypes plus small noise, the regime group
+    // attention exploits.
+    let prototypes = NdArray::randn(&[8, dh], 1.0, &mut rng);
+    let mut kdata = Vec::with_capacity(n * dh);
+    for i in 0..n {
+        let p = i % 8;
+        for j in 0..dh {
+            kdata.push(prototypes.as_slice()[p * dh + j] + 0.05 * (i as f32 % 3.0));
+        }
+    }
+    let k = Var::constant(NdArray::from_vec(kdata, &[1, 1, n, dh]).unwrap());
+    let q = Var::constant(NdArray::randn(&[1, 1, n, dh], 1.0, &mut rng));
+    let v = Var::constant(NdArray::randn(&[1, 1, n, dh], 1.0, &mut rng));
+    (q, k, v)
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let dh = 32;
+    let mut group = c.benchmark_group("attention_forward");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let (q, k, v) = qkv(n, dh, 1);
+        group.bench_with_input(BenchmarkId::new("vanilla", n), &n, |b, _| {
+            let mut attn = VanillaAttention::new();
+            b.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+        group.bench_with_input(BenchmarkId::new("group", n), &n, |b, _| {
+            let mut attn = GroupAttention::new(GroupAttentionConfig {
+                initial_groups: 16,
+                adaptive: false,
+                ..Default::default()
+            });
+            b.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+        group.bench_with_input(BenchmarkId::new("performer", n), &n, |b, _| {
+            let mut rng = SeedableRng64::seed_from_u64(2);
+            let mut attn = PerformerAttention::new(dh, 32, &mut rng);
+            b.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+        group.bench_with_input(BenchmarkId::new("linformer", n), &n, |b, _| {
+            let mut rng = SeedableRng64::seed_from_u64(3);
+            let mut attn = LinformerAttention::new(n, 32, &mut rng);
+            b.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+    }
+    group.finish();
+    // Silence "unused" warnings for the kinds enum re-export used only at compile time.
+    let _ = AttentionKind::Vanilla.name();
+}
+
+criterion_group!(benches, bench_attention_forward);
+criterion_main!(benches);

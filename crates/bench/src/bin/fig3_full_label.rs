@@ -1,0 +1,31 @@
+//! Figure 3: full-label classification on the multivariate datasets — accuracy (a) and
+//! training time per epoch (b) for TST and the four RITA-architecture attention variants.
+
+use rita_bench::experiments::{attention_variants, generate_split, run_classification, run_tst_classification};
+use rita_bench::table::{fmt_pct, fmt_secs};
+use rita_bench::{Scale, Table};
+use rita_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let datasets = [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg];
+    let mut acc = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut time = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    for kind in datasets {
+        eprintln!("[fig3] running {} ...", kind.name());
+        let split = generate_split(kind, scale, 42);
+        let windows = scale.length(kind) / 5;
+        let tst = run_tst_classification(kind, scale, &split, 1);
+        let mut acc_row = vec![kind.name().to_string(), fmt_pct(tst.accuracy)];
+        let mut time_row = vec![kind.name().to_string(), fmt_secs(tst.epoch_seconds)];
+        for (_, attention) in attention_variants(windows) {
+            let r = run_classification(kind, scale, attention, &split, 1);
+            acc_row.push(fmt_pct(r.accuracy));
+            time_row.push(fmt_secs(r.epoch_seconds));
+        }
+        acc.add_row(acc_row);
+        time.add_row(time_row);
+    }
+    acc.print("Fig. 3(a): full-label classification accuracy (multi-variate data)");
+    time.print("Fig. 3(b): training time per epoch in seconds");
+}

@@ -1,0 +1,50 @@
+//! Figure 4: varying the length of the MGH-style series — imputation MSE and training
+//! time per epoch as the length grows, showing that group attention's advantage widens
+//! (and that Vanilla hits the memory wall at paper scale).
+
+use rita_bench::experiments::{attention_variants, run_imputation, would_oom_at_paper_scale};
+use rita_bench::table::{fmt_f32, fmt_secs};
+use rita_bench::{Scale, Table};
+use rita_data::{DatasetKind, TimeseriesDataset};
+use rand::SeedableRng;
+use rita_tensor::SeedableRng64;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (lengths, paper_lengths): (Vec<usize>, Vec<usize>) = match scale {
+        Scale::Reduced => (vec![200, 400, 600, 800, 1000], vec![2000, 4000, 6000, 8000, 10000]),
+        Scale::Full => (vec![2000, 4000, 6000, 8000, 10000], vec![2000, 4000, 6000, 8000, 10000]),
+    };
+    let mut rng = SeedableRng64::seed_from_u64(11);
+    let max_len = *lengths.last().unwrap();
+    let base = TimeseriesDataset::generate_reduced(
+        DatasetKind::Mgh,
+        scale.train_size(DatasetKind::Mgh),
+        scale.valid_size(DatasetKind::Mgh),
+        max_len,
+        &mut rng,
+    );
+    let mut mse_table = Table::new(&["Length (paper)", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut time_table = Table::new(&["Length (paper)", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    for (i, &len) in lengths.iter().enumerate() {
+        eprintln!("[fig4] length {len} ...");
+        let truncated = base.truncate_length(len).split_at(scale.train_size(DatasetKind::Mgh));
+        let windows = len / 5;
+        let mut mse_row = vec![format!("{len} ({})", paper_lengths[i])];
+        let mut time_row = vec![format!("{len} ({})", paper_lengths[i])];
+        for (name, attention) in attention_variants(windows) {
+            if would_oom_at_paper_scale(name, paper_lengths[i]) {
+                mse_row.push("N/A (OOM)".into());
+                time_row.push("N/A".into());
+                continue;
+            }
+            let r = run_imputation(DatasetKind::Mgh, scale, attention, &truncated, 13);
+            mse_row.push(fmt_f32(r.mse));
+            time_row.push(fmt_secs(r.epoch_seconds));
+        }
+        mse_table.add_row(mse_row);
+        time_table.add_row(time_row);
+    }
+    mse_table.print("Fig. 4(a): imputation MSE vs. series length (MGH-style data)");
+    time_table.print("Fig. 4(b): training time per epoch (s) vs. series length");
+}

@@ -1,0 +1,36 @@
+//! Table 1: dataset statistics — the paper-scale specification of every dataset and the
+//! reduced synthetic instantiation the harness actually trains on.
+
+use rita_bench::{Scale, Table};
+use rita_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut paper = Table::new(&["Dataset", "Train. Size", "Valid. Size", "Length", "Channel", "Classes"]);
+    for kind in DatasetKind::MULTIVARIATE {
+        let s = kind.paper_spec();
+        paper.add_row(vec![
+            kind.name().into(),
+            s.train_size.to_string(),
+            s.valid_size.to_string(),
+            s.length.to_string(),
+            s.channels.to_string(),
+            if s.num_classes == 0 { "N/A".into() } else { s.num_classes.to_string() },
+        ]);
+    }
+    paper.print("Table 1 (paper scale): dataset statistics");
+
+    let mut reduced = Table::new(&["Dataset", "Train. Size", "Valid. Size", "Length", "Channel", "Classes"]);
+    for kind in DatasetKind::MULTIVARIATE {
+        let s = kind.paper_spec();
+        reduced.add_row(vec![
+            kind.name().into(),
+            scale.train_size(kind).to_string(),
+            scale.valid_size(kind).to_string(),
+            scale.length(kind).to_string(),
+            s.channels.to_string(),
+            if s.num_classes == 0 { "N/A".into() } else { s.num_classes.to_string() },
+        ]);
+    }
+    reduced.print(&format!("Table 1 (this harness, {scale:?} scale): synthetic equivalents"));
+}

@@ -1,0 +1,37 @@
+//! Table 2: imputation MSE and training time per epoch on the multivariate datasets,
+//! including the MGH-style long series on which TST and Vanilla run out of memory at
+//! paper scale.
+
+use rita_bench::experiments::{
+    attention_variants, generate_split, run_imputation, run_tst_imputation, would_oom_at_paper_scale,
+};
+use rita_bench::table::{fmt_f32, fmt_secs};
+use rita_bench::{Scale, Table};
+use rita_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table = Table::new(&["Dataset", "Length", "Method", "MSE", "Time/s"]);
+    for kind in DatasetKind::MULTIVARIATE {
+        eprintln!("[table2] running {} ...", kind.name());
+        let split = generate_split(kind, scale, 7);
+        let paper_len = kind.paper_spec().length;
+        let windows = scale.length(kind) / 5;
+
+        if would_oom_at_paper_scale("TST", paper_len) {
+            table.add_row(vec![kind.name().into(), paper_len.to_string(), "TST".into(), "N/A (OOM)".into(), "N/A".into()]);
+        } else {
+            let r = run_tst_imputation(kind, scale, &split, 3);
+            table.add_row(vec![kind.name().into(), paper_len.to_string(), "TST".into(), fmt_f32(r.mse), fmt_secs(r.epoch_seconds)]);
+        }
+        for (name, attention) in attention_variants(windows) {
+            if would_oom_at_paper_scale(name, paper_len) {
+                table.add_row(vec![kind.name().into(), paper_len.to_string(), name.into(), "N/A (OOM)".into(), "N/A".into()]);
+                continue;
+            }
+            let r = run_imputation(kind, scale, attention, &split, 3);
+            table.add_row(vec![kind.name().into(), paper_len.to_string(), name.into(), fmt_f32(r.mse), fmt_secs(r.epoch_seconds)]);
+        }
+    }
+    table.print("Table 2: imputation results (multi-variate data; OOM cells follow the paper-scale memory model)");
+}

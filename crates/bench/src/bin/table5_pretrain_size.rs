@@ -1,0 +1,43 @@
+//! Table 5: the effect of the pretraining-set size — few-label accuracy after pretraining
+//! on growing fractions of the unlabeled WISDM-style data.
+
+use rand::SeedableRng;
+use rita_bench::experiments::{generate_split, rita_config};
+use rita_bench::table::fmt_pct;
+use rita_bench::{Scale, Table};
+use rita_core::attention::AttentionKind;
+use rita_core::tasks::{finetune_classifier, pretrain, train_from_scratch, TrainConfig};
+use rita_data::DatasetKind;
+use rita_tensor::SeedableRng64;
+
+fn main() {
+    let scale = Scale::from_args();
+    let kind = DatasetKind::Wisdm;
+    let split = generate_split(kind, scale, 77);
+    let few = split.train.few_labels_per_class(match scale {
+        Scale::Reduced => 3,
+        Scale::Full => 100,
+    });
+    let classes = kind.paper_spec().num_classes;
+    let windows = scale.length(kind) / 5;
+    let attention = AttentionKind::Group { epsilon: 2.0, initial_groups: (windows / 4).max(4), adaptive: true };
+    let config = rita_config(kind, scale, attention);
+    let cfg = TrainConfig { epochs: scale.epochs(), batch_size: scale.batch_size(), lr: 1e-3, ..Default::default() };
+
+    let mut table = Table::new(&["Pretrain fraction", "Pretrain size", "Few-label accuracy"]);
+    // No pretraining (scratch).
+    let mut rng = SeedableRng64::seed_from_u64(9);
+    let (mut scratch, _) = train_from_scratch(config, classes, &few, &cfg, &mut rng);
+    table.add_row(vec!["0% (scratch)".into(), "0".into(), fmt_pct(scratch.evaluate(&split.valid, cfg.batch_size, &mut rng))]);
+
+    for fraction in [0.2f32, 0.4, 0.6, 0.8, 1.0] {
+        eprintln!("[table5] fraction {fraction}");
+        let subset = split.train.take_fraction(fraction);
+        let mut rng = SeedableRng64::seed_from_u64(9);
+        let outcome = pretrain(config, &subset, &cfg, &mut rng);
+        let (mut clf, _) = finetune_classifier(outcome.model, classes, &few, &cfg, &mut rng);
+        let acc = clf.evaluate(&split.valid, cfg.batch_size, &mut rng);
+        table.add_row(vec![format!("{:.0}%", fraction * 100.0), subset.len().to_string(), fmt_pct(acc)]);
+    }
+    table.print("Table 5: increasing sizes of the pretraining set (WISDM-style data)");
+}

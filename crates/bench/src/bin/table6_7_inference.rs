@@ -1,0 +1,53 @@
+//! Tables 6 and 7: inference time for classification and imputation across the attention
+//! mechanisms and TST.
+
+use rita_bench::experiments::{
+    attention_variants, generate_split, run_classification, run_imputation, run_tst_classification,
+    run_tst_imputation, would_oom_at_paper_scale,
+};
+use rita_bench::table::fmt_secs;
+use rita_bench::{Scale, Table};
+use rita_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let class_datasets = [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg];
+    let mut t6 = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    for kind in class_datasets {
+        eprintln!("[table6] {}", kind.name());
+        let split = generate_split(kind, scale, 91);
+        let windows = scale.length(kind) / 5;
+        let tst = run_tst_classification(kind, scale, &split, 2);
+        let mut row = vec![kind.name().to_string(), fmt_secs(tst.inference_seconds)];
+        for (_, attention) in attention_variants(windows) {
+            let r = run_classification(kind, scale, attention, &split, 2);
+            row.push(fmt_secs(r.inference_seconds));
+        }
+        t6.add_row(row);
+    }
+    t6.print("Table 6: inference time, classification (seconds over the validation set)");
+
+    let mut t7 = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    for kind in DatasetKind::MULTIVARIATE {
+        eprintln!("[table7] {}", kind.name());
+        let split = generate_split(kind, scale, 92);
+        let windows = scale.length(kind) / 5;
+        let paper_len = kind.paper_spec().length;
+        let mut row = vec![kind.name().to_string()];
+        if would_oom_at_paper_scale("TST", paper_len) {
+            row.push("N/A".into());
+        } else {
+            row.push(fmt_secs(run_tst_imputation(kind, scale, &split, 2).inference_seconds));
+        }
+        for (name, attention) in attention_variants(windows) {
+            if would_oom_at_paper_scale(name, paper_len) {
+                row.push("N/A".into());
+                continue;
+            }
+            let r = run_imputation(kind, scale, attention, &split, 2);
+            row.push(fmt_secs(r.inference_seconds));
+        }
+        t7.add_row(row);
+    }
+    t7.print("Table 7: inference time, imputation (seconds over the validation set)");
+}

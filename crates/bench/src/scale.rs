@@ -1,0 +1,109 @@
+//! Experiment scale: reduced (default, minutes on a laptop CPU) vs. full (closer to the
+//! paper's sizes; hours).
+
+use rita_data::DatasetKind;
+
+/// Controls dataset sizes, series lengths and epoch counts of the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes so every binary finishes in minutes on a CPU.
+    Reduced,
+    /// Larger sizes that approach the paper's configuration (still CPU-bound).
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from command-line arguments (`--full` switches to [`Scale::Full`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Reduced
+        }
+    }
+
+    /// Training epochs for supervised experiments.
+    pub fn epochs(&self) -> usize {
+        match self {
+            Scale::Reduced => 5,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Number of training samples per dataset.
+    pub fn train_size(&self, kind: DatasetKind) -> usize {
+        let base = match kind {
+            DatasetKind::Ecg => 60,
+            DatasetKind::Mgh => 12,
+            _ => 120,
+        };
+        match self {
+            Scale::Reduced => base,
+            Scale::Full => base * 8,
+        }
+    }
+
+    /// Number of validation samples per dataset.
+    pub fn valid_size(&self, kind: DatasetKind) -> usize {
+        (self.train_size(kind) / 5).max(4)
+    }
+
+    /// Series length used for each dataset (reduced from the paper's 200/2000/10000 so the
+    /// CPU substrate finishes quickly, but keeping the same ordering short < medium < long).
+    pub fn length(&self, kind: DatasetKind) -> usize {
+        let (reduced, full) = match kind {
+            DatasetKind::Ecg => (400, 2000),
+            DatasetKind::Mgh => (1000, 10_000),
+            _ => (200, 200),
+        };
+        match self {
+            Scale::Reduced => reduced,
+            Scale::Full => full,
+        }
+    }
+
+    /// Mini-batch size.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Scale::Reduced => 8,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Encoder depth (the paper uses 8; the reduced scale uses 2 to keep CPU runs short).
+    pub fn layers(&self) -> usize {
+        match self {
+            Scale::Reduced => 2,
+            Scale::Full => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_is_smaller_than_full() {
+        for kind in DatasetKind::MULTIVARIATE {
+            assert!(Scale::Reduced.train_size(kind) <= Scale::Full.train_size(kind));
+            assert!(Scale::Reduced.length(kind) <= Scale::Full.length(kind));
+        }
+        assert!(Scale::Reduced.epochs() <= Scale::Full.epochs());
+        assert!(Scale::Reduced.layers() < Scale::Full.layers());
+    }
+
+    #[test]
+    fn long_datasets_stay_longest() {
+        for scale in [Scale::Reduced, Scale::Full] {
+            assert!(scale.length(DatasetKind::Mgh) > scale.length(DatasetKind::Ecg));
+            assert!(scale.length(DatasetKind::Ecg) > scale.length(DatasetKind::Wisdm));
+        }
+    }
+
+    #[test]
+    fn valid_size_is_a_fraction_of_train() {
+        assert!(Scale::Reduced.valid_size(DatasetKind::Wisdm) < Scale::Reduced.train_size(DatasetKind::Wisdm));
+        assert!(Scale::Reduced.valid_size(DatasetKind::Mgh) >= 4);
+    }
+}

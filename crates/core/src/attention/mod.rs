@@ -1,0 +1,185 @@
+//! Attention mechanisms.
+//!
+//! The RITA encoder is parameterised over the attention mechanism so the paper's
+//! comparisons can be run on an otherwise identical architecture (exactly how the
+//! evaluation constructs its `Vanilla`, `Performer`, `Linformer` and `Group Attn.`
+//! baselines). All mechanisms consume pre-projected, head-split tensors of shape
+//! `(batch, heads, windows, head_dim)` and produce the same shape.
+
+pub mod group;
+pub mod linformer;
+pub mod performer;
+pub mod vanilla;
+
+use rita_nn::Var;
+
+pub use group::{GroupAttention, GroupAttentionConfig, GroupAttentionStats};
+pub use linformer::LinformerAttention;
+pub use performer::PerformerAttention;
+pub use vanilla::VanillaAttention;
+
+/// Which attention mechanism an encoder layer uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttentionKind {
+    /// Exact softmax attention (quadratic in the number of windows).
+    Vanilla,
+    /// RITA's group attention with the adaptive scheduler (the paper's contribution).
+    Group {
+        /// Approximation error bound ε (> 1) given to the adaptive scheduler.
+        epsilon: f32,
+        /// Initial number of groups.
+        initial_groups: usize,
+        /// Whether the adaptive scheduler may shrink the number of groups.
+        adaptive: bool,
+    },
+    /// Performer (FAVOR+ positive random features).
+    Performer {
+        /// Number of random features.
+        features: usize,
+    },
+    /// Linformer (learned low-rank projection of keys and values along the sequence).
+    Linformer {
+        /// Projected sequence length.
+        proj_dim: usize,
+    },
+}
+
+impl AttentionKind {
+    /// Short name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttentionKind::Vanilla => "Vanilla",
+            AttentionKind::Group { .. } => "Group Attn.",
+            AttentionKind::Performer { .. } => "Performer",
+            AttentionKind::Linformer { .. } => "Linformer",
+        }
+    }
+
+    /// The paper's default group-attention configuration (ε = 2, adaptive scheduling on).
+    pub fn default_group() -> Self {
+        AttentionKind::Group { epsilon: 2.0, initial_groups: 64, adaptive: true }
+    }
+}
+
+/// An attention mechanism operating on head-split projections.
+pub trait Attention {
+    /// Computes attention outputs. `q`, `k`, `v` all have shape
+    /// `(batch, heads, windows, head_dim)`; the output has the same shape as `v`.
+    fn forward(&mut self, q: &Var, k: &Var, v: &Var) -> Var;
+
+    /// Trainable parameters owned by the mechanism itself (most have none; Linformer has
+    /// its projection matrices).
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+
+    /// Mechanism name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Scheduler statistics, available only for group attention.
+    fn group_stats(&self) -> Option<GroupAttentionStats> {
+        None
+    }
+
+    /// Overrides the group count (no-op for non-group mechanisms). Used by the
+    /// fixed-N ablation (Table 4).
+    fn set_group_count(&mut self, _n: usize) {}
+}
+
+/// Builds the configured attention mechanism for one encoder layer.
+///
+/// `max_windows` is the largest number of windows the layer will see (needed by
+/// Linformer's fixed-size projection); `head_dim` is the per-head feature size.
+pub fn build_attention(
+    kind: AttentionKind,
+    max_windows: usize,
+    head_dim: usize,
+    rng: &mut impl rand::Rng,
+) -> Box<dyn Attention> {
+    match kind {
+        AttentionKind::Vanilla => Box::new(VanillaAttention::new()),
+        AttentionKind::Group { epsilon, initial_groups, adaptive } => {
+            Box::new(GroupAttention::new(GroupAttentionConfig {
+                epsilon,
+                initial_groups,
+                adaptive,
+                ..GroupAttentionConfig::default()
+            }))
+        }
+        AttentionKind::Performer { features } => {
+            Box::new(PerformerAttention::new(head_dim, features, rng))
+        }
+        AttentionKind::Linformer { proj_dim } => {
+            Box::new(LinformerAttention::new(max_windows, proj_dim, rng))
+        }
+    }
+}
+
+/// Splits `(batch, windows, d_model)` into `(batch, heads, windows, d_model / heads)`.
+pub fn split_heads(x: &Var, heads: usize) -> Var {
+    let shape = x.shape();
+    assert_eq!(shape.len(), 3, "split_heads expects (batch, windows, d_model)");
+    let (b, n, d) = (shape[0], shape[1], shape[2]);
+    assert_eq!(d % heads, 0, "d_model {d} not divisible by heads {heads}");
+    x.reshape(&[b, n, heads, d / heads]).permute(&[0, 2, 1, 3])
+}
+
+/// Inverse of [`split_heads`]: `(batch, heads, windows, head_dim)` → `(batch, windows, d_model)`.
+pub fn merge_heads(x: &Var) -> Var {
+    let shape = x.shape();
+    assert_eq!(shape.len(), 4, "merge_heads expects (batch, heads, windows, head_dim)");
+    let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
+    x.permute(&[0, 2, 1, 3]).reshape(&[b, n, h * dh])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rita_tensor::{NdArray, SeedableRng64};
+
+    #[test]
+    fn split_and_merge_heads_roundtrip() {
+        let mut rng = SeedableRng64::seed_from_u64(0);
+        let x = Var::constant(NdArray::randn(&[2, 5, 8], 1.0, &mut rng));
+        let split = split_heads(&x, 4);
+        assert_eq!(split.shape(), vec![2, 4, 5, 2]);
+        let merged = merge_heads(&split);
+        assert_eq!(merged.shape(), vec![2, 5, 8]);
+        assert_eq!(merged.to_array(), x.to_array());
+    }
+
+    #[test]
+    fn split_heads_places_head_features_contiguously() {
+        // d_model = 4, heads = 2: head 0 must see features 0..2 of every window.
+        let x = Var::constant(NdArray::arange(0.0, 1.0, 8).reshape(&[1, 2, 4]).unwrap());
+        let s = split_heads(&x, 2);
+        // window 0 head 0 -> [0, 1]; window 1 head 0 -> [4, 5]
+        assert_eq!(s.to_array().get(&[0, 0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(s.to_array().get(&[0, 0, 1, 1]).unwrap(), 5.0);
+        // head 1 -> features 2..4
+        assert_eq!(s.to_array().get(&[0, 1, 0, 0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(AttentionKind::Vanilla.name(), "Vanilla");
+        assert_eq!(AttentionKind::default_group().name(), "Group Attn.");
+        assert_eq!(AttentionKind::Performer { features: 16 }.name(), "Performer");
+        assert_eq!(AttentionKind::Linformer { proj_dim: 32 }.name(), "Linformer");
+    }
+
+    #[test]
+    fn build_attention_dispatches() {
+        let mut rng = SeedableRng64::seed_from_u64(1);
+        for kind in [
+            AttentionKind::Vanilla,
+            AttentionKind::default_group(),
+            AttentionKind::Performer { features: 8 },
+            AttentionKind::Linformer { proj_dim: 4 },
+        ] {
+            let a = build_attention(kind, 16, 8, &mut rng);
+            assert_eq!(a.name(), kind.name());
+        }
+    }
+}

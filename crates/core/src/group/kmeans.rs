@@ -1,0 +1,347 @@
+//! GPU-friendly k-means grouping (§4.4 of the paper).
+//!
+//! The paper groups windows by the similarity of their key vectors using a k-means
+//! variant designed around three requirements: a tight distance bound, cost not exceeding
+//! `O(nN)`, and a formulation dominated by matrix products (the "GPU friendly" part).
+//! This module implements both formulations the paper discusses:
+//!
+//! * [`kmeans_matmul`] — distances via `|v|² + |c|² − 2 v·c`, so the `n × N` distance
+//!   matrix is one matrix product (the formulation RITA uses);
+//! * [`kmeans_pairwise`] — the naive per-pair `(v − c)²` loop, kept as the ablation
+//!   baseline for the grouping benchmark.
+//!
+//! Both run a small, fixed number of iterations: the paper observes that an imperfect
+//! clustering is sufficient because group attention is robust to it.
+
+use rita_tensor::NdArray;
+
+/// Result of grouping `n` vectors into (at most) `num_groups` clusters.
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// Cluster centres, shape `(num_groups, d)`.
+    pub centers: NdArray,
+    /// `assignments[i]` = cluster index of vector `i`.
+    pub assignments: Vec<usize>,
+    /// Number of members per cluster.
+    pub counts: Vec<usize>,
+    /// Maximum member-to-centre distance per cluster (the per-cluster radius used by the
+    /// adaptive scheduler's merge test, Lemma 2).
+    pub radii: Vec<f32>,
+}
+
+impl Grouping {
+    /// Number of clusters.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of grouped vectors.
+    pub fn num_items(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Largest member-to-centre distance over all clusters (the `d` of Lemma 1).
+    pub fn max_radius(&self) -> f32 {
+        self.radii.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Builds the `(N, n)` averaging matrix `S` with `S[g, i] = 1/count_g` when item `i`
+    /// belongs to group `g`. `S · K` yields the centroid representative key of each group.
+    pub fn averaging_matrix(&self) -> NdArray {
+        let n = self.num_items();
+        let g = self.num_groups();
+        let mut m = NdArray::zeros(&[g, n]);
+        for (i, &a) in self.assignments.iter().enumerate() {
+            let w = 1.0 / self.counts[a].max(1) as f32;
+            m.set(&[a, i], w).expect("averaging matrix index");
+        }
+        m
+    }
+
+    /// Builds the `(N, n)` summation matrix `M` with `M[g, i] = 1` when item `i` belongs to
+    /// group `g`. `M · V` performs the paper's *embedding aggregation* (Σ of member values).
+    pub fn sum_matrix(&self) -> NdArray {
+        let n = self.num_items();
+        let g = self.num_groups();
+        let mut m = NdArray::zeros(&[g, n]);
+        for (i, &a) in self.assignments.iter().enumerate() {
+            m.set(&[a, i], 1.0).expect("sum matrix index");
+        }
+        m
+    }
+
+    /// Group sizes as an `(1, N)` array (the `count_k` factors of the group softmax).
+    pub fn counts_array(&self) -> NdArray {
+        NdArray::from_vec(self.counts.iter().map(|&c| c as f32).collect(), &[1, self.num_groups()])
+            .expect("counts array")
+    }
+}
+
+/// Squared L2 norms of each row of `x` (`(n, d)` → length-`n` vector).
+fn row_sq_norms(x: &NdArray) -> Vec<f32> {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    let data = x.as_slice();
+    (0..n).map(|i| data[i * d..(i + 1) * d].iter().map(|&v| v * v).sum()).collect()
+}
+
+/// Picks `k` initial centres with a deterministic farthest-point sweep (k-means++ without
+/// the randomisation): the first centre is row 0, each subsequent centre is the row
+/// farthest from all centres chosen so far. Deterministic, `O(nkd)`, and robust to the
+/// periodic layouts produced by timeseries windows.
+fn init_centers(x: &NdArray, k: usize) -> NdArray {
+    let n = x.shape()[0];
+    let d = x.shape()[1];
+    let data = x.as_slice();
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(0usize);
+    // min squared distance from each point to the chosen set
+    let mut min_dist = vec![f32::INFINITY; n];
+    for _ in 1..k {
+        let last = *chosen.last().expect("non-empty");
+        let lastv = &data[last * d..(last + 1) * d];
+        let mut best = 0usize;
+        let mut best_d = -1.0f32;
+        for i in 0..n {
+            let dist: f32 = data[i * d..(i + 1) * d]
+                .iter()
+                .zip(lastv)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if dist < min_dist[i] {
+                min_dist[i] = dist;
+            }
+            if min_dist[i] > best_d {
+                best_d = min_dist[i];
+                best = i;
+            }
+        }
+        chosen.push(best);
+    }
+    x.gather_rows(&chosen).expect("init centers")
+}
+
+/// Matrix-product formulation of k-means (the paper's GPU-friendly grouping).
+///
+/// `x` has shape `(n, d)`; `num_groups` is clamped to `n`. Runs `iters` assignment/update
+/// rounds (the paper notes a handful suffices).
+pub fn kmeans_matmul(x: &NdArray, num_groups: usize, iters: usize) -> Grouping {
+    kmeans_impl(x, num_groups, iters, true)
+}
+
+/// Pairwise-difference formulation (ablation baseline; identical output, slower inner loop).
+pub fn kmeans_pairwise(x: &NdArray, num_groups: usize, iters: usize) -> Grouping {
+    kmeans_impl(x, num_groups, iters, false)
+}
+
+fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -> Grouping {
+    assert_eq!(x.ndim(), 2, "kmeans expects (n, d) input");
+    let n = x.shape()[0];
+    let d = x.shape()[1];
+    assert!(n > 0, "kmeans on empty input");
+    let k = num_groups.clamp(1, n);
+    let mut centers = init_centers(x, k);
+    let mut assignments = vec![0usize; n];
+
+    let x_sq = row_sq_norms(x);
+    for _ in 0..iters.max(1) {
+        // --- assignment step ---
+        if use_matmul {
+            // dist²(i, j) = |x_i|² + |c_j|² − 2 x_i·c_j ; the cross term is one matmul.
+            let c_sq = row_sq_norms(&centers);
+            let cross = x.matmul_nt(&centers).expect("kmeans cross term"); // (n, k)
+            let cross_data = cross.as_slice();
+            for i in 0..n {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for j in 0..k {
+                    let dist = x_sq[i] + c_sq[j] - 2.0 * cross_data[i * k + j];
+                    if dist < best_d {
+                        best_d = dist;
+                        best = j;
+                    }
+                }
+                assignments[i] = best;
+            }
+        } else {
+            let xd = x.as_slice();
+            let cd = centers.as_slice();
+            for i in 0..n {
+                let xi = &xd[i * d..(i + 1) * d];
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for j in 0..k {
+                    let cj = &cd[j * d..(j + 1) * d];
+                    let dist: f32 = xi.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if dist < best_d {
+                        best_d = dist;
+                        best = j;
+                    }
+                }
+                assignments[i] = best;
+            }
+        }
+
+        // --- update step ---
+        let mut sums = vec![0.0f32; k * d];
+        let mut counts = vec![0usize; k];
+        let xd = x.as_slice();
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            for j in 0..d {
+                sums[a * d + j] += xd[i * d + j];
+            }
+        }
+        // Empty clusters keep their previous centre (a common, stable convention).
+        let cd = centers.as_mut_slice();
+        for g in 0..k {
+            if counts[g] > 0 {
+                let inv = 1.0 / counts[g] as f32;
+                for j in 0..d {
+                    cd[g * d + j] = sums[g * d + j] * inv;
+                }
+            }
+        }
+    }
+
+    // Final statistics: counts and radii against the final centres/assignments.
+    let mut counts = vec![0usize; k];
+    let mut radii = vec![0.0f32; k];
+    let xd = x.as_slice();
+    let cd = centers.as_slice();
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a] += 1;
+        let dist: f32 = xd[i * d..(i + 1) * d]
+            .iter()
+            .zip(&cd[a * d..(a + 1) * d])
+            .map(|(x, c)| (x - c) * (x - c))
+            .sum::<f32>()
+            .sqrt();
+        radii[a] = radii[a].max(dist);
+    }
+
+    Grouping { centers, assignments, counts, radii }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn two_blobs(n_per: usize, seed: u64) -> NdArray {
+        let mut rng = SeedableRng64::seed_from_u64(seed);
+        let a = NdArray::randn(&[n_per, 4], 0.1, &mut rng).add_scalar(0.0);
+        let b = NdArray::randn(&[n_per, 4], 0.1, &mut rng).add_scalar(5.0);
+        NdArray::concat(&[&a, &b], 0).unwrap()
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let x = two_blobs(20, 1);
+        let g = kmeans_matmul(&x, 2, 8);
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.num_items(), 40);
+        // All of blob 1 lands in one cluster, all of blob 2 in the other.
+        let first = g.assignments[0];
+        assert!(g.assignments[..20].iter().all(|&a| a == first));
+        assert!(g.assignments[20..].iter().all(|&a| a != first));
+        assert_eq!(g.counts, vec![20, 20]);
+        assert!(g.max_radius() < 1.0);
+    }
+
+    #[test]
+    fn matmul_and_pairwise_formulations_agree() {
+        let x = two_blobs(15, 3);
+        let a = kmeans_matmul(&x, 4, 5);
+        let b = kmeans_pairwise(&x, 4, 5);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.counts, b.counts);
+        for (ca, cb) in a.centers.as_slice().iter().zip(b.centers.as_slice()) {
+            assert!((ca - cb).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn num_groups_clamped_to_n() {
+        let x = NdArray::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], &[3, 2]).unwrap();
+        let g = kmeans_matmul(&x, 10, 3);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn single_group_contains_everything() {
+        let x = two_blobs(5, 7);
+        let g = kmeans_matmul(&x, 1, 3);
+        assert_eq!(g.counts, vec![10]);
+        assert!(g.assignments.iter().all(|&a| a == 0));
+        // Centre is the global mean.
+        let mean = x.mean_axis(0, false).unwrap();
+        for (c, m) in g.centers.as_slice().iter().zip(mean.as_slice()) {
+            assert!((c - m).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matrices_encode_assignments() {
+        let x = two_blobs(4, 9);
+        let g = kmeans_matmul(&x, 2, 5);
+        let s = g.averaging_matrix();
+        let m = g.sum_matrix();
+        assert_eq!(s.shape(), &[2, 8]);
+        // Rows of S sum to 1 (an average), rows of M sum to the group size.
+        for row in 0..2 {
+            let s_sum: f32 = (0..8).map(|i| s.get(&[row, i]).unwrap()).sum();
+            let m_sum: f32 = (0..8).map(|i| m.get(&[row, i]).unwrap()).sum();
+            assert!((s_sum - 1.0).abs() < 1e-5);
+            assert!((m_sum - g.counts[row] as f32).abs() < 1e-5);
+        }
+        // S · K equals the centroids.
+        let sk = s.matmul(&x).unwrap();
+        for (a, b) in sk.as_slice().iter().zip(g.centers.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        let counts = g.counts_array();
+        assert_eq!(counts.shape(), &[1, 2]);
+        assert_eq!(counts.sum_all(), 8.0);
+    }
+
+    #[test]
+    fn radii_cover_all_members() {
+        let x = two_blobs(25, 11);
+        let g = kmeans_matmul(&x, 3, 6);
+        // Every member must lie within its cluster's reported radius.
+        let d = x.shape()[1];
+        for (i, &a) in g.assignments.iter().enumerate() {
+            let dist: f32 = x.as_slice()[i * d..(i + 1) * d]
+                .iter()
+                .zip(&g.centers.as_slice()[a * d..(a + 1) * d])
+                .map(|(p, c)| (p - c) * (p - c))
+                .sum::<f32>()
+                .sqrt();
+            assert!(dist <= g.radii[a] + 1e-5);
+        }
+    }
+
+    #[test]
+    fn more_iterations_do_not_increase_distortion() {
+        let x = two_blobs(30, 13);
+        let distortion = |g: &Grouping| -> f32 {
+            let d = x.shape()[1];
+            g.assignments
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    x.as_slice()[i * d..(i + 1) * d]
+                        .iter()
+                        .zip(&g.centers.as_slice()[a * d..(a + 1) * d])
+                        .map(|(p, c)| (p - c) * (p - c))
+                        .sum::<f32>()
+                })
+                .sum()
+        };
+        let g1 = kmeans_matmul(&x, 4, 1);
+        let g8 = kmeans_matmul(&x, 4, 8);
+        assert!(distortion(&g8) <= distortion(&g1) + 1e-4);
+    }
+}

@@ -1,0 +1,6 @@
+//! Window grouping: the GPU-friendly k-means of §4.4 and the assignment matrices used by
+//! the embedding-aggregation / group-softmax computation of §4.2.
+
+pub mod kmeans;
+
+pub use kmeans::{kmeans_matmul, kmeans_pairwise, Grouping};

@@ -1,0 +1,141 @@
+//! Model configuration shared by every attention variant.
+
+use crate::attention::AttentionKind;
+
+/// Hyper-parameters of a RITA model (Fig. 1 of the paper).
+///
+/// The defaults follow Appendix A.1: an 8-layer stack of 2-head attention with hidden
+/// dimension 64 and a convolution kernel of 5 timestamps. Harness code typically shrinks
+/// `n_layers` so the full experiment suite runs on a laptop CPU.
+#[derive(Debug, Clone, Copy)]
+pub struct RitaConfig {
+    /// Number of input channels (variables) of the timeseries.
+    pub channels: usize,
+    /// Maximum series length the model will see (determines the positional table and the
+    /// Linformer projection size).
+    pub max_len: usize,
+    /// Convolution window width `w` — timestamps per window.
+    pub window: usize,
+    /// Convolution stride; the paper chunks the series into windows, i.e. stride = width.
+    pub stride: usize,
+    /// Hidden dimension d of the encoder.
+    pub d_model: usize,
+    /// Number of attention heads.
+    pub n_heads: usize,
+    /// Number of stacked encoder layers.
+    pub n_layers: usize,
+    /// Feed-forward hidden size.
+    pub ff_hidden: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Attention mechanism used by every layer.
+    pub attention: AttentionKind,
+}
+
+impl Default for RitaConfig {
+    fn default() -> Self {
+        Self {
+            channels: 3,
+            max_len: 200,
+            window: 5,
+            stride: 5,
+            d_model: 64,
+            n_heads: 2,
+            n_layers: 8,
+            ff_hidden: 128,
+            dropout: 0.1,
+            attention: AttentionKind::default_group(),
+        }
+    }
+}
+
+impl RitaConfig {
+    /// A small configuration suitable for unit tests and CPU-scale experiments.
+    pub fn tiny(channels: usize, max_len: usize, attention: AttentionKind) -> Self {
+        Self {
+            channels,
+            max_len,
+            window: 5,
+            stride: 5,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 2,
+            ff_hidden: 32,
+            dropout: 0.0,
+            attention,
+        }
+    }
+
+    /// Number of windows a series of length `len` produces.
+    pub fn windows_for(&self, len: usize) -> usize {
+        assert!(len >= self.window, "series length {len} shorter than window {}", self.window);
+        (len - self.window) / self.stride + 1
+    }
+
+    /// Maximum number of windows (for `max_len`).
+    pub fn max_windows(&self) -> usize {
+        self.windows_for(self.max_len)
+    }
+
+    /// Per-head feature dimension.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.d_model % self.n_heads, 0, "d_model must be divisible by n_heads");
+        self.d_model / self.n_heads
+    }
+
+    /// Validates internal consistency, panicking with a descriptive message otherwise.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "channels must be positive");
+        assert!(self.window > 0 && self.stride > 0, "window and stride must be positive");
+        assert!(self.max_len >= self.window, "max_len must cover at least one window");
+        assert_eq!(self.d_model % self.n_heads, 0, "d_model must be divisible by n_heads");
+        assert!(self.n_layers > 0, "need at least one encoder layer");
+        assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0, 1)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = RitaConfig::default();
+        assert_eq!(c.d_model, 64);
+        assert_eq!(c.n_heads, 2);
+        assert_eq!(c.n_layers, 8);
+        assert_eq!(c.window, 5);
+        c.validate();
+    }
+
+    #[test]
+    fn window_arithmetic() {
+        let c = RitaConfig { window: 10, stride: 10, max_len: 200, ..Default::default() };
+        assert_eq!(c.windows_for(200), 20);
+        assert_eq!(c.windows_for(10), 1);
+        assert_eq!(c.max_windows(), 20);
+        assert_eq!(c.head_dim(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than window")]
+    fn windows_for_rejects_short_series() {
+        let c = RitaConfig::default();
+        let _ = c.windows_for(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn validate_rejects_bad_heads() {
+        let c = RitaConfig { d_model: 10, n_heads: 3, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn tiny_config_is_valid() {
+        let c = RitaConfig::tiny(12, 100, AttentionKind::Vanilla);
+        c.validate();
+        assert_eq!(c.channels, 12);
+        assert_eq!(c.n_layers, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The input stage of RITA (Fig. 1): time-aware convolution, positional embeddings, and
+//! the `[CLS]` token.
+//!
+//! The time-aware convolution bridges the gap between raw multivariate timeseries and the
+//! discrete semantic units a Transformer expects: `d` convolution kernels of shape
+//! `w × m` chunk the series into windows and embed each window into a `d`-dimensional
+//! vector, simultaneously capturing local structure and cross-channel correlations (§3).
+
+use crate::model::config::RitaConfig;
+use rand::Rng;
+use rita_nn::{layers::Linear, Module, Var};
+use rita_tensor::NdArray;
+
+/// Window embedding + positional encoding + `[CLS]` token.
+pub struct TimeConvEmbed {
+    /// The convolution expressed as a linear map over unfolded windows
+    /// (`channels · window → d_model`).
+    pub conv: Linear,
+    /// Learnable `[CLS]` embedding of shape `(d_model,)`.
+    pub cls: Var,
+    /// Fixed sinusoidal positional table of shape `(max_windows + 1, d_model)`.
+    positional: NdArray,
+    window: usize,
+    stride: usize,
+    channels: usize,
+}
+
+impl TimeConvEmbed {
+    /// Creates the input stage for `config`.
+    pub fn new(config: &RitaConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        let conv = Linear::new(config.channels * config.window, config.d_model, rng);
+        let cls = Var::parameter(NdArray::randn(&[config.d_model], 0.02, rng));
+        let positional = sinusoidal_table(config.max_windows() + 1, config.d_model);
+        Self {
+            conv,
+            cls,
+            positional,
+            window: config.window,
+            stride: config.stride,
+            channels: config.channels,
+        }
+    }
+
+    /// Embeds a batch of raw series `(batch, channels, length)` into
+    /// `(batch, windows + 1, d_model)`; position 0 is the `[CLS]` token.
+    pub fn forward(&self, x: &Var) -> Var {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "expected (batch, channels, length), got {shape:?}");
+        assert_eq!(shape[1], self.channels, "channel mismatch: {} vs {}", shape[1], self.channels);
+        let batch = shape[0];
+        // Window embedding: unfold then project (the convolution).
+        let windows = x.unfold1d(self.window, self.stride); // (B, n, c*w)
+        let embedded = self.conv.forward(&windows); // (B, n, d)
+        let n = embedded.shape()[1];
+        let d = embedded.shape()[2];
+        assert!(
+            n + 1 <= self.positional.shape()[0],
+            "series produces {n} windows, more than the positional table supports"
+        );
+        // Prepend CLS: broadcast the learned vector across the batch.
+        let cls = self.cls.reshape(&[1, 1, d]);
+        let cls_batch = cls.mul(&Var::constant(NdArray::ones(&[batch, 1, d])));
+        let with_cls = Var::concat(&[cls_batch, embedded], 1); // (B, n+1, d)
+        // Add positional encodings (constant, broadcast over the batch).
+        let pos = self.positional.slice_axis(0, 0, n + 1).expect("positional slice");
+        with_cls.add(&Var::constant(pos))
+    }
+
+    /// Number of windows produced for a series of length `len`.
+    pub fn windows_for(&self, len: usize) -> usize {
+        (len - self.window) / self.stride + 1
+    }
+
+    /// Convolution window width.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Module for TimeConvEmbed {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.conv.parameters();
+        p.push(self.cls.clone());
+        p
+    }
+}
+
+/// Standard sinusoidal positional encoding table of shape `(len, d)`.
+fn sinusoidal_table(len: usize, d: usize) -> NdArray {
+    let mut data = vec![0.0f32; len * d];
+    for pos in 0..len {
+        for i in 0..d {
+            let angle = pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32);
+            data[pos * d + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+    NdArray::from_vec(data, &[len, d]).expect("positional table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionKind;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    fn config() -> RitaConfig {
+        RitaConfig::tiny(3, 50, AttentionKind::Vanilla)
+    }
+
+    #[test]
+    fn embeds_to_windows_plus_cls() {
+        let mut r = rng(0);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let x = Var::constant(NdArray::randn(&[4, 3, 50], 1.0, &mut r));
+        let e = embed.forward(&x);
+        // 50 / 5 = 10 windows + CLS
+        assert_eq!(e.shape(), vec![4, 11, 16]);
+        assert_eq!(embed.windows_for(50), 10);
+        assert_eq!(embed.window(), 5);
+    }
+
+    #[test]
+    fn shorter_series_use_fewer_positions() {
+        let mut r = rng(1);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let x = Var::constant(NdArray::randn(&[2, 3, 25], 1.0, &mut r));
+        assert_eq!(embed.forward(&x).shape(), vec![2, 6, 16]);
+    }
+
+    #[test]
+    fn cls_token_is_shared_across_batch() {
+        let mut r = rng(2);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let x = Var::constant(NdArray::randn(&[3, 3, 20], 1.0, &mut r));
+        let e = embed.forward(&x).to_array();
+        // Position 0 of every batch element is CLS + positional[0] — identical across batch.
+        let first = e.index_axis0(0).unwrap().index_axis0(0).unwrap();
+        for b in 1..3 {
+            let other = e.index_axis0(b).unwrap().index_axis0(0).unwrap();
+            assert_eq!(first, other);
+        }
+    }
+
+    #[test]
+    fn positional_encoding_differs_across_positions() {
+        let table = sinusoidal_table(8, 16);
+        assert_ne!(table.index_axis0(1).unwrap(), table.index_axis0(2).unwrap());
+        // Values bounded in [-1, 1].
+        assert!(table.max_all() <= 1.0 + 1e-6);
+        assert!(table.min_all() >= -1.0 - 1e-6);
+    }
+
+    #[test]
+    fn gradients_reach_conv_and_cls() {
+        let mut r = rng(3);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let x = Var::constant(NdArray::randn(&[2, 3, 30], 1.0, &mut r));
+        embed.forward(&x).sum_all().backward();
+        assert!(embed.conv.weight.grad().unwrap().norm() > 0.0);
+        assert!(embed.cls.grad().unwrap().norm() > 0.0);
+        assert_eq!(embed.parameters().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channel_count() {
+        let mut r = rng(4);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let x = Var::constant(NdArray::zeros(&[1, 5, 50]));
+        let _ = embed.forward(&x);
+    }
+}

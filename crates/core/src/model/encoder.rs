@@ -1,0 +1,213 @@
+//! The RITA encoder: a stack of Transformer encoder layers whose self-attention is
+//! pluggable (vanilla, group, Performer, Linformer), as required by the paper's
+//! evaluation methodology (§6.1, "Alternative Methods").
+
+use crate::attention::{build_attention, merge_heads, split_heads, Attention, GroupAttentionStats};
+use crate::model::config::RitaConfig;
+use rand::Rng;
+use rita_nn::layers::{Dropout, FeedForward, LayerNorm, Linear};
+use rita_nn::{Module, Var};
+
+/// One encoder layer: multi-head (pluggable) attention + feed-forward, each wrapped in a
+/// residual connection and layer normalisation (post-norm, as in the original
+/// Transformer and TST).
+pub struct EncoderLayer {
+    q_proj: Linear,
+    k_proj: Linear,
+    v_proj: Linear,
+    out_proj: Linear,
+    /// The attention mechanism (owned; group attention keeps scheduler state here).
+    pub attention: Box<dyn Attention>,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    ff: FeedForward,
+    dropout: Dropout,
+    heads: usize,
+}
+
+impl EncoderLayer {
+    /// Builds one layer for `config`.
+    pub fn new(config: &RitaConfig, rng: &mut impl Rng) -> Self {
+        let d = config.d_model;
+        Self {
+            q_proj: Linear::new(d, d, rng),
+            k_proj: Linear::new(d, d, rng),
+            v_proj: Linear::new(d, d, rng),
+            out_proj: Linear::new(d, d, rng),
+            attention: build_attention(
+                config.attention,
+                config.max_windows() + 1,
+                config.head_dim(),
+                rng,
+            ),
+            norm1: LayerNorm::new(d),
+            norm2: LayerNorm::new(d),
+            ff: FeedForward::new(d, config.ff_hidden, config.dropout, rng),
+            dropout: Dropout::new(config.dropout),
+            heads: config.n_heads,
+        }
+    }
+
+    /// Applies the layer to `(batch, units, d_model)` embeddings.
+    pub fn forward(&mut self, x: &Var, training: bool, rng: &mut impl Rng) -> Var {
+        let q = split_heads(&self.q_proj.forward(x), self.heads);
+        let k = split_heads(&self.k_proj.forward(x), self.heads);
+        let v = split_heads(&self.v_proj.forward(x), self.heads);
+        let attended = merge_heads(&self.attention.forward(&q, &k, &v));
+        let attended = self.dropout.forward(&self.out_proj.forward(&attended), training, rng);
+        let x = self.norm1.forward(&x.add(&attended));
+        let ff_out = self.dropout.forward(&self.ff.forward(&x, training, rng), training, rng);
+        self.norm2.forward(&x.add(&ff_out))
+    }
+}
+
+impl Module for EncoderLayer {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        p.extend(self.q_proj.parameters());
+        p.extend(self.k_proj.parameters());
+        p.extend(self.v_proj.parameters());
+        p.extend(self.out_proj.parameters());
+        p.extend(self.attention.parameters());
+        p.extend(self.norm1.parameters());
+        p.extend(self.norm2.parameters());
+        p.extend(self.ff.parameters());
+        p
+    }
+}
+
+/// The full encoder stack.
+pub struct RitaEncoder {
+    /// The stacked layers.
+    pub layers: Vec<EncoderLayer>,
+}
+
+impl RitaEncoder {
+    /// Builds `config.n_layers` layers.
+    pub fn new(config: &RitaConfig, rng: &mut impl Rng) -> Self {
+        let layers = (0..config.n_layers).map(|_| EncoderLayer::new(config, rng)).collect();
+        Self { layers }
+    }
+
+    /// Applies every layer in sequence.
+    pub fn forward(&mut self, x: &Var, training: bool, rng: &mut impl Rng) -> Var {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, training, rng);
+        }
+        h
+    }
+
+    /// Group-attention statistics per layer (empty entries for non-group layers).
+    pub fn group_stats(&self) -> Vec<Option<GroupAttentionStats>> {
+        self.layers.iter().map(|l| l.attention.group_stats()).collect()
+    }
+
+    /// Average group count across group-attention layers, if any.
+    pub fn mean_group_count(&self) -> Option<f32> {
+        let counts: Vec<f32> = self
+            .group_stats()
+            .into_iter()
+            .flatten()
+            .map(|s| s.current_groups as f32)
+            .collect();
+        if counts.is_empty() {
+            None
+        } else {
+            Some(counts.iter().sum::<f32>() / counts.len() as f32)
+        }
+    }
+
+    /// Forces a fixed group count on every group-attention layer (Table 4's baseline).
+    pub fn set_group_count(&mut self, n: usize) {
+        for layer in &mut self.layers {
+            layer.attention.set_group_count(n);
+        }
+    }
+}
+
+impl Module for RitaEncoder {
+    fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionKind;
+    use rand::SeedableRng;
+    use rita_tensor::{NdArray, SeedableRng64};
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    fn run_encoder(kind: AttentionKind) -> Var {
+        let mut r = rng(0);
+        let config = RitaConfig::tiny(3, 60, kind);
+        let mut enc = RitaEncoder::new(&config, &mut r);
+        let x = Var::constant(NdArray::randn(&[2, 13, 16], 1.0, &mut r));
+        enc.forward(&x, false, &mut r)
+    }
+
+    #[test]
+    fn all_attention_kinds_preserve_shape() {
+        for kind in [
+            AttentionKind::Vanilla,
+            AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: true },
+            AttentionKind::Performer { features: 8 },
+            AttentionKind::Linformer { proj_dim: 6 },
+        ] {
+            let y = run_encoder(kind);
+            assert_eq!(y.shape(), vec![2, 13, 16], "{}", kind.name());
+            assert!(!y.to_array().has_non_finite(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn encoder_is_trainable_end_to_end() {
+        let mut r = rng(1);
+        let config = RitaConfig::tiny(3, 40, AttentionKind::Group {
+            epsilon: 2.0,
+            initial_groups: 4,
+            adaptive: true,
+        });
+        let mut enc = RitaEncoder::new(&config, &mut r);
+        let params = enc.parameters();
+        assert!(!params.is_empty());
+        let x = Var::constant(NdArray::randn(&[2, 9, 16], 1.0, &mut r));
+        enc.forward(&x, true, &mut r).sum_all().backward();
+        let with_grad = params.iter().filter(|p| p.grad().is_some()).count();
+        // Every projection / norm / FF parameter should receive a gradient.
+        assert!(with_grad as f32 >= params.len() as f32 * 0.9, "{with_grad}/{}", params.len());
+    }
+
+    #[test]
+    fn group_stats_reported_only_for_group_layers() {
+        let mut r = rng(2);
+        let group_cfg = RitaConfig::tiny(3, 40, AttentionKind::default_group());
+        let mut enc = RitaEncoder::new(&group_cfg, &mut r);
+        assert_eq!(enc.mean_group_count(), Some(0.0), "no forward pass yet means zero groups used");
+        let x = Var::constant(NdArray::randn(&[1, 9, 16], 1.0, &mut r));
+        let _ = enc.forward(&x, false, &mut r);
+        assert!(enc.mean_group_count().is_some());
+        enc.set_group_count(3);
+        let _ = enc.forward(&x, false, &mut r);
+        assert_eq!(enc.mean_group_count().unwrap(), 3.0);
+
+        let vanilla_cfg = RitaConfig::tiny(3, 40, AttentionKind::Vanilla);
+        let mut vanilla_enc = RitaEncoder::new(&vanilla_cfg, &mut r);
+        let _ = vanilla_enc.forward(&x, false, &mut r);
+        assert!(vanilla_enc.mean_group_count().is_none());
+    }
+
+    #[test]
+    fn linformer_layers_expose_projection_parameters() {
+        let mut r = rng(3);
+        let cfg = RitaConfig::tiny(3, 40, AttentionKind::Linformer { proj_dim: 4 });
+        let enc = RitaEncoder::new(&cfg, &mut r);
+        let plain = RitaEncoder::new(&RitaConfig::tiny(3, 40, AttentionKind::Vanilla), &mut r);
+        assert!(enc.num_parameters() > plain.num_parameters());
+    }
+}

@@ -1,0 +1,12 @@
+//! The RITA model architecture (Fig. 1): configuration, the time-aware convolution input
+//! stage, the encoder stack with pluggable attention, and the assembled backbone.
+
+pub mod config;
+pub mod embedding;
+pub mod encoder;
+pub mod rita;
+
+pub use config::RitaConfig;
+pub use embedding::TimeConvEmbed;
+pub use encoder::{EncoderLayer, RitaEncoder};
+pub use rita::RitaModel;

@@ -1,0 +1,122 @@
+//! The assembled RITA model: time-aware convolution embedding + encoder stack (Fig. 1).
+
+use crate::attention::GroupAttentionStats;
+use crate::model::config::RitaConfig;
+use crate::model::embedding::TimeConvEmbed;
+use crate::model::encoder::RitaEncoder;
+use rand::Rng;
+use rita_nn::{Module, Var};
+use rita_tensor::NdArray;
+
+/// The backbone shared by every downstream task: it maps a batch of raw series
+/// `(batch, channels, length)` to contextualised embeddings `(batch, windows + 1, d_model)`
+/// where position 0 is the `[CLS]` summary token.
+pub struct RitaModel {
+    /// Model configuration.
+    pub config: RitaConfig,
+    /// Input stage (convolution windows + positional + CLS).
+    pub embedding: TimeConvEmbed,
+    /// Encoder stack.
+    pub encoder: RitaEncoder,
+}
+
+impl RitaModel {
+    /// Builds a model for `config`.
+    pub fn new(config: RitaConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        Self {
+            config,
+            embedding: TimeConvEmbed::new(&config, rng),
+            encoder: RitaEncoder::new(&config, rng),
+        }
+    }
+
+    /// Encodes a batch of raw series into contextual embeddings (CLS at position 0).
+    pub fn encode(&mut self, x: &NdArray, training: bool, rng: &mut impl Rng) -> Var {
+        let input = Var::constant(x.clone());
+        let embedded = self.embedding.forward(&input);
+        self.encoder.forward(&embedded, training, rng)
+    }
+
+    /// The `[CLS]` representation of each series: `(batch, d_model)`.
+    pub fn encode_cls(&mut self, x: &NdArray, training: bool, rng: &mut impl Rng) -> Var {
+        let h = self.encode(x, training, rng);
+        let shape = h.shape();
+        h.slice_axis(1, 0, 1).reshape(&[shape[0], shape[2]])
+    }
+
+    /// The per-window representations (CLS dropped): `(batch, windows, d_model)`.
+    pub fn encode_windows(&mut self, x: &NdArray, training: bool, rng: &mut impl Rng) -> Var {
+        let h = self.encode(x, training, rng);
+        let shape = h.shape();
+        h.slice_axis(1, 1, shape[1])
+    }
+
+    /// Per-layer group-attention statistics (for the scheduler experiments).
+    pub fn group_stats(&self) -> Vec<Option<GroupAttentionStats>> {
+        self.encoder.group_stats()
+    }
+
+    /// Average number of groups across group-attention layers after the last forward pass.
+    pub fn mean_group_count(&self) -> Option<f32> {
+        self.encoder.mean_group_count()
+    }
+
+    /// Forces a fixed group count on all group-attention layers.
+    pub fn set_group_count(&mut self, n: usize) {
+        self.encoder.set_group_count(n);
+    }
+}
+
+impl Module for RitaModel {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.embedding.parameters();
+        p.extend(self.encoder.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionKind;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn encode_shapes_for_all_views() {
+        let mut r = rng(0);
+        let config = RitaConfig::tiny(3, 60, AttentionKind::default_group());
+        let mut model = RitaModel::new(config, &mut r);
+        let x = NdArray::randn(&[4, 3, 60], 1.0, &mut r);
+        assert_eq!(model.encode(&x, false, &mut r).shape(), vec![4, 13, 16]);
+        assert_eq!(model.encode_cls(&x, false, &mut r).shape(), vec![4, 16]);
+        assert_eq!(model.encode_windows(&x, false, &mut r).shape(), vec![4, 12, 16]);
+        assert!(model.mean_group_count().is_some());
+    }
+
+    #[test]
+    fn model_has_many_parameters_and_all_require_grad() {
+        let mut r = rng(1);
+        let model = RitaModel::new(RitaConfig::tiny(2, 40, AttentionKind::Vanilla), &mut r);
+        let params = model.parameters();
+        assert!(params.len() > 20);
+        assert!(params.iter().all(|p| p.requires_grad()));
+        assert!(model.num_parameters() > 1000);
+    }
+
+    #[test]
+    fn different_inputs_produce_different_cls() {
+        let mut r = rng(2);
+        let mut model = RitaModel::new(RitaConfig::tiny(1, 30, AttentionKind::Vanilla), &mut r);
+        let a = NdArray::randn(&[1, 1, 30], 1.0, &mut r);
+        let b = NdArray::randn(&[1, 1, 30], 1.0, &mut r);
+        let ca = model.encode_cls(&a, false, &mut r).to_array();
+        let cb = model.encode_cls(&b, false, &mut r).to_array();
+        assert!(ca.sub(&cb).unwrap().norm() > 1e-4);
+    }
+}

@@ -1,0 +1,112 @@
+//! The error-bound machinery of §4.3 (Lemma 1).
+//!
+//! Lemma 1: if every key lies within distance `d` of its group representative and all key
+//! vectors live in a ball of radius `R`, then every entry of the restored group-attention
+//! matrix is within a multiplicative factor `ε` of the exact attention, provided
+//! `d ≤ ln(ε) / (2R)`. The adaptive scheduler inverts this to translate a user-facing
+//! error bound ε into a distance threshold for the grouping.
+
+use rita_tensor::NdArray;
+
+/// Translates the user's error bound ε (> 1) into the maximum allowed distance between a
+/// key and its group representative, given the radius `r` of the ball containing all keys.
+pub fn distance_threshold(epsilon: f32, radius: f32) -> f32 {
+    assert!(epsilon > 1.0, "the error bound must be > 1, got {epsilon}");
+    if radius <= 0.0 {
+        // Degenerate case: all keys identical, any grouping is exact.
+        return f32::INFINITY;
+    }
+    epsilon.ln() / (2.0 * radius)
+}
+
+/// The inverse direction of Lemma 1: given a grouping whose worst key-to-representative
+/// distance is `d` and a key-ball radius `r`, the guaranteed multiplicative error bound.
+pub fn guaranteed_epsilon(d: f32, radius: f32) -> f32 {
+    (2.0 * d * radius).exp()
+}
+
+/// Radius of the ball containing all key vectors: `max_i ||k_i||` for keys given as the
+/// rows of an `(n, d)` (or any `(..., d)`) array.
+pub fn key_ball_radius(keys: &NdArray) -> f32 {
+    let d = *keys.shape().last().unwrap_or(&1);
+    if d == 0 || keys.len() == 0 {
+        return 0.0;
+    }
+    let rows = keys.len() / d;
+    let data = keys.as_slice();
+    let mut max_sq = 0.0f32;
+    for r in 0..rows {
+        let sq: f32 = data[r * d..(r + 1) * d].iter().map(|&x| x * x).sum();
+        max_sq = max_sq.max(sq);
+    }
+    max_sq.sqrt()
+}
+
+/// Checks Lemma 1 empirically: the elementwise ratio between an approximate attention
+/// row (computed from representatives) and the exact attention row, returning the maximum
+/// of `max(ratio, 1/ratio)` over all entries. Used by property tests.
+pub fn max_attention_ratio(exact: &NdArray, approx: &NdArray) -> f32 {
+    assert_eq!(exact.shape(), approx.shape());
+    let mut worst = 1.0f32;
+    for (&e, &a) in exact.as_slice().iter().zip(approx.as_slice()) {
+        if e <= 0.0 || a <= 0.0 {
+            continue;
+        }
+        let ratio = a / e;
+        worst = worst.max(ratio.max(1.0 / ratio));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_grows_with_epsilon_and_shrinks_with_radius() {
+        let d1 = distance_threshold(1.5, 2.0);
+        let d2 = distance_threshold(2.0, 2.0);
+        let d3 = distance_threshold(2.0, 4.0);
+        assert!(d2 > d1);
+        assert!(d3 < d2);
+        assert!((d2 - (2.0f32).ln() / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_and_guarantee_are_inverses() {
+        let r = 3.0;
+        let eps = 2.5;
+        let d = distance_threshold(eps, r);
+        let back = guaranteed_epsilon(d, r);
+        assert!((back - eps).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be > 1")]
+    fn epsilon_must_exceed_one() {
+        let _ = distance_threshold(1.0, 1.0);
+    }
+
+    #[test]
+    fn zero_radius_allows_any_distance() {
+        assert!(distance_threshold(2.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn ball_radius_is_max_norm() {
+        let keys = NdArray::from_vec(vec![3.0, 4.0, 0.0, 1.0, 0.0, 0.0], &[3, 2]).unwrap();
+        assert!((key_ball_radius(&keys) - 5.0).abs() < 1e-6);
+        assert_eq!(key_ball_radius(&NdArray::zeros(&[0, 2])), 0.0);
+        // works on batched keys too
+        let batched = keys.reshape(&[1, 3, 2]).unwrap();
+        assert!((key_ball_radius(&batched) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_of_identical_matrices_is_one() {
+        let a = NdArray::from_vec(vec![0.25, 0.75, 0.5, 0.5], &[2, 2]).unwrap();
+        assert!((max_attention_ratio(&a, &a) - 1.0).abs() < 1e-6);
+        let b = NdArray::from_vec(vec![0.5, 0.75, 0.5, 0.5], &[2, 2]).unwrap();
+        assert!(max_attention_ratio(&a, &b) >= 2.0 - 1e-6);
+    }
+}

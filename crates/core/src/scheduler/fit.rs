@@ -1,0 +1,344 @@
+//! Learning the batch-size prediction function `B = f(L, N)` (§5.2, Alg. 3).
+//!
+//! The paper samples `(Lᵢ, Nᵢ)` points, finds the maximal batch size `Bᵢ` for each with a
+//! binary search, fits a function prior with SciPy's `curve_fit`, and — because a single
+//! function over the whole plane fits poorly — uses a dynamic program to split the plane
+//! `{1 ≤ L ≤ L_max, 1 ≤ N ≤ L}` into sub-planes, each with its own fitted function.
+//!
+//! This module reproduces that pipeline without SciPy: the function prior is a small basis
+//! of candidate forms (`a/L + c`, `a/(L·N) + c`, `a/L + b/N + c`, `a + b·L + c·N` on the
+//! reciprocal scale), each fitted by linear least squares, and the same interval DP picks
+//! the optimal split along the length axis.
+
+use super::memory::MemoryModel;
+
+/// One observation: for series length `len` and group count `groups`, the memory oracle
+/// admits batch size `batch`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPoint {
+    /// Series length L.
+    pub len: usize,
+    /// Average group count N.
+    pub groups: usize,
+    /// Maximal admissible batch size B.
+    pub batch: usize,
+}
+
+/// A fitted candidate function for one region of the (L, N) plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FittedFn {
+    /// `B ≈ a / L + c` with coefficients `(a, c)`.
+    InverseLen(f32, f32),
+    /// `B ≈ a / (L · N) + c` with coefficients `(a, c)`.
+    InverseLenGroups(f32, f32),
+    /// `B ≈ a / L + b / N + c` with coefficients `(a, b, c)`.
+    InverseBoth(f32, f32, f32),
+    /// `B ≈ a + b·L + c·N` with coefficients `(a, b, c)`.
+    Affine(f32, f32, f32),
+}
+
+impl FittedFn {
+    /// Evaluates the fitted function.
+    pub fn predict(&self, len: usize, groups: usize) -> f32 {
+        let l = len.max(1) as f32;
+        let n = groups.max(1) as f32;
+        match *self {
+            FittedFn::InverseLen(a, c) => a / l + c,
+            FittedFn::InverseLenGroups(a, c) => a / (l * n) + c,
+            FittedFn::InverseBoth(a, b, c) => a / l + b / n + c,
+            FittedFn::Affine(a, b, c) => a + b * l + c * n,
+        }
+    }
+}
+
+/// Solves the normal equations of a small linear least-squares problem
+/// (`columns` are the basis functions evaluated at every point).
+fn least_squares(columns: &[Vec<f32>], target: &[f32]) -> Option<Vec<f32>> {
+    let k = columns.len();
+    let n = target.len();
+    if n == 0 || columns.iter().any(|c| c.len() != n) {
+        return None;
+    }
+    // Normal matrix A (k×k) and right-hand side b (k).
+    let mut a = vec![0.0f64; k * k];
+    let mut b = vec![0.0f64; k];
+    for i in 0..k {
+        for j in 0..k {
+            a[i * k + j] =
+                columns[i].iter().zip(&columns[j]).map(|(&x, &y)| x as f64 * y as f64).sum();
+        }
+        b[i] = columns[i].iter().zip(target).map(|(&x, &y)| x as f64 * y as f64).sum();
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&r1, &r2| {
+            a[r1 * k + col].abs().partial_cmp(&a[r2 * k + col].abs()).unwrap()
+        })?;
+        if a[pivot * k + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..k {
+                a.swap(col * k + j, pivot * k + j);
+            }
+            b.swap(col, pivot);
+        }
+        for row in col + 1..k {
+            let f = a[row * k + col] / a[col * k + col];
+            for j in col..k {
+                a[row * k + j] -= f * a[col * k + j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; k];
+    for row in (0..k).rev() {
+        let mut s = b[row];
+        for j in row + 1..k {
+            s -= a[row * k + j] * x[j];
+        }
+        x[row] = s / a[row * k + row];
+    }
+    Some(x.into_iter().map(|v| v as f32).collect())
+}
+
+fn fit_error(f: &FittedFn, points: &[BatchPoint]) -> f32 {
+    points
+        .iter()
+        .map(|p| {
+            let e = f.predict(p.len, p.groups) - p.batch as f32;
+            e * e
+        })
+        .sum()
+}
+
+/// Fits the best candidate function to a set of points, returning it with its squared error.
+pub fn fit_best(points: &[BatchPoint]) -> Option<(FittedFn, f32)> {
+    if points.is_empty() {
+        return None;
+    }
+    let ones: Vec<f32> = points.iter().map(|_| 1.0).collect();
+    let inv_l: Vec<f32> = points.iter().map(|p| 1.0 / p.len.max(1) as f32).collect();
+    let inv_n: Vec<f32> = points.iter().map(|p| 1.0 / p.groups.max(1) as f32).collect();
+    let inv_ln: Vec<f32> =
+        points.iter().map(|p| 1.0 / (p.len.max(1) as f32 * p.groups.max(1) as f32)).collect();
+    let l: Vec<f32> = points.iter().map(|p| p.len as f32).collect();
+    let n: Vec<f32> = points.iter().map(|p| p.groups as f32).collect();
+    let target: Vec<f32> = points.iter().map(|p| p.batch as f32).collect();
+
+    let mut best: Option<(FittedFn, f32)> = None;
+    let mut consider = |f: FittedFn| {
+        let err = fit_error(&f, points);
+        if best.map(|(_, e)| err < e).unwrap_or(true) {
+            best = Some((f, err));
+        }
+    };
+    if let Some(c) = least_squares(&[inv_l.clone(), ones.clone()], &target) {
+        consider(FittedFn::InverseLen(c[0], c[1]));
+    }
+    if let Some(c) = least_squares(&[inv_ln.clone(), ones.clone()], &target) {
+        consider(FittedFn::InverseLenGroups(c[0], c[1]));
+    }
+    if let Some(c) = least_squares(&[inv_l, inv_n, ones.clone()], &target) {
+        consider(FittedFn::InverseBoth(c[0], c[1], c[2]));
+    }
+    if let Some(c) = least_squares(&[ones, l, n], &target) {
+        consider(FittedFn::Affine(c[0], c[1], c[2]));
+    }
+    best
+}
+
+/// The batch-size predictor: a list of length intervals, each carrying its fitted function.
+#[derive(Debug, Clone)]
+pub struct BatchSizePredictor {
+    /// `(len_upper_bound_inclusive, fitted function)` pairs sorted by length.
+    pub segments: Vec<(usize, FittedFn)>,
+    /// Points the predictor was trained on (kept for inspection / tests).
+    pub training_points: Vec<BatchPoint>,
+}
+
+impl BatchSizePredictor {
+    /// Samples `(L, N)` points from `{1 ≤ L ≤ max_len, 1 ≤ N ≤ L/window}` on a coarse grid,
+    /// queries the memory model for the maximal batch size of each, and fits a segmented
+    /// predictor using the interval DP of Alg. 3 with at most `max_segments` pieces.
+    pub fn train(
+        memory: &MemoryModel,
+        max_len: usize,
+        budget_bytes: usize,
+        samples_per_axis: usize,
+        max_segments: usize,
+    ) -> Self {
+        let samples_per_axis = samples_per_axis.max(2);
+        let mut points = Vec::new();
+        for li in 1..=samples_per_axis {
+            let len = (max_len * li / samples_per_axis).max(memory.window);
+            let max_groups = (len / memory.window).max(1);
+            for ni in 1..=samples_per_axis {
+                let groups = (max_groups * ni / samples_per_axis).max(1);
+                let batch = memory.max_batch_size(len, groups, budget_bytes, 0.9, 1 << 16);
+                points.push(BatchPoint { len, groups, batch });
+            }
+        }
+        let segments = Self::segment_dp(&points, max_segments);
+        Self { segments, training_points: points }
+    }
+
+    /// Interval dynamic program over the sorted distinct lengths: `dp[i]` = minimal total
+    /// error covering the first `i` length values, splitting into contiguous segments.
+    fn segment_dp(points: &[BatchPoint], max_segments: usize) -> Vec<(usize, FittedFn)> {
+        let mut lens: Vec<usize> = points.iter().map(|p| p.len).collect();
+        lens.sort_unstable();
+        lens.dedup();
+        let m = lens.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        // cost[i][j]: best error fitting all points with length in lens[i..=j]
+        let mut cost = vec![vec![f32::INFINITY; m]; m];
+        let mut func = vec![vec![None; m]; m];
+        for i in 0..m {
+            for j in i..m {
+                let subset: Vec<BatchPoint> = points
+                    .iter()
+                    .filter(|p| p.len >= lens[i] && p.len <= lens[j])
+                    .copied()
+                    .collect();
+                if let Some((f, e)) = fit_best(&subset) {
+                    cost[i][j] = e;
+                    func[i][j] = Some(f);
+                }
+            }
+        }
+        // dp over the number of segments
+        let max_segments = max_segments.max(1).min(m);
+        let mut dp = vec![vec![f32::INFINITY; m + 1]; max_segments + 1];
+        let mut parent = vec![vec![0usize; m + 1]; max_segments + 1];
+        dp[0][0] = 0.0;
+        for s in 1..=max_segments {
+            for j in 1..=m {
+                for i in 0..j {
+                    if dp[s - 1][i].is_finite() && cost[i][j - 1].is_finite() {
+                        let total = dp[s - 1][i] + cost[i][j - 1];
+                        if total < dp[s][j] {
+                            dp[s][j] = total;
+                            parent[s][j] = i;
+                        }
+                    }
+                }
+            }
+        }
+        // pick the best segment count for full coverage
+        let mut best_s = 1;
+        for s in 1..=max_segments {
+            if dp[s][m] < dp[best_s][m] {
+                best_s = s;
+            }
+        }
+        // walk back the split points
+        let mut bounds = Vec::new();
+        let mut j = m;
+        let mut s = best_s;
+        while s > 0 {
+            let i = parent[s][j];
+            bounds.push((i, j));
+            j = i;
+            s -= 1;
+        }
+        bounds.reverse();
+        bounds
+            .into_iter()
+            .map(|(i, j)| (lens[j - 1], func[i][j - 1].expect("segment cost was finite")))
+            .collect()
+    }
+
+    /// Predicts a batch size for a series length and group count (always ≥ 1).
+    pub fn predict(&self, len: usize, groups: usize) -> usize {
+        let f = self
+            .segments
+            .iter()
+            .find(|(upper, _)| len <= *upper)
+            .or_else(|| self.segments.last())
+            .map(|(_, f)| *f);
+        match f {
+            Some(f) => f.predict(len, groups).round().max(1.0) as usize,
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 3x + 2
+        let xs = vec![1.0f32, 2.0, 3.0, 4.0];
+        let ones = vec![1.0f32; 4];
+        let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let c = least_squares(&[xs, ones], &ys).unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-4);
+        assert!((c[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fit_best_recovers_inverse_length_law() {
+        // B = 1000/L exactly
+        let points: Vec<BatchPoint> = [100usize, 200, 400, 500, 1000]
+            .iter()
+            .map(|&l| BatchPoint { len: l, groups: 10, batch: 1000 / l })
+            .collect();
+        let (f, err) = fit_best(&points).unwrap();
+        assert!(err < 1.0, "err {err}");
+        let pred = f.predict(250, 10);
+        assert!((pred - 4.0).abs() < 1.5, "pred {pred}");
+    }
+
+    #[test]
+    fn predictor_tracks_the_memory_oracle() {
+        let memory = MemoryModel::default();
+        let budget = 1024 * 1024 * 1024; // 1 GB keeps batch sizes small and varied
+        let predictor = BatchSizePredictor::train(&memory, 4000, budget, 6, 4);
+        assert!(!predictor.segments.is_empty());
+        assert!(!predictor.training_points.is_empty());
+        // Relative error against the oracle on unseen points should be modest.
+        let mut total_rel = 0.0;
+        let mut count = 0;
+        for &(len, groups) in &[(700usize, 20usize), (1500, 64), (2500, 128), (3500, 32)] {
+            let oracle = memory.max_batch_size(len, groups, budget, 0.9, 1 << 16);
+            let pred = predictor.predict(len, groups);
+            total_rel += (pred as f32 - oracle as f32).abs() / oracle.max(1) as f32;
+            count += 1;
+        }
+        let mean_rel = total_rel / count as f32;
+        assert!(mean_rel < 0.6, "mean relative error {mean_rel}");
+    }
+
+    #[test]
+    fn prediction_is_monotone_enough_in_length() {
+        let memory = MemoryModel::default();
+        let predictor = BatchSizePredictor::train(&memory, 8000, 2 * 1024 * 1024 * 1024, 5, 3);
+        let short = predictor.predict(400, 32);
+        let long = predictor.predict(8000, 32);
+        assert!(short >= long, "short {short} long {long}");
+        assert!(predictor.predict(123, 4) >= 1);
+    }
+
+    #[test]
+    fn more_segments_never_fit_worse() {
+        let memory = MemoryModel::default();
+        let budget = 512 * 1024 * 1024;
+        let one = BatchSizePredictor::train(&memory, 3000, budget, 5, 1);
+        let four = BatchSizePredictor::train(&memory, 3000, budget, 5, 4);
+        let sse = |p: &BatchSizePredictor| -> f32 {
+            p.training_points
+                .iter()
+                .map(|pt| {
+                    let e = p.predict(pt.len, pt.groups) as f32 - pt.batch as f32;
+                    e * e
+                })
+                .sum()
+        };
+        assert!(sse(&four) <= sse(&one) * 1.05 + 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Memory cost model and batch-size search (§5.2, Alg. 2).
+//!
+//! The paper finds the largest batch size that keeps GPU memory below 90 % by actually
+//! running a forward/backward pass and reading the CUDA allocator's peak. This CPU
+//! reproduction replaces the allocator oracle with an **analytic cost model** that charges
+//! every activation and parameter buffer of the configured model; the model is monotone in
+//! batch size, sequence length and group count, which is all the binary search (and the
+//! downstream function fitting) relies on.
+
+/// Memory-relevant shape of a RITA model. Field names follow the paper's notation.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// Hidden dimension d of the encoder.
+    pub d_model: usize,
+    /// Number of stacked encoder layers.
+    pub layers: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden size.
+    pub ff_hidden: usize,
+    /// Number of input channels of the timeseries.
+    pub channels: usize,
+    /// Convolution window width (timestamps per window).
+    pub window: usize,
+    /// Bytes per element (4 for f32).
+    pub bytes_per_element: usize,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        // The paper's configuration: 8 layers, 2 heads, hidden dimension 64.
+        Self { d_model: 64, layers: 8, heads: 2, ff_hidden: 256, channels: 3, window: 5, bytes_per_element: 4 }
+    }
+}
+
+impl MemoryModel {
+    /// Estimated bytes needed to train one batch of `batch_size` series of length
+    /// `series_len` when every group-attention layer uses `groups` groups.
+    ///
+    /// The dominant terms are the per-layer activations that the backward pass retains:
+    /// the window embeddings (`n·d`), the group attention matrix (`n·N`), the aggregated
+    /// values (`N·d`) and the feed-forward activations (`n·ff`).
+    pub fn bytes_for(&self, batch_size: usize, series_len: usize, groups: usize) -> usize {
+        let n = (series_len / self.window.max(1)).max(1); // windows per series
+        let groups = groups.clamp(1, n);
+        let per_sample_input = self.channels * series_len;
+        // Retained activations per layer (forward values kept for backward).
+        let per_layer = n * self.d_model * 4          // Q, K, V, output projections
+            + n * groups                               // compressed attention matrix
+            + groups * self.d_model                    // aggregated values / representatives
+            + n * self.ff_hidden                       // feed-forward hidden
+            + n * self.d_model * 2; // residual + layer norm
+        let activations = per_sample_input + self.layers * per_layer + n * self.d_model;
+        let parameters = self.layers
+            * (self.d_model * self.d_model * 4 + self.d_model * self.ff_hidden * 2 + self.d_model * 4)
+            + self.channels * self.window * self.d_model;
+        // Parameters + gradients + optimiser moments are batch-independent (×4);
+        // activations grow linearly with the batch and are also kept for gradients (×2).
+        (parameters * 4 + batch_size * activations * 2) * self.bytes_per_element
+    }
+
+    /// The largest batch size whose estimated footprint stays below
+    /// `budget_fraction × budget_bytes`, found by the paper's binary search (Alg. 2).
+    /// Returns at least 1.
+    pub fn max_batch_size(
+        &self,
+        series_len: usize,
+        groups: usize,
+        budget_bytes: usize,
+        budget_fraction: f32,
+        max_batch: usize,
+    ) -> usize {
+        let limit = (budget_bytes as f64 * budget_fraction as f64) as usize;
+        let fits = |b: usize| self.bytes_for(b, series_len, groups) <= limit;
+        if !fits(1) {
+            return 1;
+        }
+        let (mut lo, mut hi) = (1usize, max_batch.max(1));
+        // classic binary search for the largest b with fits(b)
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+/// Default simulated accelerator memory: 16 GB, matching the V100 the paper used.
+pub const DEFAULT_BUDGET_BYTES: usize = 16 * 1024 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_batch_length_and_groups() {
+        let m = MemoryModel::default();
+        assert!(m.bytes_for(2, 1000, 64) > m.bytes_for(1, 1000, 64));
+        assert!(m.bytes_for(1, 2000, 64) > m.bytes_for(1, 1000, 64));
+        assert!(m.bytes_for(1, 2000, 256) > m.bytes_for(1, 2000, 32));
+    }
+
+    #[test]
+    fn groups_are_clamped_to_window_count() {
+        let m = MemoryModel::default();
+        let n = 1000 / m.window;
+        assert_eq!(m.bytes_for(1, 1000, n), m.bytes_for(1, 1000, 10 * n));
+    }
+
+    #[test]
+    fn binary_search_finds_the_boundary() {
+        let m = MemoryModel::default();
+        let budget = 512 * 1024 * 1024; // 512 MB
+        let b = m.max_batch_size(2000, 64, budget, 0.9, 4096);
+        assert!(b >= 1);
+        assert!(m.bytes_for(b, 2000, 64) <= (budget as f64 * 0.9) as usize);
+        if b < 4096 {
+            assert!(m.bytes_for(b + 1, 2000, 64) > (budget as f64 * 0.9) as usize);
+        }
+    }
+
+    #[test]
+    fn longer_series_allow_smaller_batches() {
+        let m = MemoryModel::default();
+        let budget = DEFAULT_BUDGET_BYTES;
+        let short = m.max_batch_size(200, 64, budget, 0.9, 1 << 20);
+        let long = m.max_batch_size(10_000, 64, budget, 0.9, 1 << 20);
+        assert!(short > long, "short {short} long {long}");
+    }
+
+    #[test]
+    fn fewer_groups_allow_larger_batches() {
+        // This is the motivation for re-predicting B as the scheduler shrinks N (§1, §5.2).
+        let m = MemoryModel::default();
+        let budget = 2 * 1024 * 1024 * 1024;
+        let small_n = m.max_batch_size(10_000, 16, budget, 0.9, 1 << 20);
+        let large_n = m.max_batch_size(10_000, 1024, budget, 0.9, 1 << 20);
+        assert!(small_n > large_n, "small_n {small_n} large_n {large_n}");
+    }
+
+    #[test]
+    fn over_budget_returns_one() {
+        let m = MemoryModel::default();
+        assert_eq!(m.max_batch_size(1_000_000, 1024, 1024, 0.9, 128), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dynamically determining the number of groups `N` (§5.1).
+//!
+//! The scheduler starts from a large `N` and shrinks it by merging clusters whose union
+//! still satisfies the distance threshold `d` derived from the user's error bound ε
+//! (Lemma 2). Finding the maximum set of mergeable clusters is a minimum clique cover
+//! (NP-hard), so the paper halves the clusters into two sets `S1` / `S2` and greedily
+//! marks clusters of `S2` that can be absorbed by some cluster of `S1`; transfer through
+//! the `S1` node keeps the merged cluster within the bound (Eq. 6). The number of groups
+//! is then smoothed with a momentum update: `N_new = α (N − D) + (1 − α) N`.
+
+use crate::group::Grouping;
+
+/// Lemma 2's pairwise condition: cluster `j` (with radius `radius_j`) can be absorbed into
+/// cluster `i` (radius `radius_i`) at centre distance `center_dist` under threshold `d`
+/// when both directions satisfy the bound. The paper's simplified solution additionally
+/// tightens the `S2`-side bound to `d/2` so that several `S2` clusters can share one `S1`
+/// transfer node (Eq. 5).
+pub fn can_absorb(center_dist: f32, radius_i: f32, radius_j: f32, d: f32) -> bool {
+    center_dist + radius_i <= d && center_dist + radius_j <= d / 2.0
+}
+
+/// Counts how many clusters of the grouping could be merged away under threshold `d`
+/// using the paper's S1/S2 halving heuristic.
+pub fn mergeable_count(grouping: &Grouping, d: f32) -> usize {
+    let n = grouping.num_groups();
+    if n < 2 || !d.is_finite() {
+        // Infinite threshold means every cluster could merge into one.
+        return if d.is_finite() { 0 } else { n.saturating_sub(1) };
+    }
+    let dim = grouping.centers.shape()[1];
+    let centers = grouping.centers.as_slice();
+    let half = n / 2;
+    // S1 = clusters [0, half), S2 = clusters [half, n)
+    let mut merged = 0usize;
+    for j in half..n {
+        let cj = &centers[j * dim..(j + 1) * dim];
+        let rj = grouping.radii[j];
+        let absorbable = (0..half).any(|i| {
+            let ci = &centers[i * dim..(i + 1) * dim];
+            let dist: f32 =
+                ci.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+            can_absorb(dist, grouping.radii[i], rj, d)
+        });
+        if absorbable {
+            merged += 1;
+        }
+    }
+    merged
+}
+
+/// Momentum update of the (real-valued) group count: `α (N − D) + (1 − α) N`.
+pub fn momentum_update(n: f32, merged: usize, alpha: f32) -> f32 {
+    assert!((0.0..=1.0).contains(&alpha), "momentum alpha must be in [0,1]");
+    alpha * (n - merged as f32) + (1.0 - alpha) * n
+}
+
+/// Exhaustive greedy merge on small inputs, used by property tests to confirm the
+/// halving heuristic never merges more aggressively than a direct check of Lemma 2
+/// would allow (i.e. it is conservative, hence safe).
+pub fn exhaustive_mergeable_count(grouping: &Grouping, d: f32) -> usize {
+    let n = grouping.num_groups();
+    if n < 2 || !d.is_finite() {
+        return if d.is_finite() { 0 } else { n.saturating_sub(1) };
+    }
+    let dim = grouping.centers.shape()[1];
+    let centers = grouping.centers.as_slice();
+    let mut absorbed = vec![false; n];
+    let mut count = 0usize;
+    for j in 0..n {
+        if absorbed[j] {
+            continue;
+        }
+        for i in 0..n {
+            if i == j || absorbed[i] {
+                continue;
+            }
+            let ci = &centers[i * dim..(i + 1) * dim];
+            let cj = &centers[j * dim..(j + 1) * dim];
+            let dist: f32 =
+                ci.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+            // Symmetric Lemma 2 condition (without the heuristic's d/2 tightening).
+            if dist + grouping.radii[i] <= d && dist + grouping.radii[j] <= d {
+                absorbed[j] = true;
+                count += 1;
+                break;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::kmeans_matmul;
+    use rand::SeedableRng;
+    use rita_tensor::{NdArray, SeedableRng64};
+
+    fn clustered_points(centres: &[f32], spread: f32, per: usize, dim: usize, seed: u64) -> NdArray {
+        let mut rng = SeedableRng64::seed_from_u64(seed);
+        let mut parts = Vec::new();
+        for &c in centres {
+            parts.push(NdArray::randn(&[per, dim], spread, &mut rng).add_scalar(c));
+        }
+        let refs: Vec<&NdArray> = parts.iter().collect();
+        NdArray::concat(&refs, 0).unwrap()
+    }
+
+    #[test]
+    fn can_absorb_conditions() {
+        assert!(can_absorb(0.1, 0.2, 0.1, 1.0));
+        // violates the d/2 side
+        assert!(!can_absorb(0.4, 0.1, 0.2, 1.0));
+        // violates the d side
+        assert!(!can_absorb(0.9, 0.3, 0.0, 1.0));
+    }
+
+    #[test]
+    fn tight_threshold_merges_nothing_loose_threshold_merges_a_lot() {
+        // Points spread over four distinct locations; cluster into 8 groups.
+        let x = clustered_points(&[0.0, 1.0, 2.0, 3.0], 0.01, 10, 4, 1);
+        let g = kmeans_matmul(&x, 8, 10);
+        assert_eq!(mergeable_count(&g, 1e-6), 0);
+        let loose = mergeable_count(&g, 100.0);
+        assert!(loose > 0, "expected merges under a loose threshold");
+        assert_eq!(mergeable_count(&g, f32::INFINITY), 7);
+    }
+
+    #[test]
+    fn heuristic_is_no_more_aggressive_than_exhaustive() {
+        for seed in 0..5u64 {
+            let x = clustered_points(&[0.0, 0.2, 2.0, 2.2], 0.05, 8, 3, seed);
+            let g = kmeans_matmul(&x, 6, 6);
+            for &d in &[0.1f32, 0.5, 1.0, 5.0] {
+                let heuristic = mergeable_count(&g, d);
+                let exhaustive = exhaustive_mergeable_count(&g, d);
+                assert!(
+                    heuristic <= exhaustive,
+                    "seed {seed} d {d}: heuristic {heuristic} > exhaustive {exhaustive}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_smooths_the_decrease() {
+        let n = 100.0;
+        let full = momentum_update(n, 40, 1.0);
+        let half = momentum_update(n, 40, 0.5);
+        let none = momentum_update(n, 40, 0.0);
+        assert_eq!(full, 60.0);
+        assert_eq!(half, 80.0);
+        assert_eq!(none, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum alpha")]
+    fn momentum_rejects_bad_alpha() {
+        let _ = momentum_update(10.0, 1, 1.5);
+    }
+
+    #[test]
+    fn single_cluster_never_merges() {
+        let x = clustered_points(&[0.0], 0.1, 5, 2, 3);
+        let g = kmeans_matmul(&x, 1, 2);
+        assert_eq!(mergeable_count(&g, 10.0), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Forecasting (Appendix A.7.3): a special case of imputation where every missing value
+//! lies at the end of the series. The observed prefix is fed to the model with sentinel
+//! values on the horizon, and the reconstruction is evaluated on the horizon only.
+
+use crate::tasks::imputation::Imputer;
+use rand::Rng;
+use rita_data::batch::{batch_indices, stack_samples};
+use rita_data::masking::mask_suffix;
+use rita_data::TimeseriesDataset;
+use rita_nn::no_grad;
+use rita_tensor::NdArray;
+
+/// Per-dataset forecasting result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastMetrics {
+    /// Mean squared error over the forecast horizon.
+    pub mse: f32,
+    /// Number of forecast timestamps per series.
+    pub horizon: usize,
+}
+
+/// Evaluates an (already trained) imputer as a forecaster: the final
+/// `horizon` timestamps of each series are hidden and reconstructed.
+pub fn evaluate_forecast(
+    imputer: &mut Imputer,
+    data: &TimeseriesDataset,
+    horizon: usize,
+    batch_size: usize,
+    rng: &mut impl Rng,
+) -> ForecastMetrics {
+    assert!(horizon < data.length(), "horizon must be shorter than the series");
+    if data.is_empty() {
+        return ForecastMetrics { mse: 0.0, horizon };
+    }
+    let observed_len = data.length() - horizon;
+    let mut weighted = 0.0f32;
+    for idx in batch_indices(data.len(), batch_size, false, rng) {
+        let masked: Vec<_> =
+            idx.iter().map(|&i| mask_suffix(&data.samples[i], observed_len)).collect();
+        let observed = stack_samples(&masked.iter().map(|m| m.observed.clone()).collect::<Vec<_>>());
+        let targets = stack_samples(&masked.iter().map(|m| m.target.clone()).collect::<Vec<_>>());
+        let mask = stack_samples(&masked.iter().map(|m| m.mask.clone()).collect::<Vec<_>>());
+        let recon = no_grad(|| imputer.reconstruct(&observed, false, rng).to_array());
+        weighted += horizon_mse(&recon, &targets, &mask) * idx.len() as f32;
+    }
+    ForecastMetrics { mse: weighted / data.len() as f32, horizon }
+}
+
+/// Mean squared error restricted to masked (horizon) positions.
+fn horizon_mse(recon: &NdArray, targets: &NdArray, mask: &NdArray) -> f32 {
+    let diff = recon.sub(targets).expect("shape mismatch in forecast mse");
+    let masked = diff.mul(&diff).expect("square").mul(mask).expect("mask");
+    let count = mask.sum_all().max(1.0);
+    masked.sum_all() / count
+}
+
+/// A naive persistence baseline: predict the last observed value for the whole horizon.
+/// Used in tests and examples to sanity-check that a trained model beats the trivial rule.
+pub fn persistence_forecast_mse(data: &TimeseriesDataset, horizon: usize) -> f32 {
+    assert!(horizon < data.length());
+    let observed_len = data.length() - horizon;
+    let mut total = 0.0f32;
+    let mut count = 0usize;
+    for sample in &data.samples {
+        let masked = mask_suffix(sample, observed_len);
+        let channels = sample.shape()[0];
+        for c in 0..channels {
+            let last = masked.target.get(&[c, observed_len - 1]).expect("last observed");
+            for t in observed_len..data.length() {
+                let truth = masked.target.get(&[c, t]).expect("target");
+                total += (truth - last) * (truth - last);
+                count += 1;
+            }
+        }
+    }
+    total / count.max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionKind;
+    use crate::model::RitaConfig;
+    use crate::tasks::trainer::TrainConfig;
+    use rand::SeedableRng;
+    use rita_data::DatasetKind;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn forecast_evaluation_produces_finite_mse() {
+        let mut r = rng(0);
+        let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 6, 0, 40, &mut r);
+        let config = RitaConfig::tiny(3, 40, AttentionKind::default_group());
+        let mut imp = Imputer::new(config, &mut r);
+        let cfg = TrainConfig { epochs: 1, batch_size: 3, ..Default::default() };
+        let _ = imp.train(&data, &cfg, &mut r);
+        let m = evaluate_forecast(&mut imp, &data, 10, 3, &mut r);
+        assert_eq!(m.horizon, 10);
+        assert!(m.mse.is_finite() && m.mse >= 0.0);
+    }
+
+    #[test]
+    fn persistence_baseline_is_positive_for_oscillating_series() {
+        let mut r = rng(1);
+        let data = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 5, 0, 60, &mut r);
+        let mse = persistence_forecast_mse(&data, 20);
+        assert!(mse > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be shorter")]
+    fn rejects_horizon_longer_than_series() {
+        let mut r = rng(2);
+        let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 2, 0, 40, &mut r);
+        let config = RitaConfig::tiny(3, 40, AttentionKind::Vanilla);
+        let mut imp = Imputer::new(config, &mut r);
+        let _ = evaluate_forecast(&mut imp, &data, 40, 2, &mut r);
+    }
+}

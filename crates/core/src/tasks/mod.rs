@@ -1,0 +1,15 @@
+//! Downstream tasks supported by RITA (Appendix A.7): classification, imputation,
+//! self-supervised pretraining + few-label fine-tuning, and forecasting, plus the shared
+//! training-loop plumbing.
+
+pub mod classification;
+pub mod forecasting;
+pub mod imputation;
+pub mod pretrain;
+pub mod trainer;
+
+pub use classification::Classifier;
+pub use forecasting::{evaluate_forecast, persistence_forecast_mse, ForecastMetrics};
+pub use imputation::Imputer;
+pub use pretrain::{finetune_classifier, pretrain, train_from_scratch, PretrainOutcome};
+pub use trainer::{timed, EpochMetrics, TrainConfig, TrainReport};

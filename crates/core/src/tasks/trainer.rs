@@ -1,0 +1,109 @@
+//! Shared training-loop plumbing: hyper-parameter bundle, per-epoch metrics, and timing.
+
+use std::time::Instant;
+
+/// Hyper-parameters of a training run (defaults follow Appendix A.1 of the paper, scaled
+/// down where noted).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size. The paper predicts this from `(L, N)`; harness code may pass the
+    /// output of the batch-size predictor here.
+    pub batch_size: usize,
+    /// AdamW learning rate (paper: 1e-4; small-scale runs use a larger value to converge
+    /// within few epochs).
+    pub lr: f32,
+    /// AdamW decoupled weight decay (paper: 1e-4).
+    pub weight_decay: f32,
+    /// Global gradient-norm clip (0 disables clipping).
+    pub grad_clip: f32,
+    /// Mask rate for cloze pretraining / imputation (paper: 0.2).
+    pub mask_rate: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 5, batch_size: 16, lr: 1e-3, weight_decay: 1e-4, grad_clip: 1.0, mask_rate: 0.2 }
+    }
+}
+
+/// Result of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMetrics {
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Wall-clock seconds spent in the epoch (forward + backward + grouping + update).
+    pub seconds: f64,
+}
+
+/// Result of a full training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Per-epoch metrics in order.
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl TrainReport {
+    /// Adds an epoch record.
+    pub fn push(&mut self, metrics: EpochMetrics) {
+        self.epochs.push(metrics);
+    }
+
+    /// Mean seconds per epoch (the paper's main efficiency metric).
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.epochs.iter().map(|e| e.seconds).sum::<f64>() / self.epochs.len() as f64
+        }
+    }
+
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.loss).unwrap_or(f32::NAN)
+    }
+
+    /// Total wall-clock seconds across all epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.seconds).sum()
+    }
+}
+
+/// Runs `f` and returns its result together with the elapsed wall-clock seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TrainConfig::default();
+        assert!(c.epochs > 0 && c.batch_size > 0);
+        assert!((c.mask_rate - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = TrainReport::default();
+        assert_eq!(r.mean_epoch_seconds(), 0.0);
+        assert!(r.final_loss().is_nan());
+        r.push(EpochMetrics { loss: 2.0, seconds: 1.0 });
+        r.push(EpochMetrics { loss: 1.0, seconds: 3.0 });
+        assert_eq!(r.mean_epoch_seconds(), 2.0);
+        assert_eq!(r.final_loss(), 1.0);
+        assert_eq!(r.total_seconds(), 4.0);
+    }
+
+    #[test]
+    fn timed_measures_and_passes_through() {
+        let (value, secs) = timed(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Mini-batch assembly: stacking `(channels, length)` samples into `(batch, channels,
+//! length)` arrays, iterating a dataset in (optionally shuffled) batches, and building
+//! masked batches for the cloze/imputation tasks.
+
+use crate::dataset::TimeseriesDataset;
+use crate::masking::{mask_sample, MaskedSample};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rita_tensor::NdArray;
+
+/// A classification mini-batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Inputs of shape `(batch, channels, length)`.
+    pub inputs: NdArray,
+    /// Class labels, one per sample (empty for unlabeled data).
+    pub labels: Vec<usize>,
+}
+
+/// A masked (cloze / imputation) mini-batch.
+#[derive(Debug, Clone)]
+pub struct MaskedBatch {
+    /// Observed inputs with sentinel values at masked positions, `(batch, channels, length)`.
+    pub observed: NdArray,
+    /// Ground-truth targets, `(batch, channels, length)`.
+    pub targets: NdArray,
+    /// Mask (1 at masked positions), `(batch, channels, length)`.
+    pub mask: NdArray,
+}
+
+/// Stacks samples (each `(c, l)`) into a single `(n, c, l)` array.
+pub fn stack_samples(samples: &[NdArray]) -> NdArray {
+    let refs: Vec<&NdArray> = samples.iter().collect();
+    NdArray::stack(&refs).expect("stack_samples: inconsistent sample shapes")
+}
+
+/// Iterates over index batches of size `batch_size`, optionally shuffling first.
+/// The final, smaller batch is included.
+pub fn batch_indices(n: usize, batch_size: usize, shuffle: bool, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order: Vec<usize> = (0..n).collect();
+    if shuffle {
+        order.shuffle(rng);
+    }
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// Builds a classification batch from dataset rows `indices`.
+pub fn make_batch(dataset: &TimeseriesDataset, indices: &[usize]) -> Batch {
+    let samples: Vec<NdArray> = indices.iter().map(|&i| dataset.samples[i].clone()).collect();
+    let labels = match &dataset.labels {
+        Some(l) => indices.iter().map(|&i| l[i]).collect(),
+        None => Vec::new(),
+    };
+    Batch { inputs: stack_samples(&samples), labels }
+}
+
+/// Builds a masked batch (mask rate `p`) from dataset rows `indices`.
+pub fn make_masked_batch(
+    dataset: &TimeseriesDataset,
+    indices: &[usize],
+    p: f32,
+    rng: &mut impl Rng,
+) -> MaskedBatch {
+    let masked: Vec<MaskedSample> =
+        indices.iter().map(|&i| mask_sample(&dataset.samples[i], p, rng)).collect();
+    let observed: Vec<NdArray> = masked.iter().map(|m| m.observed.clone()).collect();
+    let targets: Vec<NdArray> = masked.iter().map(|m| m.target.clone()).collect();
+    let mask: Vec<NdArray> = masked.iter().map(|m| m.mask.clone()).collect();
+    MaskedBatch {
+        observed: stack_samples(&observed),
+        targets: stack_samples(&targets),
+        mask: stack_samples(&mask),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetKind;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    fn tiny() -> TimeseriesDataset {
+        TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 17, 3, 40, &mut rng(1))
+    }
+
+    #[test]
+    fn stack_builds_batch_dimension() {
+        let ds = tiny();
+        let b = stack_samples(&ds.samples[..4]);
+        assert_eq!(b.shape(), &[4, 3, 40]);
+        assert_eq!(b.index_axis0(2).unwrap(), ds.samples[2]);
+    }
+
+    #[test]
+    fn batch_indices_cover_everything_once() {
+        let batches = batch_indices(23, 5, true, &mut rng(2));
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches.last().unwrap().len(), 3);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Unshuffled batches preserve order.
+        let plain = batch_indices(6, 4, false, &mut rng(2));
+        assert_eq!(plain[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn make_batch_aligns_labels() {
+        let ds = tiny();
+        let idx = vec![5, 0, 9];
+        let b = make_batch(&ds, &idx);
+        assert_eq!(b.inputs.shape(), &[3, 3, 40]);
+        let labels = ds.labels.as_ref().unwrap();
+        assert_eq!(b.labels, vec![labels[5], labels[0], labels[9]]);
+    }
+
+    #[test]
+    fn make_masked_batch_shapes_and_rate() {
+        let ds = tiny();
+        let idx: Vec<usize> = (0..8).collect();
+        let mb = make_masked_batch(&ds, &idx, 0.25, &mut rng(5));
+        assert_eq!(mb.observed.shape(), &[8, 3, 40]);
+        assert_eq!(mb.targets.shape(), &[8, 3, 40]);
+        assert_eq!(mb.mask.shape(), &[8, 3, 40]);
+        let rate = mb.mask.sum_all() / (8.0 * 3.0 * 40.0);
+        assert!((rate - 0.25).abs() < 0.1, "rate {rate}");
+        assert!(mb.targets.min_all() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = batch_indices(10, 0, false, &mut rng(0));
+    }
+}

@@ -1,0 +1,317 @@
+//! Synthetic signal generators that stand in for the paper's datasets.
+//!
+//! Each generator produces samples as `(channels, length)` arrays whose structure mirrors
+//! what makes the original data amenable to group attention:
+//!
+//! * **HAR family** (WISDM / HHAR / RWHAR) — quasi-periodic limb motion: each class is a
+//!   small set of base frequencies with per-channel phase offsets, harmonics, a gravity
+//!   offset, and sensor noise. HHAR additionally varies the effective sampling rate per
+//!   sample to emulate device heterogeneity.
+//! * **ECG** — a beat template (P-QRS-T-like sequence of Gaussian bumps) repeated with a
+//!   class-dependent heart rate, rhythm irregularity, and per-lead projection weights.
+//! * **EEG (MGH)** — a mixture of band-limited oscillations (delta/theta/alpha/beta) with
+//!   slowly varying amplitude envelopes and occasional burst events across 21 channels;
+//!   unlabeled, used for imputation and pretraining.
+
+use crate::spec::{DatasetKind, DatasetSpec};
+use rand::Rng;
+use rita_tensor::NdArray;
+
+use std::f32::consts::PI;
+
+/// Flavour of HAR data, controlling class structure and rate heterogeneity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarFlavour {
+    /// 18-class WISDM-like data at a fixed sampling rate.
+    Wisdm,
+    /// 5-class HHAR-like data with per-sample sampling-rate jitter.
+    Hhar,
+    /// 8-class RWHAR-like data at a fixed sampling rate.
+    Rwhar,
+}
+
+impl HarFlavour {
+    /// Number of classes for this flavour.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            HarFlavour::Wisdm => 18,
+            HarFlavour::Hhar => 5,
+            HarFlavour::Rwhar => 8,
+        }
+    }
+
+    /// Whether the effective sampling rate varies per sample.
+    pub fn heterogeneous(&self) -> bool {
+        matches!(self, HarFlavour::Hhar)
+    }
+}
+
+/// Generates one HAR-like sample of shape `(channels, length)` for class `class`.
+///
+/// The class determines a base frequency and harmonic mix; channels share the rhythm but
+/// differ in phase and amplitude, as accelerometer axes do.
+pub fn har(
+    flavour: HarFlavour,
+    class: usize,
+    channels: usize,
+    length: usize,
+    rng: &mut impl Rng,
+) -> NdArray {
+    let classes = flavour.num_classes();
+    let class = class % classes.max(1);
+    // Base frequency: spread classes across [0.8, 3.5] cycles per 100 samples.
+    let base_freq = 0.8 + 2.7 * (class as f32 / classes.max(2) as f32);
+    // Device / subject heterogeneity.
+    let rate_jitter: f32 =
+        if flavour.heterogeneous() { rng.gen_range(0.7..1.3) } else { rng.gen_range(0.95..1.05) };
+    let amp = 1.0 + 0.4 * ((class % 3) as f32);
+    let harmonic = 0.3 + 0.1 * ((class % 4) as f32);
+    let noise_std = 0.15;
+
+    let mut data = vec![0.0f32; channels * length];
+    for c in 0..channels {
+        let phase: f32 = rng.gen_range(0.0..2.0 * PI) + c as f32 * PI / 3.0;
+        let gravity = if c == channels - 1 { 1.0 } else { 0.0 };
+        let chan_amp = amp * (1.0 - 0.2 * c as f32 / channels.max(1) as f32);
+        for t in 0..length {
+            let x = t as f32 / 100.0 * 2.0 * PI * base_freq * rate_jitter;
+            let v = chan_amp * (x + phase).sin()
+                + harmonic * chan_amp * (2.0 * x + 1.3 * phase).sin()
+                + 0.1 * (4.0 * x).sin()
+                + gravity
+                + noise_std * sample_normal(rng);
+            data[c * length + t] = v;
+        }
+    }
+    NdArray::from_vec(data, &[channels, length]).expect("har sample shape")
+}
+
+/// Generates one ECG-like sample of shape `(channels, length)` for class `class`
+/// (class ∈ 0..9 mirrors the nine rhythm/morphology abnormalities).
+pub fn ecg(class: usize, channels: usize, length: usize, rng: &mut impl Rng) -> NdArray {
+    let class = class % 9;
+    // Heart rate in beats per 1000 samples; classes differ in rate and irregularity.
+    let rate = 4.0 + class as f32 * 0.8;
+    let irregularity = match class {
+        1 | 4 => 0.35, // AF-like: highly irregular intervals
+        7 | 8 => 0.15,
+        _ => 0.04,
+    };
+    let widened_qrs = class == 3 || class == 6;
+    let inverted_t = class == 2 || class == 5;
+
+    // Build a single-channel rhythm first, then project to leads.
+    let mut rhythm = vec![0.0f32; length];
+    let beat_interval = (1000.0 / rate) as f32;
+    let mut t = rng.gen_range(0.0..beat_interval);
+    while (t as usize) < length {
+        let centre = t;
+        // P wave, QRS complex, T wave as Gaussian bumps.
+        add_bump(&mut rhythm, centre - 0.16 * beat_interval, 8.0, 0.15);
+        let qrs_width = if widened_qrs { 6.0 } else { 3.0 };
+        add_bump(&mut rhythm, centre - 2.0, qrs_width, -0.2);
+        add_bump(&mut rhythm, centre, qrs_width, 1.0 + 0.1 * class as f32);
+        add_bump(&mut rhythm, centre + 2.0 + qrs_width, qrs_width, -0.15);
+        let t_amp = if inverted_t { -0.3 } else { 0.3 };
+        add_bump(&mut rhythm, centre + 0.25 * beat_interval, 14.0, t_amp);
+        let jitter = 1.0 + irregularity * sample_normal(rng);
+        t += beat_interval * jitter.max(0.3);
+    }
+
+    let mut data = vec![0.0f32; channels * length];
+    for c in 0..channels {
+        // Each lead sees the rhythm with its own projection weight and baseline wander.
+        let weight = 0.4 + 0.6 * ((c as f32 * 0.37).sin().abs());
+        let sign = if c % 5 == 4 { -1.0 } else { 1.0 };
+        let wander_freq = rng.gen_range(0.2..0.6);
+        let wander_phase = rng.gen_range(0.0..2.0 * PI);
+        for ti in 0..length {
+            let wander = 0.05 * (ti as f32 / length as f32 * 2.0 * PI * wander_freq + wander_phase).sin();
+            data[c * length + ti] =
+                sign * weight * rhythm[ti] + wander + 0.02 * sample_normal(rng);
+        }
+    }
+    NdArray::from_vec(data, &[channels, length]).expect("ecg sample shape")
+}
+
+/// Generates one EEG-like (MGH-style) sample of shape `(channels, length)`.
+///
+/// The signal is a sum of band-limited oscillations with slowly drifting envelopes plus
+/// occasional high-amplitude bursts, which creates the recurring-window structure the MGH
+/// imputation experiments rely on.
+pub fn eeg(channels: usize, length: usize, rng: &mut impl Rng) -> NdArray {
+    // Frequencies in cycles per 1000 samples: delta, theta, alpha, beta bands.
+    let bands = [6.0f32, 14.0, 25.0, 60.0];
+    // Shared burst events and shared band sources: EEG channels record mixtures of the
+    // same underlying cortical sources, which is what makes them correlated.
+    let n_bursts = length / 2500 + 1;
+    let bursts: Vec<(usize, f32)> =
+        (0..n_bursts).map(|_| (rng.gen_range(0..length), rng.gen_range(1.5..3.0))).collect();
+    let mut sources = vec![vec![0.0f32; length]; bands.len()];
+    for (bi, &f) in bands.iter().enumerate() {
+        let phase: f32 = rng.gen_range(0.0..2.0 * PI);
+        let mut amp: f32 = rng.gen_range(0.4..1.0);
+        for t in 0..length {
+            // Slow random walk of the band envelope produces non-stationarity.
+            if t % 500 == 0 && t > 0 {
+                amp = (amp + 0.1 * sample_normal(rng)).clamp(0.05, 1.5);
+            }
+            let x = t as f32 / 1000.0 * 2.0 * PI;
+            let mut v = amp * (f * x + phase).sin();
+            // Burst events: localised high-amplitude spindles shared across channels.
+            for &(centre, burst_amp) in &bursts {
+                let d = (t as f32 - centre as f32).abs();
+                if d < 200.0 {
+                    v += burst_amp / bands.len() as f32
+                        * (-d * d / (2.0 * 60.0 * 60.0)).exp()
+                        * (24.0 * x).sin();
+                }
+            }
+            sources[bi][t] = v;
+        }
+    }
+    let mut data = vec![0.0f32; channels * length];
+    for c in 0..channels {
+        // Per-channel mixing weights over the shared sources (montage projection).
+        let weights: Vec<f32> = (0..bands.len()).map(|_| rng.gen_range(0.3..1.0)).collect();
+        let scale = 0.5 + 0.5 * ((c as f32 * 0.7).cos().abs());
+        for t in 0..length {
+            let mut v = 0.0;
+            for (bi, src) in sources.iter().enumerate() {
+                v += weights[bi] * src[t];
+            }
+            data[c * length + t] = scale * (v + 0.1 * sample_normal(rng));
+        }
+    }
+    NdArray::from_vec(data, &[channels, length]).expect("eeg sample shape")
+}
+
+/// Generates one sample for `spec`, choosing the right generator family. For labeled
+/// datasets the label must be provided; unlabeled datasets ignore it.
+pub fn generate_sample(spec: &DatasetSpec, class: usize, rng: &mut impl Rng) -> NdArray {
+    match spec.kind {
+        DatasetKind::Wisdm | DatasetKind::WisdmUni => {
+            har(HarFlavour::Wisdm, class, spec.channels, spec.length, rng)
+        }
+        DatasetKind::Hhar | DatasetKind::HharUni => {
+            har(HarFlavour::Hhar, class, spec.channels, spec.length, rng)
+        }
+        DatasetKind::Rwhar | DatasetKind::RwharUni => {
+            har(HarFlavour::Rwhar, class, spec.channels, spec.length, rng)
+        }
+        DatasetKind::Ecg => ecg(class, spec.channels, spec.length, rng),
+        DatasetKind::Mgh => eeg(spec.channels, spec.length, rng),
+    }
+}
+
+fn add_bump(signal: &mut [f32], centre: f32, width: f32, amp: f32) {
+    let lo = (centre - 4.0 * width).max(0.0) as usize;
+    let hi = ((centre + 4.0 * width) as usize).min(signal.len().saturating_sub(1));
+    for (t, s) in signal.iter_mut().enumerate().take(hi + 1).skip(lo) {
+        let d = t as f32 - centre;
+        *s += amp * (-d * d / (2.0 * width * width)).exp();
+    }
+}
+
+/// One standard-normal sample via Box–Muller (keeps the crate free of extra rand features).
+fn sample_normal(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn har_sample_shape_and_determinism() {
+        let a = har(HarFlavour::Wisdm, 3, 3, 200, &mut rng(1));
+        assert_eq!(a.shape(), &[3, 200]);
+        let b = har(HarFlavour::Wisdm, 3, 3, 200, &mut rng(1));
+        assert_eq!(a, b);
+        let c = har(HarFlavour::Wisdm, 3, 3, 200, &mut rng(2));
+        assert_ne!(a, c);
+        assert!(!a.has_non_finite());
+    }
+
+    #[test]
+    fn har_classes_are_distinguishable_in_frequency() {
+        // Zero crossings of the dominant channel should increase with class index,
+        // since base frequency grows with class.
+        let count_crossings = |a: &NdArray| {
+            let row = &a.as_slice()[..200];
+            row.windows(2).filter(|w| (w[0] - 1.0) * (w[1] - 1.0) < 0.0).count()
+        };
+        let lo: usize = (0..5).map(|s| count_crossings(&har(HarFlavour::Rwhar, 0, 1, 200, &mut rng(s)))).sum();
+        let hi: usize = (0..5).map(|s| count_crossings(&har(HarFlavour::Rwhar, 7, 1, 200, &mut rng(s)))).sum();
+        assert!(hi > lo, "crossings hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn hhar_flavour_varies_rate_more_than_wisdm() {
+        assert!(HarFlavour::Hhar.heterogeneous());
+        assert!(!HarFlavour::Rwhar.heterogeneous());
+        assert_eq!(HarFlavour::Wisdm.num_classes(), 18);
+        assert_eq!(HarFlavour::Hhar.num_classes(), 5);
+        assert_eq!(HarFlavour::Rwhar.num_classes(), 8);
+    }
+
+    #[test]
+    fn ecg_sample_is_periodic_and_bounded() {
+        let a = ecg(0, 12, 2000, &mut rng(5));
+        assert_eq!(a.shape(), &[12, 2000]);
+        assert!(!a.has_non_finite());
+        assert!(a.max_all() < 10.0 && a.min_all() > -10.0);
+        // The QRS peaks should make the max clearly larger than the mean.
+        assert!(a.max_all() > a.mean_all() + 0.3);
+    }
+
+    #[test]
+    fn ecg_classes_differ_in_beat_rate() {
+        // Higher class index → higher heart rate → more large peaks per window.
+        let count_peaks = |a: &NdArray| {
+            let row = &a.as_slice()[..2000];
+            let thresh = 0.4 * row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            row.windows(3).filter(|w| w[1] > thresh && w[1] > w[0] && w[1] > w[2]).count()
+        };
+        let slow = count_peaks(&ecg(0, 1, 2000, &mut rng(7)));
+        let fast = count_peaks(&ecg(8, 1, 2000, &mut rng(7)));
+        assert!(fast > slow, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn eeg_sample_shape_and_channel_correlation() {
+        let a = eeg(21, 4000, &mut rng(9));
+        assert_eq!(a.shape(), &[21, 4000]);
+        assert!(!a.has_non_finite());
+        // Channels share burst events, so average absolute channel correlation with
+        // channel 0 should be non-trivial.
+        let c0: Vec<f32> = a.as_slice()[..4000].to_vec();
+        let c1: Vec<f32> = a.as_slice()[4000..8000].to_vec();
+        let m0 = c0.iter().sum::<f32>() / 4000.0;
+        let m1 = c1.iter().sum::<f32>() / 4000.0;
+        let cov: f32 = c0.iter().zip(&c1).map(|(a, b)| (a - m0) * (b - m1)).sum::<f32>() / 4000.0;
+        let s0 = (c0.iter().map(|x| (x - m0) * (x - m0)).sum::<f32>() / 4000.0).sqrt();
+        let s1 = (c1.iter().map(|x| (x - m1) * (x - m1)).sum::<f32>() / 4000.0).sqrt();
+        let corr = (cov / (s0 * s1)).abs();
+        assert!(corr > 0.05, "corr {corr}");
+    }
+
+    #[test]
+    fn generate_sample_dispatches_per_kind() {
+        for kind in DatasetKind::MULTIVARIATE {
+            let spec = kind.reduced_spec(1, 1, 100);
+            let s = generate_sample(&spec, 0, &mut rng(3));
+            assert_eq!(s.shape(), &[spec.channels, 100], "{kind:?}");
+        }
+        let uni = DatasetKind::WisdmUni.reduced_spec(1, 1, 120);
+        assert_eq!(generate_sample(&uni, 2, &mut rng(3)).shape(), &[1, 120]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rita-data
+//!
+//! Synthetic timeseries datasets, windowing, masking and batching utilities for the RITA
+//! reproduction.
+//!
+//! The RITA paper evaluates on five multivariate datasets (WISDM, HHAR, RWHAR, ECG, MGH
+//! EEG) plus three univariate derivations. Those datasets are either large public HAR
+//! corpora or hospital EEG recordings that cannot be redistributed here, so this crate
+//! generates **synthetic equivalents** that match the published statistics (number of
+//! channels, window length, number of classes, sampling-rate heterogeneity) and — more
+//! importantly for RITA — the *structural properties* the paper's group attention
+//! exploits: periodicity, recurring window shapes, and class-dependent spectral content.
+//!
+//! | Generator | Stands in for | Channels | Window | Classes |
+//! |---|---|---|---|---|
+//! | [`generators::har`] (Wisdm flavour)  | WISDM  | 3  | 200    | 18 |
+//! | [`generators::har`] (Hhar flavour)   | HHAR   | 3  | 200    | 5  |
+//! | [`generators::har`] (Rwhar flavour)  | RWHAR  | 3  | 200    | 8  |
+//! | [`generators::ecg`]                  | ECG    | 12 | 2000   | 9  |
+//! | [`generators::eeg`]                  | MGH    | 21 | 10000  | –  |
+//!
+//! See `DESIGN.md` at the workspace root for the substitution rationale.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod dataset;
+pub mod generators;
+pub mod masking;
+pub mod spec;
+
+pub use dataset::{DataSplit, TimeseriesDataset};
+pub use spec::{DatasetKind, DatasetSpec};

@@ -1,0 +1,146 @@
+//! Mask-and-predict (cloze) task construction, following §3 of the paper:
+//! the series is scaled to be non-negative, a fraction `p` of *timestamps* is masked,
+//! and the values across all channels on masked timestamps are replaced by `-1`
+//! (a value impossible on normal, non-negative timestamps).
+
+use rand::Rng;
+use rita_tensor::NdArray;
+
+/// Sentinel written into masked positions.
+pub const MASK_VALUE: f32 = -1.0;
+
+/// A masked sample ready for the cloze pretraining / imputation tasks.
+#[derive(Debug, Clone)]
+pub struct MaskedSample {
+    /// The observed series with masked timestamps set to [`MASK_VALUE`]; shape `(c, l)`.
+    pub observed: NdArray,
+    /// The ground-truth (scaled, non-negative) series; shape `(c, l)`.
+    pub target: NdArray,
+    /// 1.0 at masked positions, 0.0 elsewhere; shape `(c, l)`.
+    pub mask: NdArray,
+}
+
+/// Scales a series to be non-negative by subtracting its minimum (per sample), as the
+/// paper requires before masking.
+pub fn scale_non_negative(sample: &NdArray) -> NdArray {
+    let min = sample.min_all();
+    sample.add_scalar(-min)
+}
+
+/// Masks a fraction `p` of timestamps of a `(channels, length)` sample.
+pub fn mask_sample(sample: &NdArray, p: f32, rng: &mut impl Rng) -> MaskedSample {
+    assert_eq!(sample.ndim(), 2, "mask_sample expects (channels, length)");
+    assert!((0.0..=1.0).contains(&p), "mask rate must be in [0,1]");
+    let channels = sample.shape()[0];
+    let length = sample.shape()[1];
+    let target = scale_non_negative(sample);
+    let mut observed = target.clone();
+    let mut mask = NdArray::zeros(&[channels, length]);
+    for t in 0..length {
+        if rng.gen::<f32>() < p {
+            for c in 0..channels {
+                observed.set(&[c, t], MASK_VALUE).expect("mask set");
+                mask.set(&[c, t], 1.0).expect("mask set");
+            }
+        }
+    }
+    MaskedSample { observed, target, mask }
+}
+
+/// Masks the *suffix* of the series after `observed_len` timestamps — the forecasting
+/// task of Appendix A.7.3, where all "missing" values are at the end.
+pub fn mask_suffix(sample: &NdArray, observed_len: usize) -> MaskedSample {
+    assert_eq!(sample.ndim(), 2, "mask_suffix expects (channels, length)");
+    let channels = sample.shape()[0];
+    let length = sample.shape()[1];
+    assert!(observed_len <= length, "observed_len {observed_len} exceeds length {length}");
+    let target = scale_non_negative(sample);
+    let mut observed = target.clone();
+    let mut mask = NdArray::zeros(&[channels, length]);
+    for t in observed_len..length {
+        for c in 0..channels {
+            observed.set(&[c, t], MASK_VALUE).expect("mask set");
+            mask.set(&[c, t], 1.0).expect("mask set");
+        }
+    }
+    MaskedSample { observed, target, mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn scaling_makes_series_non_negative() {
+        let s = NdArray::from_vec(vec![-2.0, 0.0, 3.0, -1.0], &[2, 2]).unwrap();
+        let scaled = scale_non_negative(&s);
+        assert!(scaled.min_all() >= 0.0);
+        assert_eq!(scaled.min_all(), 0.0);
+        assert_eq!(scaled.max_all(), 5.0);
+    }
+
+    #[test]
+    fn mask_rate_is_respected_and_spans_all_channels() {
+        let s = NdArray::ones(&[3, 1000]);
+        let m = mask_sample(&s, 0.2, &mut rng(1));
+        let rate = m.mask.sum_all() / (3.0 * 1000.0);
+        assert!((rate - 0.2).abs() < 0.05, "rate {rate}");
+        // Masking is per-timestamp: for any t, all channels agree.
+        for t in 0..1000 {
+            let a = m.mask.get(&[0, t]).unwrap();
+            for c in 1..3 {
+                assert_eq!(m.mask.get(&[c, t]).unwrap(), a);
+            }
+        }
+        // Masked entries carry the sentinel; unmasked carry the target.
+        for t in 0..1000 {
+            for c in 0..3 {
+                let is_masked = m.mask.get(&[c, t]).unwrap() == 1.0;
+                let o = m.observed.get(&[c, t]).unwrap();
+                if is_masked {
+                    assert_eq!(o, MASK_VALUE);
+                } else {
+                    assert_eq!(o, m.target.get(&[c, t]).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_full_mask_rates() {
+        let s = NdArray::ones(&[2, 50]);
+        let none = mask_sample(&s, 0.0, &mut rng(2));
+        assert_eq!(none.mask.sum_all(), 0.0);
+        let all = mask_sample(&s, 1.0, &mut rng(2));
+        assert_eq!(all.mask.sum_all(), 100.0);
+        assert!(all.observed.as_slice().iter().all(|&v| v == MASK_VALUE));
+    }
+
+    #[test]
+    fn sentinel_is_impossible_after_scaling() {
+        let mut r = rng(3);
+        let s = NdArray::randn(&[2, 100], 5.0, &mut r);
+        let m = mask_sample(&s, 0.3, &mut r);
+        // After scaling, every target value is >= 0, so -1 never collides with real data.
+        assert!(m.target.min_all() >= 0.0);
+    }
+
+    #[test]
+    fn suffix_masking_for_forecasting() {
+        let s = NdArray::ones(&[2, 10]);
+        let m = mask_suffix(&s, 7);
+        assert_eq!(m.mask.sum_all(), 2.0 * 3.0);
+        for t in 0..7 {
+            assert_eq!(m.mask.get(&[0, t]).unwrap(), 0.0);
+        }
+        for t in 7..10 {
+            assert_eq!(m.observed.get(&[1, t]).unwrap(), MASK_VALUE);
+        }
+    }
+}

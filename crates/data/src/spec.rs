@@ -1,0 +1,213 @@
+//! Dataset specifications matching Table 1 of the RITA paper.
+
+/// The eight datasets used in the paper's evaluation (five multivariate, three
+/// univariate derivations marked with `*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// WISDM: smartphone accelerometer, 18 daily activities, 20 Hz.
+    Wisdm,
+    /// HHAR: heterogeneous smartphones, 5 activities, varying sampling rate.
+    Hhar,
+    /// RWHAR: RealWorld HAR, 8 locomotion activities, 50 Hz.
+    Rwhar,
+    /// ECG: 12-lead recordings, 9 arrhythmia classes, 500 Hz.
+    Ecg,
+    /// MGH: 21-channel EEG from ICU monitoring, unlabeled, 200 Hz, very long series.
+    Mgh,
+    /// Univariate channel picked from WISDM (`WISDM*` in the paper).
+    WisdmUni,
+    /// Univariate channel picked from HHAR (`HHAR*`).
+    HharUni,
+    /// Univariate channel picked from RWHAR (`RWHAR*`).
+    RwharUni,
+}
+
+impl DatasetKind {
+    /// All multivariate datasets in paper order.
+    pub const MULTIVARIATE: [DatasetKind; 5] =
+        [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg, DatasetKind::Mgh];
+
+    /// The three univariate derivations used in the GRAIL comparison (Fig. 5).
+    pub const UNIVARIATE: [DatasetKind; 3] =
+        [DatasetKind::WisdmUni, DatasetKind::HharUni, DatasetKind::RwharUni];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Wisdm => "WISDM",
+            DatasetKind::Hhar => "HHAR",
+            DatasetKind::Rwhar => "RWHAR",
+            DatasetKind::Ecg => "ECG",
+            DatasetKind::Mgh => "MGH",
+            DatasetKind::WisdmUni => "WISDM*",
+            DatasetKind::HharUni => "HHAR*",
+            DatasetKind::RwharUni => "RWHAR*",
+        }
+    }
+
+    /// The paper-scale specification (Table 1) for this dataset.
+    pub fn paper_spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Wisdm => DatasetSpec {
+                kind: *self,
+                train_size: 28_280,
+                valid_size: 3_112,
+                length: 200,
+                channels: 3,
+                num_classes: 18,
+                sampling_hz: 20.0,
+                heterogeneous_rate: false,
+            },
+            DatasetKind::Hhar => DatasetSpec {
+                kind: *self,
+                train_size: 20_484,
+                valid_size: 2_296,
+                length: 200,
+                channels: 3,
+                num_classes: 5,
+                sampling_hz: 50.0,
+                heterogeneous_rate: true,
+            },
+            DatasetKind::Rwhar => DatasetSpec {
+                kind: *self,
+                train_size: 27_253,
+                valid_size: 3_059,
+                length: 200,
+                channels: 3,
+                num_classes: 8,
+                sampling_hz: 50.0,
+                heterogeneous_rate: false,
+            },
+            DatasetKind::Ecg => DatasetSpec {
+                kind: *self,
+                train_size: 31_091,
+                valid_size: 3_551,
+                length: 2_000,
+                channels: 12,
+                num_classes: 9,
+                sampling_hz: 500.0,
+                heterogeneous_rate: false,
+            },
+            DatasetKind::Mgh => DatasetSpec {
+                kind: *self,
+                train_size: 8_550,
+                valid_size: 950,
+                length: 10_000,
+                channels: 21,
+                num_classes: 0,
+                sampling_hz: 200.0,
+                heterogeneous_rate: false,
+            },
+            DatasetKind::WisdmUni => {
+                DatasetSpec { channels: 1, ..DatasetKind::Wisdm.paper_spec() }.with_kind(*self)
+            }
+            DatasetKind::HharUni => {
+                DatasetSpec { channels: 1, ..DatasetKind::Hhar.paper_spec() }.with_kind(*self)
+            }
+            DatasetKind::RwharUni => {
+                DatasetSpec { channels: 1, ..DatasetKind::Rwhar.paper_spec() }.with_kind(*self)
+            }
+        }
+    }
+
+    /// A reduced-scale specification that keeps the same shape characteristics but runs
+    /// on a laptop CPU in seconds. Sample counts shrink; channels, lengths and class
+    /// counts follow `length_scale` only for the long datasets.
+    pub fn reduced_spec(&self, train_size: usize, valid_size: usize, length: usize) -> DatasetSpec {
+        let mut spec = self.paper_spec();
+        spec.train_size = train_size;
+        spec.valid_size = valid_size;
+        spec.length = length;
+        spec
+    }
+}
+
+/// Size and shape of one dataset, mirroring Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which dataset this spec describes.
+    pub kind: DatasetKind,
+    /// Number of training samples.
+    pub train_size: usize,
+    /// Number of validation samples.
+    pub valid_size: usize,
+    /// Window length (timestamps per sample).
+    pub length: usize,
+    /// Number of channels (variables).
+    pub channels: usize,
+    /// Number of classes (0 for the unlabeled MGH dataset).
+    pub num_classes: usize,
+    /// Nominal sampling rate in Hz.
+    pub sampling_hz: f32,
+    /// Whether the sampling rate varies across (synthetic) devices, as in HHAR.
+    pub heterogeneous_rate: bool,
+}
+
+impl DatasetSpec {
+    fn with_kind(mut self, kind: DatasetKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Total number of samples (train + validation).
+    pub fn total_size(&self) -> usize {
+        self.train_size + self.valid_size
+    }
+
+    /// `true` for datasets with class labels.
+    pub fn is_labeled(&self) -> bool {
+        self.num_classes > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_table1() {
+        let w = DatasetKind::Wisdm.paper_spec();
+        assert_eq!((w.train_size, w.valid_size, w.length, w.channels, w.num_classes), (28_280, 3_112, 200, 3, 18));
+        let e = DatasetKind::Ecg.paper_spec();
+        assert_eq!((e.train_size, e.valid_size, e.length, e.channels, e.num_classes), (31_091, 3_551, 2_000, 12, 9));
+        let m = DatasetKind::Mgh.paper_spec();
+        assert_eq!((m.length, m.channels, m.num_classes), (10_000, 21, 0));
+        assert!(!m.is_labeled());
+        assert!(w.is_labeled());
+    }
+
+    #[test]
+    fn univariate_specs_have_one_channel() {
+        for kind in DatasetKind::UNIVARIATE {
+            let s = kind.paper_spec();
+            assert_eq!(s.channels, 1, "{kind:?}");
+            assert_eq!(s.kind, kind);
+        }
+        assert_eq!(DatasetKind::WisdmUni.paper_spec().num_classes, 18);
+    }
+
+    #[test]
+    fn reduced_spec_overrides_sizes_only() {
+        let r = DatasetKind::Ecg.reduced_spec(100, 20, 400);
+        assert_eq!(r.train_size, 100);
+        assert_eq!(r.valid_size, 20);
+        assert_eq!(r.length, 400);
+        assert_eq!(r.channels, 12);
+        assert_eq!(r.num_classes, 9);
+        assert_eq!(r.total_size(), 120);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DatasetKind::Wisdm.name(), "WISDM");
+        assert_eq!(DatasetKind::WisdmUni.name(), "WISDM*");
+        assert_eq!(DatasetKind::MULTIVARIATE.len(), 5);
+        assert_eq!(DatasetKind::UNIVARIATE.len(), 3);
+    }
+
+    #[test]
+    fn hhar_is_heterogeneous() {
+        assert!(DatasetKind::Hhar.paper_spec().heterogeneous_rate);
+        assert!(!DatasetKind::Wisdm.paper_spec().heterogeneous_rate);
+    }
+}

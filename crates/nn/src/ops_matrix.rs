@@ -1,0 +1,228 @@
+//! Matrix-product operations on [`Var`]: batched matmul, the `Q·Kᵀ` convenience form,
+//! and the window unfold/fold pair used by the time-aware convolution.
+
+use crate::var::Var;
+use rita_tensor::NdArray;
+
+impl Var {
+    /// Batched matrix product (see [`NdArray::matmul`] for the broadcasting rules).
+    pub fn matmul(&self, other: &Var) -> Var {
+        let value = self.value().matmul(&other.value()).expect("matmul: incompatible shapes");
+        let (sa, sb) = (self.shape(), other.shape());
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                // dA = g · Bᵀ, dB = Aᵀ · g  (then undo batch broadcasting)
+                let da = g.matmul(&b.transpose_last2().expect("matmul backward")).expect("matmul backward");
+                let db = a.transpose_last2().expect("matmul backward").matmul(g).expect("matmul backward");
+                vec![
+                    da.reduce_to_shape(&sa).expect("matmul backward reduce"),
+                    db.reduce_to_shape(&sb).expect("matmul backward reduce"),
+                ]
+            }),
+        )
+    }
+
+    /// `self · otherᵀ` over the last two dimensions (attention's `Q·Kᵀ`).
+    pub fn matmul_nt(&self, other: &Var) -> Var {
+        self.matmul(&other.transpose_last2())
+    }
+
+    /// Unfolds a `(batch, channels, length)` signal into `(batch, n_windows, channels * width)`
+    /// windows of size `width` taken every `stride` steps.
+    ///
+    /// This is the im2col step of the time-aware convolution: a subsequent [`Var::matmul`]
+    /// with a `(channels * width, d_model)` weight realises the convolution, exactly as the
+    /// RITA paper's input layer chunks a timeseries into windows and embeds each window.
+    pub fn unfold1d(&self, width: usize, stride: usize) -> Var {
+        let shape = self.shape();
+        assert_eq!(shape.len(), 3, "unfold1d expects (batch, channels, length), got {shape:?}");
+        let (b, c, l) = (shape[0], shape[1], shape[2]);
+        assert!(width > 0 && stride > 0 && l >= width, "invalid unfold1d width/stride for length {l}");
+        let n = (l - width) / stride + 1;
+        let value = unfold_forward(&self.value(), b, c, l, width, stride, n);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![unfold_backward(g, b, c, l, width, stride, n)]),
+        )
+    }
+
+    /// Folds `(batch, n_windows, channels * width)` windows back into a
+    /// `(batch, channels, length)` signal by summing overlapping contributions —
+    /// the transpose-convolution-style decoder used by the imputation/forecasting heads.
+    ///
+    /// With `stride == width` (non-overlapping windows) this is an exact inverse of
+    /// [`Var::unfold1d`].
+    pub fn fold1d(&self, channels: usize, width: usize, stride: usize, length: usize) -> Var {
+        let shape = self.shape();
+        assert_eq!(shape.len(), 3, "fold1d expects (batch, n, channels*width), got {shape:?}");
+        let (b, n, cw) = (shape[0], shape[1], shape[2]);
+        assert_eq!(cw, channels * width, "fold1d: last dim {cw} != channels*width");
+        assert!((n - 1) * stride + width <= length, "fold1d: windows exceed target length");
+        let value = unfold_backward(&self.value(), b, channels, length, width, stride, n);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![unfold_forward(g, b, channels, length, width, stride, n)]),
+        )
+    }
+}
+
+/// `(b, c, l)` → `(b, n, c*width)` window extraction.
+fn unfold_forward(
+    x: &NdArray,
+    b: usize,
+    c: usize,
+    l: usize,
+    width: usize,
+    stride: usize,
+    n: usize,
+) -> NdArray {
+    let xd = x.as_slice();
+    let mut out = vec![0.0f32; b * n * c * width];
+    for bi in 0..b {
+        for wi in 0..n {
+            let start = wi * stride;
+            for ci in 0..c {
+                let src = bi * c * l + ci * l + start;
+                let dst = ((bi * n + wi) * c + ci) * width;
+                out[dst..dst + width].copy_from_slice(&xd[src..src + width]);
+            }
+        }
+    }
+    NdArray::from_vec(out, &[b, n, c * width]).expect("unfold_forward shape")
+}
+
+/// `(b, n, c*width)` → `(b, c, l)` summation of (possibly overlapping) windows.
+fn unfold_backward(
+    g: &NdArray,
+    b: usize,
+    c: usize,
+    l: usize,
+    width: usize,
+    stride: usize,
+    n: usize,
+) -> NdArray {
+    let gd = g.as_slice();
+    let mut out = vec![0.0f32; b * c * l];
+    for bi in 0..b {
+        for wi in 0..n {
+            let start = wi * stride;
+            for ci in 0..c {
+                let dst = bi * c * l + ci * l + start;
+                let src = ((bi * n + wi) * c + ci) * width;
+                for k in 0..width {
+                    out[dst + k] += gd[src + k];
+                }
+            }
+        }
+    }
+    NdArray::from_vec(out, &[b, c, l]).expect("unfold_backward shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rita_tensor::allclose;
+
+    #[test]
+    fn matmul_gradients_match_finite_difference() {
+        let a0 = NdArray::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7], &[2, 3]).unwrap();
+        let b0 = NdArray::from_vec(vec![1.0, 0.2, -0.4, 0.9, 0.0, 1.1], &[3, 2]).unwrap();
+        let a = Var::parameter(a0.clone());
+        let b = Var::parameter(b0.clone());
+        a.matmul(&b).sum_all().backward();
+        let ga = a.grad().unwrap();
+        let gb = b.grad().unwrap();
+
+        let eps = 1e-3f32;
+        for i in 0..a0.len() {
+            let mut plus = a0.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = a0.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = plus.matmul(&b0).unwrap().sum_all();
+            let fm = minus.matmul(&b0).unwrap().sum_all();
+            assert!((ga.as_slice()[i] - (fp - fm) / (2.0 * eps)).abs() < 1e-2);
+        }
+        for i in 0..b0.len() {
+            let mut plus = b0.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = b0.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = a0.matmul(&plus).unwrap().sum_all();
+            let fm = a0.matmul(&minus).unwrap().sum_all();
+            assert!((gb.as_slice()[i] - (fp - fm) / (2.0 * eps)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn batched_matmul_gradient_shapes() {
+        let a = Var::parameter(NdArray::ones(&[4, 3, 2]));
+        let w = Var::parameter(NdArray::ones(&[2, 5]));
+        let y = a.matmul(&w);
+        assert_eq!(y.shape(), vec![4, 3, 5]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap().shape(), &[4, 3, 2]);
+        // Broadcast weight gradient accumulates over the batch: each entry = 4*3 = 12
+        let gw = w.grad().unwrap();
+        assert_eq!(gw.shape(), &[2, 5]);
+        assert!(gw.as_slice().iter().all(|&g| (g - 12.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_of_transpose() {
+        let q = Var::parameter(NdArray::arange(0.0, 0.1, 24).reshape(&[2, 3, 4]).unwrap());
+        let k = Var::parameter(NdArray::arange(0.5, -0.05, 40).reshape(&[2, 5, 4]).unwrap());
+        let a = q.matmul_nt(&k);
+        let b = q.matmul(&k.transpose_last2());
+        assert!(allclose(a.value().as_slice(), b.value().as_slice(), 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn unfold_nonoverlapping_is_chunking() {
+        // 1 batch, 2 channels, length 6, width 3, stride 3 -> 2 windows
+        let x = NdArray::from_vec((0..12).map(|v| v as f32).collect(), &[1, 2, 6]).unwrap();
+        let v = Var::constant(x);
+        let u = v.unfold1d(3, 3);
+        assert_eq!(u.shape(), vec![1, 2, 6]);
+        // window 0: channel0 [0,1,2], channel1 [6,7,8]
+        assert_eq!(&u.value().as_slice()[..6], &[0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+        // window 1: channel0 [3,4,5], channel1 [9,10,11]
+        assert_eq!(&u.value().as_slice()[6..], &[3.0, 4.0, 5.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn unfold_overlapping_counts_contributions_in_grad() {
+        // length 5, width 3, stride 1 -> 3 windows; middle elements appear in more windows
+        let x = Var::parameter(NdArray::ones(&[1, 1, 5]));
+        x.unfold1d(3, 1).sum_all().backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 2.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn fold_inverts_unfold_for_nonoverlapping_windows() {
+        let x0 = NdArray::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let x = Var::parameter(x0.clone());
+        let u = x.unfold1d(2, 2);
+        let f = u.fold1d(3, 2, 2, 4);
+        assert!(allclose(f.value().as_slice(), x0.as_slice(), 1e-6, 1e-6));
+        // Gradient through the roundtrip is the identity.
+        f.sum_all().backward();
+        assert!(x.grad().unwrap().as_slice().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fold_gradient_matches_unfold_forward() {
+        let w = Var::parameter(NdArray::ones(&[1, 2, 4]));
+        // fold (1, 2, 1*4)? use channels=2, width=2, stride=2, length=4
+        let folded = w.fold1d(2, 2, 2, 4);
+        assert_eq!(folded.shape(), vec![1, 2, 4]);
+        folded.sum_all().backward();
+        assert!(w.grad().unwrap().as_slice().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,307 @@
+use crate::{Result, TensorError};
+
+/// A dense, row-major, contiguous `f32` n-dimensional array.
+///
+/// `NdArray` is the value type that every higher layer of the RITA stack builds on. It is
+/// intentionally simple: a shape and a `Vec<f32>`; all views are materialised. This keeps
+/// aliasing rules trivial (important for the autograd layer) at the cost of some copies,
+/// which profiling on the RITA workloads showed to be dominated by matmul anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray {
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: Vec<f32>,
+}
+
+impl NdArray {
+    // ---------------------------------------------------------------- constructors
+
+    /// Creates an array from a flat buffer and a shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch { shape: shape.to_vec(), data_len: data.len() });
+        }
+        Ok(Self { shape: shape.to_vec(), data })
+    }
+
+    /// Creates a scalar (rank-0) array.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![], data: vec![value] }
+    }
+
+    /// Creates an array filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![value; n] }
+    }
+
+    /// Creates an array of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates an array of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut a = Self::zeros(&[n, n]);
+        for i in 0..n {
+            a.data[i * n + i] = 1.0;
+        }
+        a
+    }
+
+    /// Creates a 1-D array from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Self { shape: vec![data.len()], data: data.to_vec() }
+    }
+
+    /// Creates a 1-D array of evenly spaced values `[start, start + step, ...)` of length `n`.
+    pub fn arange(start: f32, step: f32, n: usize) -> Self {
+        let data = (0..n).map(|i| start + step * i as f32).collect();
+        Self { shape: vec![n], data }
+    }
+
+    // ---------------------------------------------------------------- accessors
+
+    /// The shape of the array.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of dimensions).
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat, row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat, row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the array and returns the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The value of a rank-0 or single-element array.
+    pub fn item(&self) -> f32 {
+        debug_assert_eq!(self.data.len(), 1, "item() called on array with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Row-major strides of the array.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.shape.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.shape.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Value at a multi-dimensional index. Panics (debug) on rank mismatch; returns an
+    /// error on out-of-bounds indices.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.flat_index(index)?])
+    }
+
+    /// Sets the value at a multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    pub(crate) fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "index rank {} does not match array rank {}",
+                index.len(),
+                self.shape.len()
+            )));
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(self.shape.iter()).zip(strides.iter()) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, len: d });
+            }
+            flat += i * s;
+        }
+        Ok(flat)
+    }
+
+    // ---------------------------------------------------------------- simple maps
+
+    /// Applies `f` to every element, returning a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Self {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Self {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Self {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&self) -> Self {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise power with an integer exponent.
+    pub fn powi(&self, n: i32) -> Self {
+        self.map(|x| x.powi(n))
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// `true` when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Squared Euclidean (Frobenius) norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Euclidean norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(a.shape(), &[2, 3]);
+        assert_eq!(a.ndim(), 2);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.get(&[1, 2]).unwrap(), 6.0);
+        assert_eq!(a.strides(), vec![3, 1]);
+
+        let z = NdArray::zeros(&[3, 3]);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let o = NdArray::ones(&[4]);
+        assert!(o.as_slice().iter().all(|&x| x == 1.0));
+
+        let e = NdArray::eye(3);
+        assert_eq!(e.get(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(e.get(&[0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_mismatch() {
+        assert!(matches!(
+            NdArray::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::ShapeDataMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn index_out_of_bounds() {
+        let a = NdArray::zeros(&[2, 2]);
+        assert!(matches!(a.get(&[2, 0]), Err(TensorError::IndexOutOfBounds { .. })));
+        assert!(a.get(&[0]).is_err());
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut a = NdArray::zeros(&[2, 3, 4]);
+        a.set(&[1, 2, 3], 7.5).unwrap();
+        assert_eq!(a.get(&[1, 2, 3]).unwrap(), 7.5);
+        assert_eq!(a.as_slice()[1 * 12 + 2 * 4 + 3], 7.5);
+    }
+
+    #[test]
+    fn scalar_and_item() {
+        let s = NdArray::scalar(3.25);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.item(), 3.25);
+    }
+
+    #[test]
+    fn arange_and_maps() {
+        let a = NdArray::arange(0.0, 0.5, 5);
+        assert_eq!(a.as_slice(), &[0.0, 0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice()[0], 1.0);
+        let b = NdArray::from_slice(&[-1.0, 4.0]);
+        assert_eq!(b.abs().as_slice(), &[1.0, 4.0]);
+        assert_eq!(b.powi(2).as_slice(), &[1.0, 16.0]);
+        assert_eq!(b.clamp(0.0, 2.0).as_slice(), &[0.0, 2.0]);
+        assert!((b.sq_norm() - 17.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = NdArray::ones(&[3]);
+        assert!(!a.has_non_finite());
+        a.set(&[1], f32::NAN).unwrap();
+        assert!(a.has_non_finite());
+    }
+}

@@ -1,0 +1,278 @@
+//! NumPy-style broadcasting and elementwise binary operations.
+
+use crate::{NdArray, Result, TensorError};
+
+/// Computes the broadcast shape of two shapes following NumPy rules
+/// (right-aligned; a dimension of 1 stretches to match the other operand).
+pub(crate) fn broadcast_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let ndim = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let l = if i < ndim - lhs.len() { 1 } else { lhs[i - (ndim - lhs.len())] };
+        let r = if i < ndim - rhs.len() { 1 } else { rhs[i - (ndim - rhs.len())] };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::BroadcastMismatch { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+        };
+    }
+    Ok(out)
+}
+
+/// Row-major strides for `shape`, with stride 0 for broadcast (size-1 or missing) dims so
+/// that indexing with the *output* shape walks the source correctly.
+fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let offset = out_shape.len() - shape.len();
+    let mut strides = vec![0usize; out_shape.len()];
+    let mut acc = 1usize;
+    for i in (0..shape.len()).rev() {
+        if shape[i] != 1 {
+            strides[i + offset] = acc;
+        }
+        acc *= shape[i];
+    }
+    strides
+}
+
+impl NdArray {
+    /// Applies an elementwise binary operation with broadcasting.
+    pub fn zip_with(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> Result<NdArray> {
+        // Fast path: identical shapes.
+        if self.shape == other.shape {
+            let data =
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
+            return NdArray::from_vec(data, &self.shape);
+        }
+        // Fast path: rhs is a scalar.
+        if other.data.len() == 1 {
+            let b = other.data[0];
+            return NdArray::from_vec(self.data.iter().map(|&a| f(a, b)).collect(), &self.shape);
+        }
+        // Fast path: lhs is a scalar.
+        if self.data.len() == 1 {
+            let a = self.data[0];
+            return NdArray::from_vec(other.data.iter().map(|&b| f(a, b)).collect(), &other.shape);
+        }
+        // Fast path: rhs broadcasts over the trailing dimension(s) as a contiguous block,
+        // i.e. rhs.shape is a suffix of lhs.shape. Very common: bias adds, per-row scaling.
+        if self.shape.len() >= other.shape.len()
+            && self.shape[self.shape.len() - other.shape.len()..] == other.shape[..]
+        {
+            let block = other.data.len();
+            let mut data = Vec::with_capacity(self.data.len());
+            for (i, &a) in self.data.iter().enumerate() {
+                data.push(f(a, other.data[i % block]));
+            }
+            return NdArray::from_vec(data, &self.shape);
+        }
+
+        // General strided broadcast.
+        let out_shape = broadcast_shape(&self.shape, &other.shape)?;
+        let n: usize = out_shape.iter().product();
+        let ls = broadcast_strides(&self.shape, &out_shape);
+        let rs = broadcast_strides(&other.shape, &out_shape);
+        let mut data = Vec::with_capacity(n);
+        let mut index = vec![0usize; out_shape.len()];
+        for _ in 0..n {
+            let mut li = 0usize;
+            let mut ri = 0usize;
+            for (d, &idx) in index.iter().enumerate() {
+                li += idx * ls[d];
+                ri += idx * rs[d];
+            }
+            data.push(f(self.data[li], other.data[ri]));
+            // increment multi-index
+            for d in (0..out_shape.len()).rev() {
+                index[d] += 1;
+                if index[d] < out_shape[d] {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        NdArray::from_vec(data, &out_shape)
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    pub fn maximum(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip_with(other, f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    pub fn minimum(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip_with(other, f32::min)
+    }
+
+    /// Adds `other` into `self` in place. Shapes must match exactly.
+    pub fn add_assign(&mut self, other: &NdArray) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Adds `scale * other` into `self` in place (axpy). Shapes must match exactly.
+    pub fn axpy(&mut self, scale: f32, other: &NdArray) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Reduces (by summation) an array produced under broadcasting back to `target_shape`.
+    ///
+    /// This is the adjoint of broadcasting and is used by the autograd layer: if a forward
+    /// op broadcast `x` from `target_shape` to `self.shape`, then the gradient flowing to
+    /// `x` is `grad.reduce_to_shape(target_shape)`.
+    pub fn reduce_to_shape(&self, target_shape: &[usize]) -> Result<NdArray> {
+        if self.shape == target_shape {
+            return Ok(self.clone());
+        }
+        // Validate that target broadcasts to self.
+        let bshape = broadcast_shape(&self.shape, target_shape)?;
+        if bshape != self.shape {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: target_shape.to_vec(),
+            });
+        }
+        let out_n: usize = target_shape.iter().product::<usize>().max(1);
+        let mut out = vec![0.0f32; out_n];
+        let tstrides = broadcast_strides(target_shape, &self.shape);
+        let mut index = vec![0usize; self.shape.len()];
+        for &v in &self.data {
+            let mut ti = 0usize;
+            for (d, &idx) in index.iter().enumerate() {
+                ti += idx * tstrides[d];
+            }
+            out[ti] += v;
+            for d in (0..self.shape.len()).rev() {
+                index[d] += 1;
+                if index[d] < self.shape[d] {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        NdArray::from_vec(out, target_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_shape_rules() {
+        assert_eq!(broadcast_shape(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[2, 1, 4], &[3, 1]).unwrap(), vec![2, 3, 4]);
+        assert_eq!(broadcast_shape(&[], &[5]).unwrap(), vec![5]);
+        assert!(broadcast_shape(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn add_same_shape_and_scalar() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = NdArray::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[2, 2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+        let s = NdArray::scalar(1.0);
+        assert_eq!(a.add(&s).unwrap().as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.sub(&a).unwrap().as_slice(), &[0.0, -1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn suffix_broadcast_bias_add() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let bias = NdArray::from_slice(&[10.0, 20.0, 30.0]);
+        let c = a.add(&bias).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn general_broadcast_column_vs_row() {
+        // (2,1) * (1,3) -> (2,3) outer product via broadcasting
+        let col = NdArray::from_vec(vec![2.0, 3.0], &[2, 1]).unwrap();
+        let row = NdArray::from_vec(vec![1.0, 10.0, 100.0], &[1, 3]).unwrap();
+        let c = col.mul(&row).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[2.0, 20.0, 200.0, 3.0, 30.0, 300.0]);
+    }
+
+    #[test]
+    fn division_and_minmax() {
+        let a = NdArray::from_slice(&[2.0, 8.0]);
+        let b = NdArray::from_slice(&[4.0, 2.0]);
+        assert_eq!(a.div(&b).unwrap().as_slice(), &[0.5, 4.0]);
+        assert_eq!(a.maximum(&b).unwrap().as_slice(), &[4.0, 8.0]);
+        assert_eq!(a.minimum(&b).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = NdArray::ones(&[3]);
+        let b = NdArray::from_slice(&[1.0, 2.0, 3.0]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.5, 4.0, 5.5]);
+        let c = NdArray::ones(&[4]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn reduce_to_shape_inverts_broadcast() {
+        // Broadcast a bias over rows then reduce back: should sum over rows.
+        let g = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let r = g.reduce_to_shape(&[3]).unwrap();
+        assert_eq!(r.as_slice(), &[5.0, 7.0, 9.0]);
+        let r2 = g.reduce_to_shape(&[2, 1]).unwrap();
+        assert_eq!(r2.as_slice(), &[6.0, 15.0]);
+        let r3 = g.reduce_to_shape(&[]).unwrap();
+        assert_eq!(r3.item(), 21.0);
+        // Already matching shape is a no-op clone.
+        assert_eq!(g.reduce_to_shape(&[2, 3]).unwrap(), g);
+    }
+
+    #[test]
+    fn reduce_to_shape_rejects_non_broadcastable() {
+        let g = NdArray::zeros(&[2, 3]);
+        assert!(g.reduce_to_shape(&[4]).is_err());
+    }
+}

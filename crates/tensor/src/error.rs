@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors produced by shape-sensitive tensor operations.
+///
+/// The library validates shapes eagerly so that a mis-wired model fails with a precise
+/// message at the offending operation instead of producing silently wrong numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the provided buffer.
+    ShapeDataMismatch {
+        /// Shape the caller requested.
+        shape: Vec<usize>,
+        /// Number of elements in the provided buffer.
+        data_len: usize,
+    },
+    /// Two operands cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// Matrix multiplication inner dimensions disagree, or an operand is not at least 2-D.
+    MatmulMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index is out of range for the given rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The operand's rank.
+        ndim: usize,
+    },
+    /// A reshape was requested to a shape with a different number of elements.
+    ReshapeMismatch {
+        /// Original shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// Concatenation operands disagree on the non-concatenated dimensions.
+    ConcatMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// An index is out of bounds along some dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Length of the dimension being indexed.
+        len: usize,
+    },
+    /// Generic invalid-argument error with a description.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {shape:?} implies {} elements but buffer has {data_len}",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "cannot broadcast shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::MatmulMismatch { lhs, rhs } => {
+                write!(f, "cannot matrix-multiply shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, ndim } => {
+                write!(f, "axis {axis} out of range for rank {ndim}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::ConcatMismatch { detail } => write!(f, "concat mismatch: {detail}"),
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension of length {len}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeDataMismatch { shape: vec![2, 3], data_len: 5 };
+        assert!(e.to_string().contains("6 elements"));
+        let e = TensorError::MatmulMismatch { lhs: vec![2, 3], rhs: vec![4, 5] };
+        assert!(e.to_string().contains("[2, 3]"));
+        let e = TensorError::InvalidArgument("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # rita-tensor
+//!
+//! A small, dependency-light dense `f32` n-dimensional array library that serves as the
+//! numerical substrate for the RITA timeseries-analytics stack.
+//!
+//! The design goals, in order, are:
+//!
+//! 1. **Correctness** — every operation is covered by unit and property tests; shapes are
+//!    validated eagerly and errors are reported through [`TensorError`] instead of panics
+//!    wherever an invalid shape can arrive from user input.
+//! 2. **Predictable performance** — contiguous row-major storage, blocked and
+//!    (optionally) multi-threaded matrix multiplication, and allocation-conscious
+//!    elementwise kernels. The library is deliberately CPU-only: the paper's group
+//!    attention is an algorithmic change whose relative behaviour is preserved on CPU.
+//! 3. **A small surface** — only the operations needed by the autograd layer
+//!    ([`rita-nn`](https://crates.io/crates/rita-nn)) and the models built on top of it.
+//!
+//! The central type is [`NdArray`]: a shape vector plus a contiguous `Vec<f32>`.
+//!
+//! ```
+//! use rita_tensor::NdArray;
+//!
+//! let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = NdArray::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod array;
+mod broadcast;
+mod error;
+mod matmul;
+mod random;
+mod reduce;
+mod shape;
+
+pub use array::NdArray;
+pub use error::TensorError;
+pub use random::{rng_from_seed, SeedableRng64};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Absolute tolerance used by the `allclose` helpers in tests across the workspace.
+pub const DEFAULT_ATOL: f32 = 1e-5;
+
+/// Returns `true` when two slices are elementwise close within `atol + rtol * |b|`.
+pub fn allclose(a: &[f32], b: &[f32], atol: f32, rtol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs() || (x.is_nan() && y.is_nan()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allclose_basic() {
+        assert!(allclose(&[1.0, 2.0], &[1.0 + 1e-7, 2.0], 1e-5, 1e-5));
+        assert!(!allclose(&[1.0, 2.0], &[1.1, 2.0], 1e-5, 1e-5));
+        assert!(!allclose(&[1.0], &[1.0, 2.0], 1e-5, 1e-5));
+    }
+}

@@ -1,0 +1,239 @@
+//! Matrix multiplication kernels: blocked 2-D matmul, batched 3-D matmul, and the
+//! transposed variants needed by attention layers.
+
+use crate::{NdArray, Result, TensorError};
+
+/// Minimum number of result elements before the 2-D kernel fans work out to threads.
+const PARALLEL_THRESHOLD: usize = 64 * 64;
+
+/// Inner kernel: `out[m×n] += a[m×k] · b[k×n]`, all row-major slices.
+///
+/// Uses the classic i-k-j loop order so the innermost loop streams both `b` and `out`
+/// contiguously, which the compiler auto-vectorises well.
+fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Multi-threaded wrapper: splits output rows across `std::thread::scope` workers when
+/// the problem is large enough to amortise thread start-up.
+fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * n < PARALLEL_THRESHOLD || m < 2 {
+        gemm_serial(a, b, out, m, k, n);
+        return;
+    }
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).min(m).min(8);
+    if threads <= 1 {
+        gemm_serial(a, b, out, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || gemm_serial(a_chunk, b, chunk, rows, k, n));
+            row0 += rows;
+        }
+    });
+}
+
+impl NdArray {
+    /// Matrix product.
+    ///
+    /// * 2-D × 2-D → classic GEMM.
+    /// * ≥3-D operands are treated as stacks of matrices over leading batch dimensions;
+    ///   batch dimensions broadcast against each other (a 2-D operand broadcasts over all
+    ///   batches).
+    pub fn matmul(&self, other: &NdArray) -> Result<NdArray> {
+        if self.ndim() < 2 || other.ndim() < 2 {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let (lm, lk) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
+        let (rk, rn) = (other.shape[other.ndim() - 2], other.shape[other.ndim() - 1]);
+        if lk != rk {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let lbatch = &self.shape[..self.ndim() - 2];
+        let rbatch = &other.shape[..other.ndim() - 2];
+        let batch_shape = crate::broadcast::broadcast_shape(lbatch, rbatch)?;
+        let batch: usize = batch_shape.iter().product::<usize>().max(1);
+        let lbn: usize = lbatch.iter().product::<usize>().max(1);
+        let rbn: usize = rbatch.iter().product::<usize>().max(1);
+        if lbn != batch && lbn != 1 {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        if rbn != batch && rbn != 1 {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+
+        let mut out_shape = batch_shape.clone();
+        out_shape.push(lm);
+        out_shape.push(rn);
+        let mut out = vec![0.0f32; batch * lm * rn];
+        let l_stride = if lbn == 1 { 0 } else { lm * lk };
+        let r_stride = if rbn == 1 { 0 } else { rk * rn };
+        for bidx in 0..batch {
+            let a = &self.data[bidx * l_stride..bidx * l_stride + lm * lk];
+            let b = &other.data[bidx * r_stride..bidx * r_stride + rk * rn];
+            let o = &mut out[bidx * lm * rn..(bidx + 1) * lm * rn];
+            gemm(a, b, o, lm, lk, rn);
+        }
+        NdArray::from_vec(out, &out_shape)
+    }
+
+    /// `self · otherᵀ` where the transpose applies to the last two dims of `other`.
+    ///
+    /// Equivalent to `self.matmul(&other.transpose_last2())` but avoids materialising the
+    /// transpose for the common attention pattern `Q · Kᵀ`.
+    pub fn matmul_nt(&self, other: &NdArray) -> Result<NdArray> {
+        if self.ndim() < 2 || other.ndim() < 2 {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        // Correctness over micro-optimisation: delegate to transpose + matmul.
+        self.matmul(&other.transpose_last2()?)
+    }
+
+    /// Dot product of two equally sized arrays, treated as flat vectors.
+    pub fn dot(&self, other: &NdArray) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allclose;
+
+    fn naive_matmul(a: &NdArray, b: &NdArray) -> NdArray {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = NdArray::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(&[i, p]).unwrap() * b.get(&[p, j]).unwrap();
+                }
+                out.set(&[i, j], s).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_2d_matches_naive() {
+        let a = NdArray::arange(0.0, 1.0, 12).reshape(&[3, 4]).unwrap();
+        let b = NdArray::arange(1.0, 0.5, 20).reshape(&[4, 5]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = naive_matmul(&a, &b);
+        assert!(allclose(c.as_slice(), expect.as_slice(), 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = NdArray::arange(0.0, 1.0, 9).reshape(&[3, 3]).unwrap();
+        let c = a.matmul(&NdArray::eye(3)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = NdArray::zeros(&[2, 3]);
+        let b = NdArray::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = NdArray::zeros(&[3]);
+        assert!(a.matmul(&v).is_err());
+    }
+
+    #[test]
+    fn batched_matmul_and_broadcast() {
+        // (2, 2, 3) x (2, 3, 2)
+        let a = NdArray::arange(0.0, 1.0, 12).reshape(&[2, 2, 3]).unwrap();
+        let b = NdArray::arange(0.0, 1.0, 12).reshape(&[2, 3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // batch 0 manually
+        let a0 = NdArray::from_vec(a.as_slice()[..6].to_vec(), &[2, 3]).unwrap();
+        let b0 = NdArray::from_vec(b.as_slice()[..6].to_vec(), &[3, 2]).unwrap();
+        let c0 = naive_matmul(&a0, &b0);
+        assert!(allclose(&c.as_slice()[..4], c0.as_slice(), 1e-4, 1e-5));
+
+        // 2-D rhs broadcasts over batches
+        let w = NdArray::arange(0.0, 1.0, 6).reshape(&[3, 2]).unwrap();
+        let cw = a.matmul(&w).unwrap();
+        assert_eq!(cw.shape(), &[2, 2, 2]);
+        let expect0 = naive_matmul(&a0, &w);
+        assert!(allclose(&cw.as_slice()[..4], expect0.as_slice(), 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let q = NdArray::arange(0.0, 0.1, 24).reshape(&[2, 3, 4]).unwrap();
+        let k = NdArray::arange(0.5, 0.2, 40).reshape(&[2, 5, 4]).unwrap();
+        let a = q.matmul_nt(&k).unwrap();
+        let b = q.matmul(&k.transpose_last2().unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_serial() {
+        // Exceeds PARALLEL_THRESHOLD to exercise the threaded code path.
+        let m = 80;
+        let k = 33;
+        let n = 90;
+        let a = NdArray::arange(0.0, 0.001, m * k).reshape(&[m, k]).unwrap();
+        let b = NdArray::arange(1.0, -0.0005, k * n).reshape(&[k, n]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = naive_matmul(&a, &b);
+        assert!(allclose(c.as_slice(), expect.as_slice(), 1e-3, 1e-4));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = NdArray::from_slice(&[1.0, 2.0, 3.0]);
+        let b = NdArray::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&NdArray::zeros(&[4])).is_err());
+    }
+}

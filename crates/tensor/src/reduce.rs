@@ -1,0 +1,226 @@
+//! Reductions (sum / mean / max / min), softmax, and argmax.
+
+use crate::{NdArray, Result, TensorError};
+
+impl NdArray {
+    /// Sum of every element.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element (0 for empty arrays).
+    pub fn mean_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty arrays).
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for empty arrays).
+    pub fn min_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    fn reduce_axis(&self, axis: usize, keepdim: bool, init: f32, f: impl Fn(f32, f32) -> f32) -> Result<NdArray> {
+        if axis >= self.ndim() {
+            return Err(TensorError::AxisOutOfRange { axis, ndim: self.ndim() });
+        }
+        let outer: usize = self.shape[..axis].iter().product::<usize>().max(1);
+        let axis_len = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product::<usize>().max(1);
+        let mut out = vec![init; outer * inner];
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let out_base = o * inner;
+                for i in 0..inner {
+                    out[out_base + i] = f(out[out_base + i], self.data[base + i]);
+                }
+            }
+        }
+        let mut shape = self.shape.clone();
+        if keepdim {
+            shape[axis] = 1;
+        } else {
+            shape.remove(axis);
+        }
+        NdArray::from_vec(out, &shape)
+    }
+
+    /// Sum along `axis`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Result<NdArray> {
+        self.reduce_axis(axis, keepdim, 0.0, |a, b| a + b)
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Result<NdArray> {
+        let n = self.shape.get(axis).copied().unwrap_or(1).max(1) as f32;
+        Ok(self.sum_axis(axis, keepdim)?.scale(1.0 / n))
+    }
+
+    /// Maximum along `axis`.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Result<NdArray> {
+        self.reduce_axis(axis, keepdim, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum along `axis`.
+    pub fn min_axis(&self, axis: usize, keepdim: bool) -> Result<NdArray> {
+        self.reduce_axis(axis, keepdim, f32::INFINITY, f32::min)
+    }
+
+    /// Numerically stable softmax over the last dimension.
+    pub fn softmax_last(&self) -> Result<NdArray> {
+        if self.ndim() == 0 {
+            return Ok(NdArray::scalar(1.0));
+        }
+        let last = self.shape[self.ndim() - 1];
+        if last == 0 {
+            return Ok(self.clone());
+        }
+        let rows = self.data.len() / last;
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..rows {
+            let row = &self.data[r * last..(r + 1) * last];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (o, &x) in out[r * last..(r + 1) * last].iter_mut().zip(row.iter()) {
+                let e = (x - m).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in &mut out[r * last..(r + 1) * last] {
+                *o *= inv;
+            }
+        }
+        NdArray::from_vec(out, &self.shape)
+    }
+
+    /// Log-softmax over the last dimension (numerically stable).
+    pub fn log_softmax_last(&self) -> Result<NdArray> {
+        if self.ndim() == 0 {
+            return Ok(NdArray::scalar(0.0));
+        }
+        let last = self.shape[self.ndim() - 1];
+        let rows = self.data.len() / last.max(1);
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..rows {
+            let row = &self.data[r * last..(r + 1) * last];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for (o, &x) in out[r * last..(r + 1) * last].iter_mut().zip(row.iter()) {
+                *o = x - lse;
+            }
+        }
+        NdArray::from_vec(out, &self.shape)
+    }
+
+    /// Index of the maximum element along the last dimension, per row.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        if self.ndim() == 0 || self.data.is_empty() {
+            return vec![];
+        }
+        let last = self.shape[self.ndim() - 1];
+        let rows = self.data.len() / last;
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * last..(r + 1) * last];
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Mean and (population) variance over the last dimension, returned with `keepdim`.
+    pub fn mean_var_last(&self) -> Result<(NdArray, NdArray)> {
+        let axis = self.ndim().saturating_sub(1);
+        let mean = self.mean_axis(axis, true)?;
+        let centered = self.sub(&mean)?;
+        let var = centered.mul(&centered)?.mean_axis(axis, true)?;
+        Ok((mean, var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allclose;
+
+    #[test]
+    fn global_reductions() {
+        let a = NdArray::from_slice(&[1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(a.sum_all(), 6.0);
+        assert_eq!(a.mean_all(), 1.5);
+        assert_eq!(a.max_all(), 4.0);
+        assert_eq!(a.min_all(), -2.0);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = NdArray::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
+        assert_eq!(a.sum_axis(0, false).unwrap().as_slice(), &[3.0, 5.0, 7.0]);
+        assert_eq!(a.sum_axis(1, false).unwrap().as_slice(), &[3.0, 12.0]);
+        assert_eq!(a.sum_axis(1, true).unwrap().shape(), &[2, 1]);
+        assert_eq!(a.mean_axis(1, false).unwrap().as_slice(), &[1.0, 4.0]);
+        assert_eq!(a.max_axis(0, false).unwrap().as_slice(), &[3.0, 4.0, 5.0]);
+        assert_eq!(a.min_axis(1, false).unwrap().as_slice(), &[0.0, 3.0]);
+        assert!(a.sum_axis(2, false).is_err());
+    }
+
+    #[test]
+    fn axis_reduction_middle_axis() {
+        let a = NdArray::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let s = a.sum_axis(1, false).unwrap();
+        assert_eq!(s.shape(), &[2, 4]);
+        // element [0,0] = a[0,0,0]+a[0,1,0]+a[0,2,0] = 0+4+8
+        assert_eq!(s.get(&[0, 0]).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1001.0, 1002.0], &[2, 3]).unwrap();
+        let s = a.softmax_last().unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Shift invariance: both rows should produce identical distributions.
+        assert!(allclose(&s.as_slice()[..3], &s.as_slice()[3..], 1e-6, 1e-6));
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = NdArray::from_vec(vec![0.5, -1.0, 2.0, 0.0], &[2, 2]).unwrap();
+        let ls = a.log_softmax_last().unwrap();
+        let s = a.softmax_last().unwrap().ln();
+        assert!(allclose(ls.as_slice(), s.as_slice(), 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn argmax_per_row() {
+        let a = NdArray::from_vec(vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0], &[2, 3]).unwrap();
+        assert_eq!(a.argmax_last(), vec![1, 0]);
+    }
+
+    #[test]
+    fn mean_var_last_matches_manual() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let (m, v) = a.mean_var_last().unwrap();
+        assert_eq!(m.as_slice(), &[1.5, 3.5]);
+        assert_eq!(v.as_slice(), &[0.25, 0.25]);
+    }
+}

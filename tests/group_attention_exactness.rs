@@ -1,0 +1,93 @@
+//! Integration test for the paper's central correctness claim (Appendix A.4 / Lemma 3):
+//! when windows in the same group share exactly the same key, the group softmax plus
+//! embedding aggregation produce embeddings identical to canonical self-attention, and
+//! for near-identical keys the approximation respects the Lemma-1 ratio bound.
+
+use rand::SeedableRng;
+use rita::core::attention::{Attention, GroupAttention, GroupAttentionConfig, VanillaAttention};
+use rita::core::scheduler::{guaranteed_epsilon, key_ball_radius};
+use rita::nn::Var;
+use rita::tensor::{allclose, NdArray, SeedableRng64};
+
+fn duplicated_keys(n: usize, dh: usize, groups: usize, noise: f32, seed: u64) -> NdArray {
+    let mut rng = SeedableRng64::seed_from_u64(seed);
+    let prototypes = NdArray::randn(&[groups, dh], 1.0, &mut rng);
+    let mut data = Vec::with_capacity(n * dh);
+    for i in 0..n {
+        let p = i % groups;
+        let jitter = NdArray::randn(&[dh], noise, &mut rng);
+        for j in 0..dh {
+            data.push(prototypes.as_slice()[p * dh + j] + jitter.as_slice()[j]);
+        }
+    }
+    NdArray::from_vec(data, &[1, 1, n, dh]).unwrap()
+}
+
+#[test]
+fn group_attention_is_exact_for_shared_keys() {
+    let (n, dh, groups) = (30, 8, 5);
+    let mut rng = SeedableRng64::seed_from_u64(1);
+    let q = Var::constant(NdArray::randn(&[1, 1, n, dh], 1.0, &mut rng));
+    let k = Var::constant(duplicated_keys(n, dh, groups, 0.0, 2));
+    let v = Var::constant(NdArray::randn(&[1, 1, n, dh], 1.0, &mut rng));
+
+    let exact = VanillaAttention::new().forward(&q, &k, &v).to_array();
+    let mut group = GroupAttention::new(GroupAttentionConfig {
+        initial_groups: groups,
+        adaptive: false,
+        kmeans_iters: 10,
+        ..Default::default()
+    });
+    let approx = group.forward(&q, &k, &v).to_array();
+    assert!(
+        allclose(exact.as_slice(), approx.as_slice(), 1e-4, 1e-4),
+        "group attention must reproduce vanilla attention exactly when keys are shared"
+    );
+}
+
+#[test]
+fn approximation_error_shrinks_with_more_groups() {
+    let (n, dh) = (48, 8);
+    let mut rng = SeedableRng64::seed_from_u64(3);
+    let q = Var::constant(NdArray::randn(&[1, 1, n, dh], 1.0, &mut rng));
+    let k = Var::constant(duplicated_keys(n, dh, 12, 0.05, 4));
+    let v = Var::constant(NdArray::randn(&[1, 1, n, dh], 1.0, &mut rng));
+    let exact = VanillaAttention::new().forward(&q, &k, &v).to_array();
+
+    let err_for = |groups: usize| -> f32 {
+        let mut attn = GroupAttention::new(GroupAttentionConfig {
+            initial_groups: groups,
+            adaptive: false,
+            kmeans_iters: 8,
+            ..Default::default()
+        });
+        let approx = attn.forward(&q, &k, &v).to_array();
+        exact
+            .as_slice()
+            .iter()
+            .zip(approx.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    };
+    let coarse = err_for(2);
+    let fine = err_for(12);
+    assert!(fine <= coarse + 1e-5, "more groups should not increase error: {fine} vs {coarse}");
+    assert!(fine < 0.3, "12 groups over 12 prototypes should be nearly exact, err {fine}");
+}
+
+#[test]
+fn lemma1_guarantee_holds_for_observed_radius() {
+    // Build a grouping, read off its max key-to-representative distance, and check that
+    // the guaranteed epsilon is consistent (finite and > 1) with the observed key radius.
+    let k = duplicated_keys(40, 8, 8, 0.02, 9);
+    let radius = key_ball_radius(&k);
+    assert!(radius > 0.0);
+    let grouping = rita::core::group::kmeans_matmul(
+        &NdArray::from_vec(k.as_slice().to_vec(), &[40, 8]).unwrap(),
+        8,
+        8,
+    );
+    let eps = guaranteed_epsilon(grouping.max_radius(), radius);
+    assert!(eps >= 1.0);
+    assert!(eps < 2.0, "tight clusters should give a tight bound, got {eps}");
+}
