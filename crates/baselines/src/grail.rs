@@ -68,6 +68,7 @@ fn sink_similarity(a: &[f32], b: &[f32], shifts: usize, step: usize) -> f32 {
     let mut best = f32::NEG_INFINITY;
     let mut evaluate = |offset: i64| {
         let mut dot = 0.0f32;
+        #[allow(clippy::needless_range_loop)] // wrap-around index math needs both i and j
         for i in 0..n {
             let j = (i as i64 + offset).rem_euclid(n as i64) as usize;
             dot += a[i] * b[j];
@@ -105,7 +106,11 @@ impl Grail {
             // Training representations.
             let features: Vec<Vec<f32>> = (0..data.len())
                 .map(|i| {
-                    represent_row(&matrix.as_slice()[i * length..(i + 1) * length], &landmarks, &config)
+                    represent_row(
+                        &matrix.as_slice()[i * length..(i + 1) * length],
+                        &landmarks,
+                        &config,
+                    )
                 })
                 .collect();
             (landmarks, features)
@@ -128,8 +133,7 @@ impl Grail {
         let mut best = 0usize;
         let mut best_dist = f32::INFINITY;
         for (i, train_feat) in self.train_features.iter().enumerate() {
-            let dist: f32 =
-                feat.iter().zip(train_feat).map(|(a, b)| (a - b) * (a - b)).sum();
+            let dist: f32 = feat.iter().zip(train_feat).map(|(a, b)| (a - b) * (a - b)).sum();
             if dist < best_dist {
                 best_dist = dist;
                 best = i;
@@ -144,12 +148,8 @@ impl Grail {
         if labels.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .samples
-            .iter()
-            .zip(labels)
-            .filter(|(s, &l)| self.classify(s) == l)
-            .count();
+        let correct =
+            data.samples.iter().zip(labels).filter(|(s, &l)| self.classify(s) == l).count();
         correct as f32 / labels.len() as f32
     }
 
@@ -165,7 +165,12 @@ fn represent_row(z: &[f32], landmarks: &NdArray, config: &GrailConfig) -> Vec<f3
     let ld = landmarks.as_slice();
     (0..k)
         .map(|i| {
-            let corr = sink_similarity(z, &ld[i * length..(i + 1) * length], config.shifts, config.shift_step);
+            let corr = sink_similarity(
+                z,
+                &ld[i * length..(i + 1) * length],
+                config.shifts,
+                config.shift_step,
+            );
             // RBF on the correlation distance keeps features in (0, 1].
             (-config.gamma * (1.0 - corr).max(0.0)).exp()
         })
@@ -184,7 +189,8 @@ mod tests {
     }
 
     fn univariate_data(n: usize, seed: u64) -> TimeseriesDataset {
-        let multi = TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, n, 0, 80, &mut rng(seed));
+        let multi =
+            TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, n, 0, 80, &mut rng(seed));
         multi.to_univariate(0)
     }
 

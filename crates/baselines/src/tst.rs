@@ -47,7 +47,15 @@ pub struct TstConfig {
 impl TstConfig {
     /// A small configuration for CPU-scale runs.
     pub fn tiny(channels: usize, max_len: usize) -> Self {
-        Self { channels, max_len, d_model: 16, n_heads: 2, n_layers: 2, ff_hidden: 32, dropout: 0.0 }
+        Self {
+            channels,
+            max_len,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 2,
+            ff_hidden: 32,
+            dropout: 0.0,
+        }
     }
 }
 
@@ -174,7 +182,12 @@ pub struct TstClassifier {
 
 impl TstClassifier {
     /// Builds a classifier for series of exactly `series_len` timestamps.
-    pub fn new(config: TstConfig, series_len: usize, num_classes: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        config: TstConfig,
+        series_len: usize,
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(series_len <= config.max_len);
         let model = TstModel::new(config, rng);
         // The overfitting-prone part: one weight per (timestamp × feature × class).
@@ -205,7 +218,8 @@ impl TstClassifier {
             for idx in batch_indices(data.len(), cfg.batch_size, true, rng) {
                 let batch = make_batch(data, &idx);
                 opt.zero_grad();
-                let loss = cross_entropy_logits(&self.logits(&batch.inputs, true, rng), &batch.labels);
+                let loss =
+                    cross_entropy_logits(&self.logits(&batch.inputs, true, rng), &batch.labels);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(opt.parameters(), cfg.grad_clip);
@@ -220,7 +234,12 @@ impl TstClassifier {
     }
 
     /// Full training run.
-    pub fn train(&mut self, data: &TimeseriesDataset, cfg: &TrainConfig, rng: &mut impl Rng) -> TrainReport {
+    pub fn train(
+        &mut self,
+        data: &TimeseriesDataset,
+        cfg: &TrainConfig,
+        rng: &mut impl Rng,
+    ) -> TrainReport {
         let mut opt = AdamW::new(self.parameters(), cfg.lr, cfg.weight_decay);
         let mut report = TrainReport::default();
         for _ in 0..cfg.epochs {
@@ -230,7 +249,12 @@ impl TstClassifier {
     }
 
     /// Accuracy on a labelled dataset.
-    pub fn evaluate(&mut self, data: &TimeseriesDataset, batch_size: usize, rng: &mut impl Rng) -> f32 {
+    pub fn evaluate(
+        &mut self,
+        data: &TimeseriesDataset,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> f32 {
         let mut weighted = 0.0;
         for idx in batch_indices(data.len(), batch_size, false, rng) {
             let batch = make_batch(data, &idx);
@@ -305,7 +329,12 @@ impl TstImputer {
     }
 
     /// Full training run.
-    pub fn train(&mut self, data: &TimeseriesDataset, cfg: &TrainConfig, rng: &mut impl Rng) -> TrainReport {
+    pub fn train(
+        &mut self,
+        data: &TimeseriesDataset,
+        cfg: &TrainConfig,
+        rng: &mut impl Rng,
+    ) -> TrainReport {
         let mut opt = AdamW::new(self.parameters(), cfg.lr, cfg.weight_decay);
         let mut report = TrainReport::default();
         for _ in 0..cfg.epochs {

@@ -34,7 +34,7 @@ fn bench_attention_forward(c: &mut Criterion) {
     let dh = 32;
     let mut group = c.benchmark_group("attention_forward");
     group.sample_size(10);
-    for &n in &[64usize, 256, 1024] {
+    for &n in &[256usize, 1024, 4096] {
         let (q, k, v) = qkv(n, dh, 1);
         group.bench_with_input(BenchmarkId::new("vanilla", n), &n, |b, _| {
             let mut attn = VanillaAttention::new();
@@ -64,5 +64,47 @@ fn bench_attention_forward(c: &mut Criterion) {
     let _ = AttentionKind::Vanilla.name();
 }
 
-criterion_group!(benches, bench_attention_forward);
+/// Multi-head configuration: exercises the head-split views and the batched matmul's
+/// batch×heads parallelism (batch 4 × heads 8), the regime the encoder actually runs.
+fn qkv_multihead(b: usize, h: usize, n: usize, dh: usize, seed: u64) -> (Var, Var, Var) {
+    let mut rng = SeedableRng64::seed_from_u64(seed);
+    let prototypes = NdArray::randn(&[8, dh], 1.0, &mut rng);
+    let mut kdata = Vec::with_capacity(b * h * n * dh);
+    for _ in 0..b * h {
+        for i in 0..n {
+            let p = i % 8;
+            for j in 0..dh {
+                kdata.push(prototypes.as_slice()[p * dh + j] + 0.05 * (i as f32 % 3.0));
+            }
+        }
+    }
+    let k = Var::constant(NdArray::from_vec(kdata, &[b, h, n, dh]).unwrap());
+    let q = Var::constant(NdArray::randn(&[b, h, n, dh], 1.0, &mut rng));
+    let v = Var::constant(NdArray::randn(&[b, h, n, dh], 1.0, &mut rng));
+    (q, k, v)
+}
+
+fn bench_attention_forward_multihead(c: &mut Criterion) {
+    let (b, h, dh) = (4, 8, 32);
+    let mut group = c.benchmark_group("attention_forward_b4h8");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let (q, k, v) = qkv_multihead(b, h, n, dh, 1);
+        group.bench_with_input(BenchmarkId::new("vanilla", n), &n, |bch, _| {
+            let mut attn = VanillaAttention::new();
+            bch.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+        group.bench_with_input(BenchmarkId::new("group", n), &n, |bch, _| {
+            let mut attn = GroupAttention::new(GroupAttentionConfig {
+                initial_groups: 16,
+                adaptive: false,
+                ..Default::default()
+            });
+            bch.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention_forward, bench_attention_forward_multihead);
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Figure 3: full-label classification on the multivariate datasets — accuracy (a) and
 //! training time per epoch (b) for TST and the four RITA-architecture attention variants.
 
-use rita_bench::experiments::{attention_variants, generate_split, run_classification, run_tst_classification};
+use rita_bench::experiments::{
+    attention_variants, generate_split, run_classification, run_tst_classification,
+};
 use rita_bench::table::{fmt_pct, fmt_secs};
 use rita_bench::{Scale, Table};
 use rita_data::DatasetKind;
@@ -9,8 +11,10 @@ use rita_data::DatasetKind;
 fn main() {
     let scale = Scale::from_args();
     let datasets = [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg];
-    let mut acc = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
-    let mut time = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut acc =
+        Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut time =
+        Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
     for kind in datasets {
         eprintln!("[fig3] running {} ...", kind.name());
         let split = generate_split(kind, scale, 42);

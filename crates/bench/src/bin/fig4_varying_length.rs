@@ -2,11 +2,11 @@
 //! time per epoch as the length grows, showing that group attention's advantage widens
 //! (and that Vanilla hits the memory wall at paper scale).
 
+use rand::SeedableRng;
 use rita_bench::experiments::{attention_variants, run_imputation, would_oom_at_paper_scale};
 use rita_bench::table::{fmt_f32, fmt_secs};
 use rita_bench::{Scale, Table};
 use rita_data::{DatasetKind, TimeseriesDataset};
-use rand::SeedableRng;
 use rita_tensor::SeedableRng64;
 
 fn main() {
@@ -24,8 +24,10 @@ fn main() {
         max_len,
         &mut rng,
     );
-    let mut mse_table = Table::new(&["Length (paper)", "Vanilla", "Performer", "Linformer", "Group Attn."]);
-    let mut time_table = Table::new(&["Length (paper)", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut mse_table =
+        Table::new(&["Length (paper)", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut time_table =
+        Table::new(&["Length (paper)", "Vanilla", "Performer", "Linformer", "Group Attn."]);
     for (i, &len) in lengths.iter().enumerate() {
         eprintln!("[fig4] length {len} ...");
         let truncated = base.truncate_length(len).split_at(scale.train_size(DatasetKind::Mgh));

@@ -9,7 +9,8 @@ use rita_data::{DataSplit, DatasetKind};
 
 fn main() {
     let scale = Scale::from_args();
-    let mut table = Table::new(&["Dataset", "GRAIL acc", "RITA acc", "GRAIL time/s", "RITA time/s"]);
+    let mut table =
+        Table::new(&["Dataset", "GRAIL acc", "RITA acc", "GRAIL time/s", "RITA time/s"]);
     for (multi, uni) in [
         (DatasetKind::Wisdm, DatasetKind::WisdmUni),
         (DatasetKind::Hhar, DatasetKind::HharUni),
@@ -17,7 +18,8 @@ fn main() {
     ] {
         eprintln!("[fig5] running {} ...", uni.name());
         let split = generate_split(multi, scale, 33);
-        let uni_split = DataSplit { train: split.train.to_univariate(0), valid: split.valid.to_univariate(0) };
+        let uni_split =
+            DataSplit { train: split.train.to_univariate(0), valid: split.valid.to_univariate(0) };
         let (grail_acc, grail_secs) = run_grail(&uni_split, 3);
         let attention = AttentionKind::Group { epsilon: 2.0, initial_groups: 16, adaptive: true };
         let rita = run_classification(uni, scale, attention, &uni_split, 3);
@@ -29,5 +31,7 @@ fn main() {
             fmt_secs(rita.epoch_seconds * scale.epochs() as f64),
         ]);
     }
-    table.print("Fig. 5: RITA (Group Attn.) vs GRAIL on uni-variate data (accuracy, total training time)");
+    table.print(
+        "Fig. 5: RITA (Group Attn.) vs GRAIL on uni-variate data (accuracy, total training time)",
+    );
 }

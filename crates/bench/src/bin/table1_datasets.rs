@@ -6,7 +6,8 @@ use rita_data::DatasetKind;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut paper = Table::new(&["Dataset", "Train. Size", "Valid. Size", "Length", "Channel", "Classes"]);
+    let mut paper =
+        Table::new(&["Dataset", "Train. Size", "Valid. Size", "Length", "Channel", "Classes"]);
     for kind in DatasetKind::MULTIVARIATE {
         let s = kind.paper_spec();
         paper.add_row(vec![
@@ -20,7 +21,8 @@ fn main() {
     }
     paper.print("Table 1 (paper scale): dataset statistics");
 
-    let mut reduced = Table::new(&["Dataset", "Train. Size", "Valid. Size", "Length", "Channel", "Classes"]);
+    let mut reduced =
+        Table::new(&["Dataset", "Train. Size", "Valid. Size", "Length", "Channel", "Classes"]);
     for kind in DatasetKind::MULTIVARIATE {
         let s = kind.paper_spec();
         reduced.add_row(vec![

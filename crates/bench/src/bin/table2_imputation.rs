@@ -3,7 +3,8 @@
 //! paper scale.
 
 use rita_bench::experiments::{
-    attention_variants, generate_split, run_imputation, run_tst_imputation, would_oom_at_paper_scale,
+    attention_variants, generate_split, run_imputation, run_tst_imputation,
+    would_oom_at_paper_scale,
 };
 use rita_bench::table::{fmt_f32, fmt_secs};
 use rita_bench::{Scale, Table};
@@ -19,18 +20,42 @@ fn main() {
         let windows = scale.length(kind) / 5;
 
         if would_oom_at_paper_scale("TST", paper_len) {
-            table.add_row(vec![kind.name().into(), paper_len.to_string(), "TST".into(), "N/A (OOM)".into(), "N/A".into()]);
+            table.add_row(vec![
+                kind.name().into(),
+                paper_len.to_string(),
+                "TST".into(),
+                "N/A (OOM)".into(),
+                "N/A".into(),
+            ]);
         } else {
             let r = run_tst_imputation(kind, scale, &split, 3);
-            table.add_row(vec![kind.name().into(), paper_len.to_string(), "TST".into(), fmt_f32(r.mse), fmt_secs(r.epoch_seconds)]);
+            table.add_row(vec![
+                kind.name().into(),
+                paper_len.to_string(),
+                "TST".into(),
+                fmt_f32(r.mse),
+                fmt_secs(r.epoch_seconds),
+            ]);
         }
         for (name, attention) in attention_variants(windows) {
             if would_oom_at_paper_scale(name, paper_len) {
-                table.add_row(vec![kind.name().into(), paper_len.to_string(), name.into(), "N/A (OOM)".into(), "N/A".into()]);
+                table.add_row(vec![
+                    kind.name().into(),
+                    paper_len.to_string(),
+                    name.into(),
+                    "N/A (OOM)".into(),
+                    "N/A".into(),
+                ]);
                 continue;
             }
             let r = run_imputation(kind, scale, attention, &split, 3);
-            table.add_row(vec![kind.name().into(), paper_len.to_string(), name.into(), fmt_f32(r.mse), fmt_secs(r.epoch_seconds)]);
+            table.add_row(vec![
+                kind.name().into(),
+                paper_len.to_string(),
+                name.into(),
+                fmt_f32(r.mse),
+                fmt_secs(r.epoch_seconds),
+            ]);
         }
     }
     table.print("Table 2: imputation results (multi-variate data; OOM cells follow the paper-scale memory model)");

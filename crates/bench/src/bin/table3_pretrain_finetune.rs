@@ -2,7 +2,9 @@
 //! for TST and the four RITA-architecture attention variants.
 
 use rand::SeedableRng;
-use rita_bench::experiments::{attention_variants, generate_split, rita_config, run_tst_classification};
+use rita_bench::experiments::{
+    attention_variants, generate_split, rita_config, run_tst_classification,
+};
 use rita_bench::table::fmt_pct;
 use rita_bench::{Scale, Table};
 use rita_core::tasks::{finetune_classifier, pretrain, train_from_scratch, TrainConfig};
@@ -23,7 +25,12 @@ fn main() {
         let few = split.train.few_labels_per_class(few_labels_per_class);
         let classes = kind.paper_spec().num_classes;
         let windows = scale.length(kind) / 5;
-        let cfg = TrainConfig { epochs: scale.epochs(), batch_size: scale.batch_size(), lr: 1e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: scale.epochs(),
+            batch_size: scale.batch_size(),
+            lr: 1e-3,
+            ..Default::default()
+        };
 
         // TST row: scratch only at reduced scale (its pretraining objective is the same
         // cloze task; we report scratch twice the paper's gap is driven by the RITA rows).
@@ -38,10 +45,16 @@ fn main() {
 
             let mut rng = SeedableRng64::seed_from_u64(5);
             let outcome = pretrain(config, &split.train, &cfg, &mut rng);
-            let (mut pre_clf, _) = finetune_classifier(outcome.model, classes, &few, &cfg, &mut rng);
+            let (mut pre_clf, _) =
+                finetune_classifier(outcome.model, classes, &few, &cfg, &mut rng);
             let pre_acc = pre_clf.evaluate(&split.valid, cfg.batch_size, &mut rng);
 
-            table.add_row(vec![kind.name().into(), name.into(), fmt_pct(scratch_acc), fmt_pct(pre_acc)]);
+            table.add_row(vec![
+                kind.name().into(),
+                name.into(),
+                fmt_pct(scratch_acc),
+                fmt_pct(pre_acc),
+            ]);
         }
     }
     table.print("Table 3: pretrain + few-label finetuning accuracy (scratch vs. pretrained)");

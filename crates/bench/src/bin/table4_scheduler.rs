@@ -13,7 +13,12 @@ use rita_tensor::SeedableRng64;
 
 fn main() {
     let scale = Scale::from_args();
-    let cfg = TrainConfig { epochs: scale.epochs(), batch_size: scale.batch_size(), lr: 1e-3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: scale.epochs(),
+        batch_size: scale.batch_size(),
+        lr: 1e-3,
+        ..Default::default()
+    };
 
     // --- ECG classification ---
     let mut table = Table::new(&["Dataset", "Task", "Scheduler", "Parameter", "Metric", "Time/s"]);
@@ -21,21 +26,37 @@ fn main() {
     let windows = scale.length(DatasetKind::Ecg) / 5;
     for eps in [1.5f32, 2.0, 3.0] {
         eprintln!("[table4] ECG dynamic eps={eps}");
-        let attention = AttentionKind::Group { epsilon: eps, initial_groups: windows / 2, adaptive: true };
+        let attention =
+            AttentionKind::Group { epsilon: eps, initial_groups: windows / 2, adaptive: true };
         let mut rng = SeedableRng64::seed_from_u64(4);
         let mut clf = Classifier::new(rita_config(DatasetKind::Ecg, scale, attention), 9, &mut rng);
         let report = clf.train(&split.train, &cfg, &mut rng);
         let acc = clf.evaluate(&split.valid, cfg.batch_size, &mut rng);
-        table.add_row(vec!["ECG".into(), "Class.".into(), "Dynamic".into(), format!("{eps}"), fmt_pct(acc), fmt_secs(report.total_seconds())]);
+        table.add_row(vec![
+            "ECG".into(),
+            "Class.".into(),
+            "Dynamic".into(),
+            format!("{eps}"),
+            fmt_pct(acc),
+            fmt_secs(report.total_seconds()),
+        ]);
     }
     for n in [windows / 8, windows / 4, windows / 2, windows] {
         eprintln!("[table4] ECG fixed N={n}");
-        let attention = AttentionKind::Group { epsilon: 2.0, initial_groups: n.max(2), adaptive: false };
+        let attention =
+            AttentionKind::Group { epsilon: 2.0, initial_groups: n.max(2), adaptive: false };
         let mut rng = SeedableRng64::seed_from_u64(4);
         let mut clf = Classifier::new(rita_config(DatasetKind::Ecg, scale, attention), 9, &mut rng);
         let report = clf.train(&split.train, &cfg, &mut rng);
         let acc = clf.evaluate(&split.valid, cfg.batch_size, &mut rng);
-        table.add_row(vec!["ECG".into(), "Class.".into(), "Fixed".into(), n.max(2).to_string(), fmt_pct(acc), fmt_secs(report.total_seconds())]);
+        table.add_row(vec![
+            "ECG".into(),
+            "Class.".into(),
+            "Fixed".into(),
+            n.max(2).to_string(),
+            fmt_pct(acc),
+            fmt_secs(report.total_seconds()),
+        ]);
     }
 
     // --- MGH imputation ---
@@ -43,21 +64,37 @@ fn main() {
     let windows = scale.length(DatasetKind::Mgh) / 5;
     for eps in [1.5f32, 2.0, 3.0] {
         eprintln!("[table4] MGH dynamic eps={eps}");
-        let attention = AttentionKind::Group { epsilon: eps, initial_groups: windows / 2, adaptive: true };
+        let attention =
+            AttentionKind::Group { epsilon: eps, initial_groups: windows / 2, adaptive: true };
         let mut rng = SeedableRng64::seed_from_u64(4);
         let mut imp = Imputer::new(rita_config(DatasetKind::Mgh, scale, attention), &mut rng);
         let report = imp.train(&split.train, &cfg, &mut rng);
         let mse = imp.evaluate(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng);
-        table.add_row(vec!["MGH".into(), "Imput.".into(), "Dynamic".into(), format!("{eps}"), fmt_f32(mse), fmt_secs(report.total_seconds())]);
+        table.add_row(vec![
+            "MGH".into(),
+            "Imput.".into(),
+            "Dynamic".into(),
+            format!("{eps}"),
+            fmt_f32(mse),
+            fmt_secs(report.total_seconds()),
+        ]);
     }
     for n in [windows / 8, windows / 4, windows / 2, windows] {
         eprintln!("[table4] MGH fixed N={n}");
-        let attention = AttentionKind::Group { epsilon: 2.0, initial_groups: n.max(2), adaptive: false };
+        let attention =
+            AttentionKind::Group { epsilon: 2.0, initial_groups: n.max(2), adaptive: false };
         let mut rng = SeedableRng64::seed_from_u64(4);
         let mut imp = Imputer::new(rita_config(DatasetKind::Mgh, scale, attention), &mut rng);
         let report = imp.train(&split.train, &cfg, &mut rng);
         let mse = imp.evaluate(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng);
-        table.add_row(vec!["MGH".into(), "Imput.".into(), "Fixed".into(), n.max(2).to_string(), fmt_f32(mse), fmt_secs(report.total_seconds())]);
+        table.add_row(vec![
+            "MGH".into(),
+            "Imput.".into(),
+            "Fixed".into(),
+            n.max(2).to_string(),
+            fmt_f32(mse),
+            fmt_secs(report.total_seconds()),
+        ]);
     }
     table.print("Table 4: adaptive scheduling vs fixed N");
 }

@@ -20,15 +20,25 @@ fn main() {
     });
     let classes = kind.paper_spec().num_classes;
     let windows = scale.length(kind) / 5;
-    let attention = AttentionKind::Group { epsilon: 2.0, initial_groups: (windows / 4).max(4), adaptive: true };
+    let attention =
+        AttentionKind::Group { epsilon: 2.0, initial_groups: (windows / 4).max(4), adaptive: true };
     let config = rita_config(kind, scale, attention);
-    let cfg = TrainConfig { epochs: scale.epochs(), batch_size: scale.batch_size(), lr: 1e-3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: scale.epochs(),
+        batch_size: scale.batch_size(),
+        lr: 1e-3,
+        ..Default::default()
+    };
 
     let mut table = Table::new(&["Pretrain fraction", "Pretrain size", "Few-label accuracy"]);
     // No pretraining (scratch).
     let mut rng = SeedableRng64::seed_from_u64(9);
     let (mut scratch, _) = train_from_scratch(config, classes, &few, &cfg, &mut rng);
-    table.add_row(vec!["0% (scratch)".into(), "0".into(), fmt_pct(scratch.evaluate(&split.valid, cfg.batch_size, &mut rng))]);
+    table.add_row(vec![
+        "0% (scratch)".into(),
+        "0".into(),
+        fmt_pct(scratch.evaluate(&split.valid, cfg.batch_size, &mut rng)),
+    ]);
 
     for fraction in [0.2f32, 0.4, 0.6, 0.8, 1.0] {
         eprintln!("[table5] fraction {fraction}");
@@ -37,7 +47,11 @@ fn main() {
         let outcome = pretrain(config, &subset, &cfg, &mut rng);
         let (mut clf, _) = finetune_classifier(outcome.model, classes, &few, &cfg, &mut rng);
         let acc = clf.evaluate(&split.valid, cfg.batch_size, &mut rng);
-        table.add_row(vec![format!("{:.0}%", fraction * 100.0), subset.len().to_string(), fmt_pct(acc)]);
+        table.add_row(vec![
+            format!("{:.0}%", fraction * 100.0),
+            subset.len().to_string(),
+            fmt_pct(acc),
+        ]);
     }
     table.print("Table 5: increasing sizes of the pretraining set (WISDM-style data)");
 }

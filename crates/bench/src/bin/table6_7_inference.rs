@@ -11,8 +11,10 @@ use rita_data::DatasetKind;
 
 fn main() {
     let scale = Scale::from_args();
-    let class_datasets = [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg];
-    let mut t6 = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let class_datasets =
+        [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg];
+    let mut t6 =
+        Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
     for kind in class_datasets {
         eprintln!("[table6] {}", kind.name());
         let split = generate_split(kind, scale, 91);
@@ -27,7 +29,8 @@ fn main() {
     }
     t6.print("Table 6: inference time, classification (seconds over the validation set)");
 
-    let mut t7 = Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
+    let mut t7 =
+        Table::new(&["Dataset", "TST", "Vanilla", "Performer", "Linformer", "Group Attn."]);
     for kind in DatasetKind::MULTIVARIATE {
         eprintln!("[table7] {}", kind.name());
         let split = generate_split(kind, scale, 92);

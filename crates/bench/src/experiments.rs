@@ -21,11 +21,14 @@ pub fn attention_variants(max_windows: usize) -> Vec<(&'static str, AttentionKin
         ("Vanilla", AttentionKind::Vanilla),
         ("Performer", AttentionKind::Performer { features: 32 }),
         ("Linformer", AttentionKind::Linformer { proj_dim: (max_windows / 4).clamp(4, 64) }),
-        ("Group Attn.", AttentionKind::Group {
-            epsilon: 2.0,
-            initial_groups: (max_windows / 4).clamp(4, 64),
-            adaptive: true,
-        }),
+        (
+            "Group Attn.",
+            AttentionKind::Group {
+                epsilon: 2.0,
+                initial_groups: (max_windows / 4).clamp(4, 64),
+                adaptive: true,
+            },
+        ),
     ]
 }
 
@@ -133,7 +136,8 @@ pub fn run_tst_classification(
     let mut clf = TstClassifier::new(config, len, spec.num_classes, &mut rng);
     let cfg = train_cfg(scale);
     let mut report = rita_core::tasks::TrainReport::default();
-    let mut opt = rita_nn::optim::AdamW::new(rita_nn::Module::parameters(&clf), cfg.lr, cfg.weight_decay);
+    let mut opt =
+        rita_nn::optim::AdamW::new(rita_nn::Module::parameters(&clf), cfg.lr, cfg.weight_decay);
     for _ in 0..cfg.epochs {
         report.push(clf.train_epoch(&split.train, &mut opt, &cfg, &mut rng));
     }
@@ -156,7 +160,8 @@ pub fn run_imputation(
     let cfg = train_cfg(scale);
     let report = imp.train(&split.train, &cfg, &mut rng);
     let mse = imp.evaluate(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng);
-    let inference_seconds = imp.inference_seconds(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng);
+    let inference_seconds =
+        imp.inference_seconds(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng);
     ImputationResult { mse, epoch_seconds: report.mean_epoch_seconds(), inference_seconds }
 }
 
@@ -180,13 +185,15 @@ pub fn run_tst_imputation(
     };
     let mut imp = TstImputer::new(config, &mut rng);
     let cfg = train_cfg(scale);
-    let mut opt = rita_nn::optim::AdamW::new(rita_nn::Module::parameters(&imp), cfg.lr, cfg.weight_decay);
+    let mut opt =
+        rita_nn::optim::AdamW::new(rita_nn::Module::parameters(&imp), cfg.lr, cfg.weight_decay);
     let mut report = rita_core::tasks::TrainReport::default();
     for _ in 0..cfg.epochs {
         report.push(imp.train_epoch(&split.train, &mut opt, &cfg, &mut rng));
     }
     let mse = imp.evaluate(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng);
-    let (_, inference_seconds) = timed(|| imp.evaluate(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng));
+    let (_, inference_seconds) =
+        timed(|| imp.evaluate(&split.valid, cfg.batch_size, cfg.mask_rate, &mut rng));
     ImputationResult { mse, epoch_seconds: report.mean_epoch_seconds(), inference_seconds }
 }
 
@@ -213,7 +220,15 @@ pub fn would_oom_at_paper_scale(name: &str, paper_length: usize) -> bool {
     if !quadratic {
         return false;
     }
-    let m = MemoryModel { d_model: 64, layers: 8, heads: 2, ff_hidden: 256, channels: 21, window, bytes_per_element: 4 };
+    let m = MemoryModel {
+        d_model: 64,
+        layers: 8,
+        heads: 2,
+        ff_hidden: 256,
+        channels: 21,
+        window,
+        bytes_per_element: 4,
+    };
     // Attention matrices retained per layer and head for the backward pass: raw scores,
     // softmax output, dropout mask, their gradients and framework workspace — roughly
     // eight n×n buffers in a PyTorch-style implementation (calibrated so the model

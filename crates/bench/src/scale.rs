@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn valid_size_is_a_fraction_of_train() {
-        assert!(Scale::Reduced.valid_size(DatasetKind::Wisdm) < Scale::Reduced.train_size(DatasetKind::Wisdm));
+        assert!(
+            Scale::Reduced.valid_size(DatasetKind::Wisdm)
+                < Scale::Reduced.train_size(DatasetKind::Wisdm)
+        );
         assert!(Scale::Reduced.valid_size(DatasetKind::Mgh) >= 4);
     }
 }

@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of the `criterion` crate used by `rita-bench`.
+//!
+//! Provides the same macro / builder surface (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`])
+//! backed by a plain wall-clock sampler: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose iteration counts are chosen so a sample lasts at least a
+//! few milliseconds. Results (mean / min / max per iteration) are printed to stdout, so
+//! `cargo bench` output remains grep-able for the perf tables in `CHANGES.md`.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, group_name: name.to_string(), sample_size }
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a parameter value.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"vanilla/1024"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut bencher, input);
+        bencher.report(&self.group_name, &id.name);
+        self
+    }
+
+    /// Runs one unparameterised benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut bencher);
+        bencher.report(&self.group_name, name);
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration durations over `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and iteration-count calibration: target >= 5 ms per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{name}: no samples recorded");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{group}/{name}: mean {} (min {}, max {}, {} samples)",
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; accept and ignore them.
+            $( $group(); )+
+        }
+    };
+}

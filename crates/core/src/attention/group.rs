@@ -84,7 +84,11 @@ impl GroupAttention {
     pub fn new(config: GroupAttentionConfig) -> Self {
         assert!(config.epsilon > 1.0, "error bound epsilon must be > 1");
         assert!(config.initial_groups >= 1, "need at least one group");
-        Self { config, n_groups: config.initial_groups as f32, stats: GroupAttentionStats::default() }
+        Self {
+            config,
+            n_groups: config.initial_groups as f32,
+            stats: GroupAttentionStats::default(),
+        }
     }
 
     /// Group count that the next forward pass will use for `n` windows.
@@ -109,19 +113,21 @@ impl GroupAttention {
         keys: &NdArray,
         n_groups: usize,
     ) -> (Vec<Grouping>, NdArray, NdArray, NdArray) {
-        let shape = keys.shape();
-        let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
+        let shape = keys.shape().to_vec();
+        let (b, h, n) = (shape[0], shape[1], shape[2]);
         let mut groupings = Vec::with_capacity(b * h);
         let mut avg = Vec::with_capacity(b * h * n_groups * n);
         let mut sum = Vec::with_capacity(b * h * n_groups * n);
         let mut counts = Vec::with_capacity(b * h * n_groups);
-        let kd = keys.as_slice();
         for bi in 0..b {
             for hi in 0..h {
-                let offset = (bi * h + hi) * n * dh;
-                let slice = NdArray::from_vec(kd[offset..offset + n * dh].to_vec(), &[n, dh])
-                    .expect("key slice");
-                let grouping = kmeans_matmul(&slice, n_groups, self.config.kmeans_iters);
+                // Zero-copy (n, dh) key block: an O(1) strided sub-view of the (possibly
+                // head-split) key tensor; k-means reads its rows in place.
+                let block = keys
+                    .index_axis(0, bi)
+                    .and_then(|kb| kb.index_axis(0, hi))
+                    .expect("key block view");
+                let grouping = kmeans_matmul(&block, n_groups, self.config.kmeans_iters);
                 avg.extend_from_slice(grouping.averaging_matrix().as_slice());
                 sum.extend_from_slice(grouping.sum_matrix().as_slice());
                 counts.extend(grouping.counts.iter().map(|&c| c as f32));
@@ -139,8 +145,7 @@ impl GroupAttention {
         let radius = key_ball_radius(keys);
         let d = distance_threshold(self.config.epsilon, radius);
         self.stats.last_distance_threshold = d;
-        self.stats.last_max_radius =
-            groupings.iter().map(Grouping::max_radius).fold(0.0, f32::max);
+        self.stats.last_max_radius = groupings.iter().map(Grouping::max_radius).fold(0.0, f32::max);
         if !self.config.adaptive {
             self.stats.last_merged = 0.0;
             return;
@@ -148,7 +153,8 @@ impl GroupAttention {
         let total_merged: usize = groupings.iter().map(|g| mergeable_count(g, d)).sum();
         let avg_merged = total_merged as f32 / groupings.len().max(1) as f32;
         self.stats.last_merged = avg_merged;
-        let updated = momentum_update(self.n_groups, avg_merged.round() as usize, self.config.momentum_alpha);
+        let updated =
+            momentum_update(self.n_groups, avg_merged.round() as usize, self.config.momentum_alpha);
         self.n_groups = updated.clamp(self.config.min_groups as f32, n_windows as f32);
     }
 }
@@ -221,7 +227,14 @@ mod tests {
     /// Builds keys with exactly `groups` distinct rows repeated across `n` windows, so the
     /// grouping is exact and group attention must equal vanilla attention (Lemma 3 /
     /// Appendix A.4).
-    fn duplicated_keys(b: usize, h: usize, n: usize, dh: usize, groups: usize, seed: u64) -> NdArray {
+    fn duplicated_keys(
+        b: usize,
+        h: usize,
+        n: usize,
+        dh: usize,
+        groups: usize,
+        seed: u64,
+    ) -> NdArray {
         let mut r = rng(seed);
         let prototypes = NdArray::randn(&[groups, dh], 1.0, &mut r);
         let mut data = Vec::with_capacity(b * h * n * dh);
@@ -265,10 +278,8 @@ mod tests {
         let q = Var::constant(NdArray::randn(&[2, 2, 16, 8], 1.0, &mut r));
         let k = Var::constant(NdArray::randn(&[2, 2, 16, 8], 1.0, &mut r));
         let v = Var::constant(NdArray::randn(&[2, 2, 16, 8], 1.0, &mut r));
-        let mut attn = GroupAttention::new(GroupAttentionConfig {
-            initial_groups: 4,
-            ..Default::default()
-        });
+        let mut attn =
+            GroupAttention::new(GroupAttentionConfig { initial_groups: 4, ..Default::default() });
         let o = attn.forward(&q, &k, &v);
         assert_eq!(o.shape(), vec![2, 2, 16, 8]);
         assert!(!o.to_array().has_non_finite());
@@ -318,10 +329,8 @@ mod tests {
         let q = Var::parameter(NdArray::randn(&[1, 2, 10, 4], 0.5, &mut r));
         let k = Var::parameter(NdArray::randn(&[1, 2, 10, 4], 0.5, &mut r));
         let v = Var::parameter(NdArray::randn(&[1, 2, 10, 4], 0.5, &mut r));
-        let mut attn = GroupAttention::new(GroupAttentionConfig {
-            initial_groups: 3,
-            ..Default::default()
-        });
+        let mut attn =
+            GroupAttention::new(GroupAttentionConfig { initial_groups: 3, ..Default::default() });
         attn.forward(&q, &k, &v).sum_all().backward();
         for (name, p) in [("q", &q), ("k", &k), ("v", &v)] {
             let g = p.grad().unwrap_or_else(|| panic!("no grad for {name}"));

@@ -126,10 +126,9 @@ mod tests {
         let mut r = rng(3);
         let q = Var::constant(NdArray::randn(&[1, 1, 5, 4], 0.2, &mut r));
         let k = Var::constant(NdArray::full(&[1, 1, 5, 4], 0.1));
-        let v = Var::constant(NdArray::from_vec(
-            (0..20).map(|x| x as f32).collect(),
-            &[1, 1, 5, 4],
-        ).unwrap());
+        let v = Var::constant(
+            NdArray::from_vec((0..20).map(|x| x as f32).collect(), &[1, 1, 5, 4]).unwrap(),
+        );
         let mut attn = PerformerAttention::new(4, 128, &mut r);
         let o = attn.forward(&q, &k, &v).to_array();
         // column means of v are 8, 9, 10, 11

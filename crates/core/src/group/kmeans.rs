@@ -77,11 +77,10 @@ impl Grouping {
     }
 }
 
-/// Squared L2 norms of each row of `x` (`(n, d)` → length-`n` vector).
+/// Squared L2 norms of each row of `x` (`(n, d)` → length-`n` vector). Stride-aware:
+/// reads the rows of a head-split view in place.
 fn row_sq_norms(x: &NdArray) -> Vec<f32> {
-    let (n, d) = (x.shape()[0], x.shape()[1]);
-    let data = x.as_slice();
-    (0..n).map(|i| data[i * d..(i + 1) * d].iter().map(|&v| v * v).sum()).collect()
+    x.rows().map(|r| r.iter().map(|&v| v * v).sum()).collect()
 }
 
 /// Picks `k` initial centres with a deterministic farthest-point sweep (k-means++ without
@@ -90,23 +89,17 @@ fn row_sq_norms(x: &NdArray) -> Vec<f32> {
 /// periodic layouts produced by timeseries windows.
 fn init_centers(x: &NdArray, k: usize) -> NdArray {
     let n = x.shape()[0];
-    let d = x.shape()[1];
-    let data = x.as_slice();
     let mut chosen = Vec::with_capacity(k);
     chosen.push(0usize);
     // min squared distance from each point to the chosen set
     let mut min_dist = vec![f32::INFINITY; n];
     for _ in 1..k {
         let last = *chosen.last().expect("non-empty");
-        let lastv = &data[last * d..(last + 1) * d];
+        let lastv = x.row(last).to_vec();
         let mut best = 0usize;
         let mut best_d = -1.0f32;
-        for i in 0..n {
-            let dist: f32 = data[i * d..(i + 1) * d]
-                .iter()
-                .zip(lastv)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+        for (i, xi) in x.rows().enumerate() {
+            let dist: f32 = xi.iter().zip(&lastv).map(|(a, b)| (a - b) * (a - b)).sum();
             if dist < min_dist[i] {
                 min_dist[i] = dist;
             }
@@ -138,6 +131,9 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
     let n = x.shape()[0];
     let d = x.shape()[1];
     assert!(n > 0, "kmeans on empty input");
+    // Strided views (e.g. the per-head key blocks of a split-heads tensor) are consumed
+    // in place as long as their rows are contiguous; anything wilder is compacted once.
+    let x = &x.with_contiguous_rows();
     let k = num_groups.clamp(1, n);
     let mut centers = init_centers(x, k);
     let mut assignments = vec![0usize; n];
@@ -163,10 +159,8 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
                 assignments[i] = best;
             }
         } else {
-            let xd = x.as_slice();
             let cd = centers.as_slice();
-            for i in 0..n {
-                let xi = &xd[i * d..(i + 1) * d];
+            for (i, xi) in x.rows().enumerate() {
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
                 for j in 0..k {
@@ -184,11 +178,10 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
         // --- update step ---
         let mut sums = vec![0.0f32; k * d];
         let mut counts = vec![0usize; k];
-        let xd = x.as_slice();
-        for (i, &a) in assignments.iter().enumerate() {
+        for (xi, &a) in x.rows().zip(assignments.iter()) {
             counts[a] += 1;
-            for j in 0..d {
-                sums[a * d + j] += xd[i * d + j];
+            for (s, &v) in sums[a * d..(a + 1) * d].iter_mut().zip(xi) {
+                *s += v;
             }
         }
         // Empty clusters keep their previous centre (a common, stable convention).
@@ -206,11 +199,10 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
     // Final statistics: counts and radii against the final centres/assignments.
     let mut counts = vec![0usize; k];
     let mut radii = vec![0.0f32; k];
-    let xd = x.as_slice();
     let cd = centers.as_slice();
-    for (i, &a) in assignments.iter().enumerate() {
+    for (xi, &a) in x.rows().zip(assignments.iter()) {
         counts[a] += 1;
-        let dist: f32 = xd[i * d..(i + 1) * d]
+        let dist: f32 = xi
             .iter()
             .zip(&cd[a * d..(a + 1) * d])
             .map(|(x, c)| (x - c) * (x - c))

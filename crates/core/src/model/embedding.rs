@@ -55,14 +55,14 @@ impl TimeConvEmbed {
         let n = embedded.shape()[1];
         let d = embedded.shape()[2];
         assert!(
-            n + 1 <= self.positional.shape()[0],
+            n < self.positional.shape()[0],
             "series produces {n} windows, more than the positional table supports"
         );
         // Prepend CLS: broadcast the learned vector across the batch.
         let cls = self.cls.reshape(&[1, 1, d]);
         let cls_batch = cls.mul(&Var::constant(NdArray::ones(&[batch, 1, d])));
         let with_cls = Var::concat(&[cls_batch, embedded], 1); // (B, n+1, d)
-        // Add positional encodings (constant, broadcast over the batch).
+                                                               // Add positional encodings (constant, broadcast over the batch).
         let pos = self.positional.slice_axis(0, 0, n + 1).expect("positional slice");
         with_cls.add(&Var::constant(pos))
     }

@@ -105,12 +105,8 @@ impl RitaEncoder {
 
     /// Average group count across group-attention layers, if any.
     pub fn mean_group_count(&self) -> Option<f32> {
-        let counts: Vec<f32> = self
-            .group_stats()
-            .into_iter()
-            .flatten()
-            .map(|s| s.current_groups as f32)
-            .collect();
+        let counts: Vec<f32> =
+            self.group_stats().into_iter().flatten().map(|s| s.current_groups as f32).collect();
         if counts.is_empty() {
             None
         } else {
@@ -168,11 +164,11 @@ mod tests {
     #[test]
     fn encoder_is_trainable_end_to_end() {
         let mut r = rng(1);
-        let config = RitaConfig::tiny(3, 40, AttentionKind::Group {
-            epsilon: 2.0,
-            initial_groups: 4,
-            adaptive: true,
-        });
+        let config = RitaConfig::tiny(
+            3,
+            40,
+            AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: true },
+        );
         let mut enc = RitaEncoder::new(&config, &mut r);
         let params = enc.parameters();
         assert!(!params.is_empty());

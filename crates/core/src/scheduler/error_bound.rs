@@ -29,14 +29,14 @@ pub fn guaranteed_epsilon(d: f32, radius: f32) -> f32 {
 /// rows of an `(n, d)` (or any `(..., d)`) array.
 pub fn key_ball_radius(keys: &NdArray) -> f32 {
     let d = *keys.shape().last().unwrap_or(&1);
-    if d == 0 || keys.len() == 0 {
+    if d == 0 || keys.is_empty() {
         return 0.0;
     }
-    let rows = keys.len() / d;
-    let data = keys.as_slice();
+    // Stride-aware: head-split or sliced key views are read in place.
+    let keys = keys.with_contiguous_rows();
     let mut max_sq = 0.0f32;
-    for r in 0..rows {
-        let sq: f32 = data[r * d..(r + 1) * d].iter().map(|&x| x * x).sum();
+    for row in keys.rows() {
+        let sq: f32 = row.iter().map(|&x| x * x).sum();
         max_sq = max_sq.max(sq);
     }
     max_sq.sqrt()
@@ -47,6 +47,7 @@ pub fn key_ball_radius(keys: &NdArray) -> f32 {
 /// of `max(ratio, 1/ratio)` over all entries. Used by property tests.
 pub fn max_attention_ratio(exact: &NdArray, approx: &NdArray) -> f32 {
     assert_eq!(exact.shape(), approx.shape());
+    let (exact, approx) = (exact.materialize(), approx.materialize());
     let mut worst = 1.0f32;
     for (&e, &a) in exact.as_slice().iter().zip(approx.as_slice()) {
         if e <= 0.0 || a <= 0.0 {

@@ -29,7 +29,15 @@ pub struct MemoryModel {
 impl Default for MemoryModel {
     fn default() -> Self {
         // The paper's configuration: 8 layers, 2 heads, hidden dimension 64.
-        Self { d_model: 64, layers: 8, heads: 2, ff_hidden: 256, channels: 3, window: 5, bytes_per_element: 4 }
+        Self {
+            d_model: 64,
+            layers: 8,
+            heads: 2,
+            ff_hidden: 256,
+            channels: 3,
+            window: 5,
+            bytes_per_element: 4,
+        }
     }
 }
 
@@ -52,7 +60,9 @@ impl MemoryModel {
             + n * self.d_model * 2; // residual + layer norm
         let activations = per_sample_input + self.layers * per_layer + n * self.d_model;
         let parameters = self.layers
-            * (self.d_model * self.d_model * 4 + self.d_model * self.ff_hidden * 2 + self.d_model * 4)
+            * (self.d_model * self.d_model * 4
+                + self.d_model * self.ff_hidden * 2
+                + self.d_model * 4)
             + self.channels * self.window * self.d_model;
         // Parameters + gradients + optimiser moments are batch-independent (×4);
         // activations grow linearly with the batch and are also kept for gradients (×2).
@@ -78,7 +88,7 @@ impl MemoryModel {
         let (mut lo, mut hi) = (1usize, max_batch.max(1));
         // classic binary search for the largest b with fits(b)
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if fits(mid) {
                 lo = mid;
             } else {

@@ -37,8 +37,7 @@ pub fn mergeable_count(grouping: &Grouping, d: f32) -> usize {
         let rj = grouping.radii[j];
         let absorbable = (0..half).any(|i| {
             let ci = &centers[i * dim..(i + 1) * dim];
-            let dist: f32 =
-                ci.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+            let dist: f32 = ci.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
             can_absorb(dist, grouping.radii[i], rj, d)
         });
         if absorbable {
@@ -76,8 +75,7 @@ pub fn exhaustive_mergeable_count(grouping: &Grouping, d: f32) -> usize {
             }
             let ci = &centers[i * dim..(i + 1) * dim];
             let cj = &centers[j * dim..(j + 1) * dim];
-            let dist: f32 =
-                ci.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+            let dist: f32 = ci.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
             // Symmetric Lemma 2 condition (without the heuristic's d/2 tightening).
             if dist + grouping.radii[i] <= d && dist + grouping.radii[j] <= d {
                 absorbed[j] = true;
@@ -96,7 +94,13 @@ mod tests {
     use rand::SeedableRng;
     use rita_tensor::{NdArray, SeedableRng64};
 
-    fn clustered_points(centres: &[f32], spread: f32, per: usize, dim: usize, seed: u64) -> NdArray {
+    fn clustered_points(
+        centres: &[f32],
+        spread: f32,
+        per: usize,
+        dim: usize,
+        seed: u64,
+    ) -> NdArray {
         let mut rng = SeedableRng64::seed_from_u64(seed);
         let mut parts = Vec::new();
         for &c in centres {

@@ -89,7 +89,12 @@ impl Classifier {
     }
 
     /// Classification accuracy on a labelled dataset (inference mode, no graph).
-    pub fn evaluate(&mut self, data: &TimeseriesDataset, batch_size: usize, rng: &mut impl Rng) -> f32 {
+    pub fn evaluate(
+        &mut self,
+        data: &TimeseriesDataset,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> f32 {
         let labels = data.labels.as_ref().expect("evaluation needs labels");
         if labels.is_empty() {
             return 0.0;

@@ -37,7 +37,8 @@ pub fn evaluate_forecast(
     for idx in batch_indices(data.len(), batch_size, false, rng) {
         let masked: Vec<_> =
             idx.iter().map(|&i| mask_suffix(&data.samples[i], observed_len)).collect();
-        let observed = stack_samples(&masked.iter().map(|m| m.observed.clone()).collect::<Vec<_>>());
+        let observed =
+            stack_samples(&masked.iter().map(|m| m.observed.clone()).collect::<Vec<_>>());
         let targets = stack_samples(&masked.iter().map(|m| m.target.clone()).collect::<Vec<_>>());
         let mask = stack_samples(&masked.iter().map(|m| m.mask.clone()).collect::<Vec<_>>());
         let recon = no_grad(|| imputer.reconstruct(&observed, false, rng).to_array());

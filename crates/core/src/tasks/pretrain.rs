@@ -76,8 +76,7 @@ mod tests {
     #[test]
     fn pretrain_then_finetune_pipeline_runs() {
         let mut r = rng(0);
-        let unlabeled =
-            TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 12, 0, 40, &mut r);
+        let unlabeled = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 12, 0, 40, &mut r);
         let labeled = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 10, 0, 40, &mut r);
         let config = RitaConfig::tiny(3, 40, AttentionKind::default_group());
         let cfg = TrainConfig { epochs: 1, batch_size: 6, lr: 1e-3, ..Default::default() };

@@ -24,7 +24,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 5, batch_size: 16, lr: 1e-3, weight_decay: 1e-4, grad_clip: 1.0, mask_rate: 0.2 }
+        Self {
+            epochs: 5,
+            batch_size: 16,
+            lr: 1e-3,
+            weight_decay: 1e-4,
+            grad_clip: 1.0,
+            mask_rate: 0.2,
+        }
     }
 }
 

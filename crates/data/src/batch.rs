@@ -36,7 +36,12 @@ pub fn stack_samples(samples: &[NdArray]) -> NdArray {
 
 /// Iterates over index batches of size `batch_size`, optionally shuffling first.
 /// The final, smaller batch is included.
-pub fn batch_indices(n: usize, batch_size: usize, shuffle: bool, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+pub fn batch_indices(
+    n: usize,
+    batch_size: usize,
+    shuffle: bool,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
     assert!(batch_size > 0, "batch size must be positive");
     let mut order: Vec<usize> = (0..n).collect();
     if shuffle {

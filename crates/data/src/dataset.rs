@@ -143,8 +143,13 @@ impl TimeseriesDataset {
     /// varying-length experiment, Fig. 4).
     pub fn truncate_length(&self, length: usize) -> TimeseriesDataset {
         assert!(length <= self.length(), "cannot truncate {} to {length}", self.length());
-        let samples =
-            self.samples.iter().map(|s| s.slice_axis(1, 0, length).expect("truncate")).collect();
+        // Materialize: a truncated dataset is long-lived and should not pin the full-length
+        // buffers of its source alive through slice views.
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| s.slice_axis(1, 0, length).expect("truncate").materialize())
+            .collect();
         let mut spec = self.spec;
         spec.length = length;
         TimeseriesDataset { spec, samples, labels: self.labels.clone() }

@@ -24,8 +24,13 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All multivariate datasets in paper order.
-    pub const MULTIVARIATE: [DatasetKind; 5] =
-        [DatasetKind::Wisdm, DatasetKind::Hhar, DatasetKind::Rwhar, DatasetKind::Ecg, DatasetKind::Mgh];
+    pub const MULTIVARIATE: [DatasetKind; 5] = [
+        DatasetKind::Wisdm,
+        DatasetKind::Hhar,
+        DatasetKind::Rwhar,
+        DatasetKind::Ecg,
+        DatasetKind::Mgh,
+    ];
 
     /// The three univariate derivations used in the GRAIL comparison (Fig. 5).
     pub const UNIVARIATE: [DatasetKind; 3] =
@@ -167,9 +172,15 @@ mod tests {
     #[test]
     fn paper_specs_match_table1() {
         let w = DatasetKind::Wisdm.paper_spec();
-        assert_eq!((w.train_size, w.valid_size, w.length, w.channels, w.num_classes), (28_280, 3_112, 200, 3, 18));
+        assert_eq!(
+            (w.train_size, w.valid_size, w.length, w.channels, w.num_classes),
+            (28_280, 3_112, 200, 3, 18)
+        );
         let e = DatasetKind::Ecg.paper_spec();
-        assert_eq!((e.train_size, e.valid_size, e.length, e.channels, e.num_classes), (31_091, 3_551, 2_000, 12, 9));
+        assert_eq!(
+            (e.train_size, e.valid_size, e.length, e.channels, e.num_classes),
+            (31_091, 3_551, 2_000, 12, 9)
+        );
         let m = DatasetKind::Mgh.paper_spec();
         assert_eq!((m.length, m.channels, m.num_classes), (10_000, 21, 0));
         assert!(!m.is_labeled());

@@ -28,14 +28,16 @@ pub struct Linear {
 impl Linear {
     /// Creates a linear layer with Kaiming-initialised weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
-        let weight = Var::parameter(NdArray::kaiming(&[in_features, out_features], in_features, rng));
+        let weight =
+            Var::parameter(NdArray::kaiming(&[in_features, out_features], in_features, rng));
         let bias = Var::parameter(NdArray::zeros(&[out_features]));
         Self { weight, bias: Some(bias) }
     }
 
     /// Creates a linear layer without a bias term.
     pub fn new_no_bias(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
-        let weight = Var::parameter(NdArray::kaiming(&[in_features, out_features], in_features, rng));
+        let weight =
+            Var::parameter(NdArray::kaiming(&[in_features, out_features], in_features, rng));
         Self { weight, bias: None }
     }
 
@@ -149,20 +151,25 @@ impl BatchNorm1d {
             let mean = flat.mean_axis(0); // (1, d)
             let centered = flat.sub(&mean);
             let var = centered.square().mean_axis(0); // (1, d)
-            // update running stats from detached values
+                                                      // update running stats from detached values
             let mean_a = mean.to_array().reshape(&[d]).expect("bn mean shape");
             let var_a = var.to_array().reshape(&[d]).expect("bn var shape");
-            self.running_mean =
-                self.running_mean.scale(1.0 - self.momentum).add(&mean_a.scale(self.momentum)).expect("bn ema");
-            self.running_var =
-                self.running_var.scale(1.0 - self.momentum).add(&var_a.scale(self.momentum)).expect("bn ema");
+            self.running_mean = self
+                .running_mean
+                .scale(1.0 - self.momentum)
+                .add(&mean_a.scale(self.momentum))
+                .expect("bn ema");
+            self.running_var = self
+                .running_var
+                .scale(1.0 - self.momentum)
+                .add(&var_a.scale(self.momentum))
+                .expect("bn ema");
             let denom = var.add_scalar(self.eps).sqrt();
             let normalised = centered.div(&denom);
             normalised.mul(&self.gamma).add(&self.beta).reshape(&shape)
         } else {
             let mean = Var::constant(self.running_mean.clone());
-            let std =
-                Var::constant(self.running_var.add_scalar(self.eps).sqrt());
+            let std = Var::constant(self.running_var.add_scalar(self.eps).sqrt());
             x.sub(&mean).div(&std).mul(&self.gamma).add(&self.beta)
         }
     }
@@ -291,9 +298,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index drives the perturbed coordinate
     fn layer_norm_gradcheck() {
         let ln = LayerNorm::new(4);
-        let x0 = NdArray::from_vec(vec![0.5, -1.0, 2.0, 0.1, 1.0, 3.0, -2.0, 0.7], &[2, 4]).unwrap();
+        let x0 =
+            NdArray::from_vec(vec![0.5, -1.0, 2.0, 0.1, 1.0, 3.0, -2.0, 0.7], &[2, 4]).unwrap();
         let w = NdArray::from_vec(vec![1.0, -0.5, 2.0, 0.3, -1.0, 0.8, 0.2, 1.5], &[2, 4]).unwrap();
         let x = Var::parameter(x0.clone());
         ln.forward(&x).mul(&Var::constant(w.clone())).sum_all().backward();
@@ -305,8 +314,10 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = x0.clone();
             minus.as_mut_slice()[i] -= eps;
-            let fp = ln.forward(&Var::constant(plus)).mul(&Var::constant(w.clone())).sum_all().item();
-            let fm = ln.forward(&Var::constant(minus)).mul(&Var::constant(w.clone())).sum_all().item();
+            let fp =
+                ln.forward(&Var::constant(plus)).mul(&Var::constant(w.clone())).sum_all().item();
+            let fm =
+                ln.forward(&Var::constant(minus)).mul(&Var::constant(w.clone())).sum_all().item();
             numeric[i] = (fp - fm) / (2.0 * eps);
         }
         assert!(

@@ -106,7 +106,8 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradient_matches_finite_difference() {
-        let x0 = NdArray::from_vec(vec![0.3, -0.7, 0.2, 1.4, -0.1, 0.0, 0.9, -2.0], &[2, 4]).unwrap();
+        let x0 =
+            NdArray::from_vec(vec![0.3, -0.7, 0.2, 1.4, -0.1, 0.0, 0.9, -2.0], &[2, 4]).unwrap();
         let targets = [3usize, 1usize];
         let logits = Var::parameter(x0.clone());
         cross_entropy_logits(&logits, &targets).backward();
@@ -163,8 +164,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_argmax() {
-        let logits =
-            NdArray::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let logits = NdArray::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
         assert_eq!(accuracy(&NdArray::zeros(&[0, 2]), &[]), 0.0);

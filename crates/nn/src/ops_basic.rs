@@ -331,9 +331,7 @@ impl Var {
         Var::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g, _| {
-                vec![scatter_slice_axis(g, &parent_shape, axis, start)]
-            }),
+            Box::new(move |g, _| vec![scatter_slice_axis(g, &parent_shape, axis, start)]),
         )
     }
 
@@ -349,7 +347,8 @@ impl Var {
                 let gy = g.mul(&y_saved).expect("softmax backward");
                 let last = y_saved.ndim() - 1;
                 let s = gy.sum_axis(last, true).expect("softmax backward");
-                let dx = y_saved.mul(&g.sub(&s).expect("softmax backward")).expect("softmax backward");
+                let dx =
+                    y_saved.mul(&g.sub(&s).expect("softmax backward")).expect("softmax backward");
                 vec![dx]
             }),
         )
@@ -364,7 +363,11 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g, _| {
-                vec![g.mul(&mask_owned).expect("mul_mask backward").reduce_to_shape(&shape).expect("mul_mask backward")]
+                vec![g
+                    .mul(&mask_owned)
+                    .expect("mul_mask backward")
+                    .reduce_to_shape(&shape)
+                    .expect("mul_mask backward")]
             }),
         )
     }
@@ -378,6 +381,7 @@ fn scatter_slice_axis(g: &NdArray, parent_shape: &[usize], axis: usize, start: u
     let inner: usize = parent_shape[axis + 1..].iter().product::<usize>().max(1);
     let parent_axis = parent_shape[axis];
     let slice_axis_len = g.shape()[axis];
+    let g = g.materialize(); // the incoming gradient may be a strided view
     let gdata = g.as_slice();
     let odata = out.as_mut_slice();
     for o in 0..outer {
@@ -406,7 +410,12 @@ mod tests {
         let ga = a.grad().unwrap();
         let gb = b.grad().unwrap();
         assert!(allclose(ga.as_slice(), &[3.0 + 1.0 / 3.0, 4.25], 1e-5, 1e-5));
-        assert!(allclose(gb.as_slice(), &[1.0 - 1.0 / 9.0 - 1.0, 2.0 - 2.0 / 16.0 - 1.0], 1e-5, 1e-5));
+        assert!(allclose(
+            gb.as_slice(),
+            &[1.0 - 1.0 / 9.0 - 1.0, 2.0 - 2.0 / 16.0 - 1.0],
+            1e-5,
+            1e-5
+        ));
     }
 
     #[test]
@@ -531,8 +540,10 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = x0.clone();
             minus.as_mut_slice()[i] -= eps;
-            let fp = Var::constant(plus).softmax_last().mul(&Var::constant(w.clone())).sum_all().item();
-            let fm = Var::constant(minus).softmax_last().mul(&Var::constant(w.clone())).sum_all().item();
+            let fp =
+                Var::constant(plus).softmax_last().mul(&Var::constant(w.clone())).sum_all().item();
+            let fm =
+                Var::constant(minus).softmax_last().mul(&Var::constant(w.clone())).sum_all().item();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
                 (analytic.as_slice()[i] - numeric).abs() < 2e-3,

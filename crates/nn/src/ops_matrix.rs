@@ -16,8 +16,14 @@ impl Var {
                 let a = parents[0].value();
                 let b = parents[1].value();
                 // dA = g · Bᵀ, dB = Aᵀ · g  (then undo batch broadcasting)
-                let da = g.matmul(&b.transpose_last2().expect("matmul backward")).expect("matmul backward");
-                let db = a.transpose_last2().expect("matmul backward").matmul(g).expect("matmul backward");
+                let da = g
+                    .matmul(&b.transpose_last2().expect("matmul backward"))
+                    .expect("matmul backward");
+                let db = a
+                    .transpose_last2()
+                    .expect("matmul backward")
+                    .matmul(g)
+                    .expect("matmul backward");
                 vec![
                     da.reduce_to_shape(&sa).expect("matmul backward reduce"),
                     db.reduce_to_shape(&sb).expect("matmul backward reduce"),
@@ -41,7 +47,10 @@ impl Var {
         let shape = self.shape();
         assert_eq!(shape.len(), 3, "unfold1d expects (batch, channels, length), got {shape:?}");
         let (b, c, l) = (shape[0], shape[1], shape[2]);
-        assert!(width > 0 && stride > 0 && l >= width, "invalid unfold1d width/stride for length {l}");
+        assert!(
+            width > 0 && stride > 0 && l >= width,
+            "invalid unfold1d width/stride for length {l}"
+        );
         let n = (l - width) / stride + 1;
         let value = unfold_forward(&self.value(), b, c, l, width, stride, n);
         Var::from_op(
@@ -82,6 +91,7 @@ fn unfold_forward(
     stride: usize,
     n: usize,
 ) -> NdArray {
+    let x = x.materialize(); // inputs and gradients may be strided views
     let xd = x.as_slice();
     let mut out = vec![0.0f32; b * n * c * width];
     for bi in 0..b {
@@ -107,6 +117,7 @@ fn unfold_backward(
     stride: usize,
     n: usize,
 ) -> NdArray {
+    let g = g.materialize(); // inputs and gradients may be strided views
     let gd = g.as_slice();
     let mut out = vec![0.0f32; b * c * l];
     for bi in 0..b {

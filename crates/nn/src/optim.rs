@@ -97,7 +97,10 @@ impl Optimizer for AdamW {
         for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
             let Some(g) = p.grad() else { continue };
             *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1)).expect("adamw m");
-            *v = v.scale(self.beta2).add(&g.mul(&g).expect("adamw g^2").scale(1.0 - self.beta2)).expect("adamw v");
+            *v = v
+                .scale(self.beta2)
+                .add(&g.mul(&g).expect("adamw g^2").scale(1.0 - self.beta2))
+                .expect("adamw v");
             let m_hat = m.scale(1.0 / bc1);
             let v_hat = v.scale(1.0 / bc2);
             let eps = self.eps;
@@ -180,7 +183,8 @@ mod tests {
     fn sgd_momentum_converges_faster_than_plain() {
         let target = NdArray::from_slice(&[2.0, -1.0]);
         let w1 = Var::parameter(NdArray::zeros(&[2]));
-        let plain = quadratic_converges(Sgd::new(vec![w1.clone()], 0.01, 0.0), w1, target.clone(), 50);
+        let plain =
+            quadratic_converges(Sgd::new(vec![w1.clone()], 0.01, 0.0), w1, target.clone(), 50);
         let w2 = Var::parameter(NdArray::zeros(&[2]));
         let momentum = quadratic_converges(Sgd::new(vec![w2.clone()], 0.01, 0.9), w2, target, 50);
         assert!(momentum < plain, "momentum {momentum} vs plain {plain}");

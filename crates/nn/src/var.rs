@@ -186,19 +186,20 @@ impl Var {
     /// into every reachable node with `requires_grad`; call [`Var::zero_grad`] (or
     /// `Optimizer::zero_grad`) between steps.
     pub fn backward(&self) {
-        let seed = NdArray::ones(&self.0.value.borrow().shape().to_vec());
-        assert_eq!(seed.len(), 1, "backward() requires a scalar output, got shape {:?}", self.shape());
+        let seed = NdArray::ones(self.0.value.borrow().shape());
+        assert_eq!(
+            seed.len(),
+            1,
+            "backward() requires a scalar output, got shape {:?}",
+            self.shape()
+        );
         self.backward_with(seed);
     }
 
     /// Runs reverse-mode differentiation seeding the output gradient with `seed`
     /// (must match this node's shape). Useful for Jacobian-vector products in tests.
     pub fn backward_with(&self, seed: NdArray) {
-        assert_eq!(
-            seed.shape(),
-            self.0.value.borrow().shape(),
-            "backward seed shape mismatch"
-        );
+        assert_eq!(seed.shape(), self.0.value.borrow().shape(), "backward seed shape mismatch");
         // Topological order via iterative post-order DFS.
         let order = topo_order(self);
 
@@ -217,7 +218,7 @@ impl Var {
             let backward = node.0.backward.as_ref().expect("checked above");
             let parent_grads = backward(&grad_out, &node.0.parents);
             debug_assert_eq!(parent_grads.len(), node.0.parents.len());
-            for (parent, pgrad) in node.0.parents.iter().zip(parent_grads.into_iter()) {
+            for (parent, pgrad) in node.0.parents.iter().zip(parent_grads) {
                 if parent.0.requires_grad {
                     debug_assert_eq!(
                         pgrad.shape(),
@@ -239,9 +240,14 @@ fn accumulate(node: &Var, grad: &NdArray) {
     let mut slot = node.0.grad.borrow_mut();
     match slot.as_mut() {
         Some(existing) => {
+            // add_assign is stride-aware in `grad` and copy-on-write in `existing`, so a
+            // gradient that is a view aliasing some forward value is accumulated safely.
             existing.add_assign(grad).expect("gradient accumulation shape mismatch");
         }
-        None => *slot = Some(grad.clone()),
+        // Store gradients contiguously: optimisers and user code read them with
+        // as_slice(), and views produced by backward closures (permute/transpose of the
+        // output gradient) may alias graph intermediates we do not want to retain.
+        None => *slot = Some(grad.materialize()),
     }
 }
 

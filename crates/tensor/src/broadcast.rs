@@ -1,5 +1,10 @@
 //! NumPy-style broadcasting and elementwise binary operations.
+//!
+//! All operations here are stride-aware: operands may be arbitrary views (permuted,
+//! sliced, broadcast) and are walked through their own strides without compaction.
+//! [`NdArray::broadcast_to`] exposes broadcasting itself as an O(1) stride-0 view.
 
+use crate::array::OffsetIter;
 use crate::{NdArray, Result, TensorError};
 
 /// Computes the broadcast shape of two shapes following NumPy rules
@@ -23,76 +28,68 @@ pub(crate) fn broadcast_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>
     Ok(out)
 }
 
-/// Row-major strides for `shape`, with stride 0 for broadcast (size-1 or missing) dims so
-/// that indexing with the *output* shape walks the source correctly.
-fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
-    let offset = out_shape.len() - shape.len();
+/// Maps a view's own strides into the coordinate system of `out_shape`: missing leading
+/// dimensions and size-1 dimensions get stride 0, every other dimension keeps the view's
+/// stride, so indexing with the *output* multi-index walks the source correctly.
+pub(crate) fn effective_strides(a: &NdArray, out_shape: &[usize]) -> Vec<usize> {
+    let offset = out_shape.len() - a.shape.len();
     let mut strides = vec![0usize; out_shape.len()];
-    let mut acc = 1usize;
-    for i in (0..shape.len()).rev() {
-        if shape[i] != 1 {
-            strides[i + offset] = acc;
+    for i in 0..a.shape.len() {
+        if a.shape[i] != 1 {
+            strides[i + offset] = a.strides[i];
         }
-        acc *= shape[i];
     }
     strides
 }
 
 impl NdArray {
+    /// Returns a zero-copy view of `self` broadcast to `shape` (stride 0 on stretched
+    /// dimensions). Errors when `self`'s shape does not broadcast to `shape`.
+    pub fn broadcast_to(&self, shape: &[usize]) -> Result<NdArray> {
+        let merged = broadcast_shape(&self.shape, shape)?;
+        if merged != shape {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: shape.to_vec(),
+            });
+        }
+        let strides = effective_strides(self, shape);
+        Ok(NdArray::view(self.storage.clone(), shape.to_vec(), strides, self.offset))
+    }
+
     /// Applies an elementwise binary operation with broadcasting.
     pub fn zip_with(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> Result<NdArray> {
-        // Fast path: identical shapes.
-        if self.shape == other.shape {
-            let data =
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
+        // Fast path: identical shapes, both contiguous.
+        if self.shape == other.shape && self.is_contiguous() && other.is_contiguous() {
+            let data = self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice().iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect::<Vec<_>>();
             return NdArray::from_vec(data, &self.shape);
         }
         // Fast path: rhs is a scalar.
-        if other.data.len() == 1 {
-            let b = other.data[0];
-            return NdArray::from_vec(self.data.iter().map(|&a| f(a, b)).collect(), &self.shape);
+        if other.len() == 1 {
+            let b = other.item();
+            return Ok(self.map(|a| f(a, b)));
         }
         // Fast path: lhs is a scalar.
-        if self.data.len() == 1 {
-            let a = self.data[0];
-            return NdArray::from_vec(other.data.iter().map(|&b| f(a, b)).collect(), &other.shape);
-        }
-        // Fast path: rhs broadcasts over the trailing dimension(s) as a contiguous block,
-        // i.e. rhs.shape is a suffix of lhs.shape. Very common: bias adds, per-row scaling.
-        if self.shape.len() >= other.shape.len()
-            && self.shape[self.shape.len() - other.shape.len()..] == other.shape[..]
-        {
-            let block = other.data.len();
-            let mut data = Vec::with_capacity(self.data.len());
-            for (i, &a) in self.data.iter().enumerate() {
-                data.push(f(a, other.data[i % block]));
-            }
-            return NdArray::from_vec(data, &self.shape);
+        if self.len() == 1 {
+            let a = self.item();
+            return Ok(other.map(|b| f(a, b)));
         }
 
-        // General strided broadcast.
+        // General strided broadcast: walk both operands with output-aligned strides.
         let out_shape = broadcast_shape(&self.shape, &other.shape)?;
         let n: usize = out_shape.iter().product();
-        let ls = broadcast_strides(&self.shape, &out_shape);
-        let rs = broadcast_strides(&other.shape, &out_shape);
+        let ls = effective_strides(self, &out_shape);
+        let rs = effective_strides(other, &out_shape);
         let mut data = Vec::with_capacity(n);
-        let mut index = vec![0usize; out_shape.len()];
-        for _ in 0..n {
-            let mut li = 0usize;
-            let mut ri = 0usize;
-            for (d, &idx) in index.iter().enumerate() {
-                li += idx * ls[d];
-                ri += idx * rs[d];
-            }
-            data.push(f(self.data[li], other.data[ri]));
-            // increment multi-index
-            for d in (0..out_shape.len()).rev() {
-                index[d] += 1;
-                if index[d] < out_shape[d] {
-                    break;
-                }
-                index[d] = 0;
-            }
+        let liter = OffsetIter::new(&out_shape, &ls, self.offset);
+        let riter = OffsetIter::new(&out_shape, &rs, other.offset);
+        for (li, ri) in liter.zip(riter) {
+            data.push(f(self.storage[li], other.storage[ri]));
         }
         NdArray::from_vec(data, &out_shape)
     }
@@ -127,30 +124,39 @@ impl NdArray {
         self.zip_with(other, f32::min)
     }
 
-    /// Adds `other` into `self` in place. Shapes must match exactly.
+    /// Adds `other` into `self` in place (copy-on-write). Shapes must match exactly;
+    /// `other` may be any view.
     pub fn add_assign(&mut self, other: &NdArray) -> Result<()> {
-        if self.shape != other.shape {
-            return Err(TensorError::BroadcastMismatch {
-                lhs: self.shape.clone(),
-                rhs: other.shape.clone(),
-            });
-        }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
-        Ok(())
+        self.zip_apply(other, |a, b| *a += b)
     }
 
-    /// Adds `scale * other` into `self` in place (axpy). Shapes must match exactly.
+    /// Adds `scale * other` into `self` in place (axpy, copy-on-write). Shapes must match
+    /// exactly; `other` may be any view.
     pub fn axpy(&mut self, scale: f32, other: &NdArray) -> Result<()> {
+        self.zip_apply(other, |a, b| *a += scale * b)
+    }
+
+    /// Shared implementation of exact-shape in-place updates.
+    fn zip_apply(&mut self, other: &NdArray, f: impl Fn(&mut f32, f32)) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::BroadcastMismatch {
                 lhs: self.shape.clone(),
                 rhs: other.shape.clone(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
+        // CoW note: when `self` and `other` alias the same storage, ensure_unique_contiguous
+        // (inside as_mut_slice) detaches `self` first, so `other` reads stay consistent.
+        if other.is_contiguous() {
+            let rhs = other.clone(); // keep `other`'s storage alive across the CoW
+            for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+                f(a, b);
+            }
+        } else {
+            let rhs = other.clone();
+            let lhs = self.as_mut_slice();
+            for (a, off) in lhs.iter_mut().zip(rhs.offsets()) {
+                f(a, rhs.storage[off]);
+            }
         }
         Ok(())
     }
@@ -174,21 +180,19 @@ impl NdArray {
         }
         let out_n: usize = target_shape.iter().product::<usize>().max(1);
         let mut out = vec![0.0f32; out_n];
-        let tstrides = broadcast_strides(target_shape, &self.shape);
-        let mut index = vec![0usize; self.shape.len()];
-        for &v in &self.data {
-            let mut ti = 0usize;
-            for (d, &idx) in index.iter().enumerate() {
-                ti += idx * tstrides[d];
+        // Walk self through its own strides; accumulate into the target through the
+        // target's (contiguous) strides aligned to self's shape.
+        let own = crate::array::contiguous_strides(target_shape);
+        let lead = self.shape.len() - target_shape.len();
+        let mut tstrides = vec![0usize; self.shape.len()];
+        for i in 0..target_shape.len() {
+            if target_shape[i] != 1 {
+                tstrides[i + lead] = own[i];
             }
-            out[ti] += v;
-            for d in (0..self.shape.len()).rev() {
-                index[d] += 1;
-                if index[d] < self.shape[d] {
-                    break;
-                }
-                index[d] = 0;
-            }
+        }
+        let titer = OffsetIter::new(&self.shape, &tstrides, 0);
+        for (soff, ti) in self.offsets().zip(titer) {
+            out[ti] += self.storage[soff];
         }
         NdArray::from_vec(out, target_shape)
     }
@@ -236,6 +240,27 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_to_is_a_zero_copy_view() {
+        let bias = NdArray::from_slice(&[1.0, 2.0, 3.0]);
+        let b = bias.broadcast_to(&[4, 3]).unwrap();
+        assert_eq!(b.shape(), &[4, 3]);
+        assert!(bias.shares_storage(&b));
+        assert_eq!(b.get(&[3, 2]).unwrap(), 3.0);
+        assert_eq!(b.materialize().as_slice()[..3], [1.0, 2.0, 3.0]);
+        assert!(bias.broadcast_to(&[4, 5]).is_err());
+    }
+
+    #[test]
+    fn zip_with_on_strided_views_matches_materialized() {
+        let a = NdArray::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
+        let t = a.transpose_last2().unwrap(); // (3, 2) view
+        let b = NdArray::arange(5.0, -0.5, 6).reshape(&[3, 2]).unwrap();
+        let via_view = t.add(&b).unwrap();
+        let via_copy = t.materialize().add(&b).unwrap();
+        assert_eq!(via_view, via_copy);
+    }
+
+    #[test]
     fn division_and_minmax() {
         let a = NdArray::from_slice(&[2.0, 8.0]);
         let b = NdArray::from_slice(&[4.0, 2.0]);
@@ -257,6 +282,23 @@ mod tests {
     }
 
     #[test]
+    fn add_assign_from_strided_view_and_alias() {
+        let base = NdArray::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
+        let t = base.transpose_last2().unwrap().materialize().transpose_last2().unwrap();
+        // t is a non-contiguous view logically equal to base.
+        let mut acc = NdArray::zeros(&[2, 3]);
+        acc.add_assign(&t).unwrap();
+        assert_eq!(acc, base);
+
+        // Self-aliasing: accumulate a view of the same storage into itself.
+        let mut x = NdArray::arange(0.0, 1.0, 4).reshape(&[2, 2]).unwrap();
+        let alias = x.clone();
+        x.add_assign(&alias).unwrap();
+        assert_eq!(x.as_slice(), &[0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(alias.as_slice(), &[0.0, 1.0, 2.0, 3.0], "CoW must protect the alias");
+    }
+
+    #[test]
     fn reduce_to_shape_inverts_broadcast() {
         // Broadcast a bias over rows then reduce back: should sum over rows.
         let g = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
@@ -268,6 +310,15 @@ mod tests {
         assert_eq!(r3.item(), 21.0);
         // Already matching shape is a no-op clone.
         assert_eq!(g.reduce_to_shape(&[2, 3]).unwrap(), g);
+    }
+
+    #[test]
+    fn reduce_to_shape_of_strided_view() {
+        let g = NdArray::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
+        let t = g.transpose_last2().unwrap(); // (3, 2)
+        let r = t.reduce_to_shape(&[2]).unwrap();
+        let r_copy = t.materialize().reduce_to_shape(&[2]).unwrap();
+        assert_eq!(r, r_copy);
     }
 
     #[test]

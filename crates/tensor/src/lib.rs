@@ -7,15 +7,20 @@
 //!
 //! 1. **Correctness** — every operation is covered by unit and property tests; shapes are
 //!    validated eagerly and errors are reported through [`TensorError`] instead of panics
-//!    wherever an invalid shape can arrive from user input.
-//! 2. **Predictable performance** — contiguous row-major storage, blocked and
-//!    (optionally) multi-threaded matrix multiplication, and allocation-conscious
-//!    elementwise kernels. The library is deliberately CPU-only: the paper's group
+//!    wherever an invalid shape can arrive from user input. Views have copy-on-write
+//!    mutation semantics, so aliasing is never observable.
+//! 2. **Predictable performance** — shared-buffer storage with O(1) strided views
+//!    (`reshape` of contiguous data, `permute`, `slice_axis`, `broadcast_to` perform no
+//!    copies), stride-aware elementwise/reduction kernels, and a batched matrix multiply
+//!    that parallelises across the batch×heads dimension and consumes transposed views
+//!    without materialising them. The library is deliberately CPU-only: the paper's group
 //!    attention is an algorithmic change whose relative behaviour is preserved on CPU.
 //! 3. **A small surface** — only the operations needed by the autograd layer
 //!    ([`rita-nn`](https://crates.io/crates/rita-nn)) and the models built on top of it.
 //!
-//! The central type is [`NdArray`]: a shape vector plus a contiguous `Vec<f32>`.
+//! The central type is [`NdArray`]: an `Arc`-shared flat `f32` buffer plus
+//! `(shape, strides, offset)` view metadata. See `DESIGN.md` at the workspace root for
+//! the storage/stride invariants.
 //!
 //! ```
 //! use rita_tensor::NdArray;

@@ -1,27 +1,75 @@
-//! Matrix multiplication kernels: blocked 2-D matmul, batched 3-D matmul, and the
-//! transposed variants needed by attention layers.
+//! Matrix multiplication kernels: pitched row-/column-major 2-D GEMM variants, a batched
+//! driver that parallelises across the batch×heads dimension, and transpose-free handling
+//! of the `Q · Kᵀ` attention pattern.
+//!
+//! Operands may be arbitrary strided views. The batch dimensions are walked through the
+//! operands' own strides (so sliced or broadcast batches are zero-copy); the trailing two
+//! dimensions are consumed directly when they are row-major (`stride[-1] == 1`) or
+//! column-major (`stride[-2] == 1`) — which covers every transpose produced by
+//! [`NdArray::transpose_last2`] — and only fully general layouts are compacted first.
 
+// Pitched GEMM kernels take (slice, pitch) pairs per operand plus the three problem
+// sizes; packing them into structs would only obscure the hot loops.
+#![allow(clippy::too_many_arguments)]
+
+use crate::broadcast::effective_strides;
 use crate::{NdArray, Result, TensorError};
 
-/// Minimum number of result elements before the 2-D kernel fans work out to threads.
+/// Minimum number of output elements before the kernels fan work out to threads.
 const PARALLEL_THRESHOLD: usize = 64 * 64;
 
-/// Inner kernel: `out[m×n] += a[m×k] · b[k×n]`, all row-major slices.
+/// Upper bound on worker threads (thread start-up dominates beyond this on one matmul).
+const MAX_THREADS: usize = 16;
+
+/// Minimum reduction length before the transpose-free `gemm_nt` kernel pays off; below
+/// this the transposed rhs is compacted once and the streaming `gemm_rr` kernel used.
+const NT_MIN_K: usize = 64;
+
+/// Layout of one (pitched) matrix operand.
+#[derive(Clone, Copy, Debug)]
+enum MatLayout {
+    /// Element `(i, p)` lives at `i * pitch + p`.
+    Row(usize),
+    /// Element `(i, p)` lives at `p * pitch + i` (a transposed row-major matrix).
+    Col(usize),
+}
+
+/// Classifies the trailing two dimensions of a view, or `None` when neither trailing
+/// stride is 1 (requires compaction).
+fn mat_layout(shape: &[usize], strides: &[usize]) -> Option<MatLayout> {
+    let nd = shape.len();
+    let (r, c) = (shape[nd - 2], shape[nd - 1]);
+    let (sr, sc) = (strides[nd - 2], strides[nd - 1]);
+    if sc == 1 || c <= 1 {
+        Some(MatLayout::Row(sr))
+    } else if sr == 1 || r <= 1 {
+        Some(MatLayout::Col(sc))
+    } else {
+        None
+    }
+}
+
+/// Inner kernel, row-major × row-major: `out[m×n] += a · b`.
 ///
 /// Uses the classic i-k-j loop order so the innermost loop streams both `b` and `out`
-/// contiguously, which the compiler auto-vectorises well.
-fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+/// contiguously; the loop body is branch-free so the compiler auto-vectorises it on dense
+/// inputs (an earlier `a_ip == 0.0 { continue; }` skip defeated vectorisation and has
+/// been dropped).
+fn gemm_rr(
+    a: &[f32],
+    ap: usize,
+    b: &[f32],
+    bp: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
+        let a_row = &a[i * ap..i * ap + k];
         let out_row = &mut out[i * n..(i + 1) * n];
         for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
+            let b_row = &b[p * bp..p * bp + n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a_ip * b_pj;
             }
@@ -29,31 +77,81 @@ fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
-/// Multi-threaded wrapper: splits output rows across `std::thread::scope` workers when
-/// the problem is large enough to amortise thread start-up.
-fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    if m * n < PARALLEL_THRESHOLD || m < 2 {
-        gemm_serial(a, b, out, m, k, n);
-        return;
-    }
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).min(m).min(8);
-    if threads <= 1 {
-        gemm_serial(a, b, out, m, k, n);
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows = rows_per.min(m - row0);
-            let (chunk, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            let a_chunk = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || gemm_serial(a_chunk, b, chunk, rows, k, n));
-            row0 += rows;
+/// Inner kernel, row-major × transposed: `out[m×n] += a · btᵀ` where `bt` holds `bᵀ`
+/// row-major (`bt[j]` is column `j` of `b`). This is the copy-free `Q · Kᵀ` path: the
+/// inner loop is a dot product of two contiguous rows.
+fn gemm_nt(
+    a: &[f32],
+    ap: usize,
+    bt: &[f32],
+    btp: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * ap..i * ap + k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bt[j * btp..j * btp + k];
+            *o += a_row.iter().zip(b_row.iter()).map(|(&x, &y)| x * y).sum::<f32>();
         }
-    });
+    }
+}
+
+/// Inner kernel, transposed × row-major: `out[m×n] += atᵀ · b` where `at` holds `aᵀ`
+/// row-major (`at[p]` is column `p` of the logical lhs). p-i-j order streams `b` rows and
+/// `out` rows contiguously (the backward-pass `Aᵀ · g` pattern, now transpose-free).
+fn gemm_tn(
+    at: &[f32],
+    atp: usize,
+    b: &[f32],
+    bp: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for p in 0..k {
+        let a_col = &at[p * atp..p * atp + m];
+        let b_row = &b[p * bp..p * bp + n];
+        for (i, &a_ip) in a_col.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// One 2-D product with layout dispatch. `a`/`b` are already offset to the matrix start.
+fn matmul_2d(
+    a: &[f32],
+    la: MatLayout,
+    b: &[f32],
+    lb: MatLayout,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match (la, lb) {
+        (MatLayout::Row(ap), MatLayout::Row(bp)) => gemm_rr(a, ap, b, bp, out, m, k, n),
+        (MatLayout::Row(ap), MatLayout::Col(bp)) => gemm_nt(a, ap, b, bp, out, m, k, n),
+        (MatLayout::Col(ap), MatLayout::Row(bp)) => gemm_tn(a, ap, b, bp, out, m, k, n),
+        (MatLayout::Col(_), MatLayout::Col(_)) => {
+            unreachable!("col×col is normalised away before dispatch")
+        }
+    }
+}
+
+/// Advances the lhs slice to its `row0`-th output row (layout-dependent).
+fn lhs_rows_from(layout: MatLayout, a: &[f32], row0: usize) -> &[f32] {
+    match layout {
+        MatLayout::Row(p) => &a[row0 * p..],
+        MatLayout::Col(_) => &a[row0..],
+    }
 }
 
 impl NdArray {
@@ -63,6 +161,11 @@ impl NdArray {
     /// * ≥3-D operands are treated as stacks of matrices over leading batch dimensions;
     ///   batch dimensions broadcast against each other (a 2-D operand broadcasts over all
     ///   batches).
+    ///
+    /// Strided views are consumed without compaction whenever a trailing stride is 1
+    /// (covers transposes, head splits and sliced batches); batched products are
+    /// parallelised across the batch dimension, single large 2-D products across output
+    /// rows.
     pub fn matmul(&self, other: &NdArray) -> Result<NdArray> {
         if self.ndim() < 2 || other.ndim() < 2 {
             return Err(TensorError::MatmulMismatch {
@@ -97,25 +200,120 @@ impl NdArray {
             });
         }
 
+        // Normalise operands: compact any matrix whose trailing dims are fully general,
+        // and break the col×col combination by compacting the rhs.
+        let lhs_holder;
+        let lhs: &NdArray = if mat_layout(&self.shape, &self.strides).is_some() {
+            self
+        } else {
+            lhs_holder = self.materialize();
+            &lhs_holder
+        };
+        let la = mat_layout(&lhs.shape, &lhs.strides).expect("lhs normalised");
+        let rhs_holder;
+        let rhs: &NdArray = match mat_layout(&other.shape, &other.strides) {
+            // Break the unsupported col×col combination by compacting the rhs. Also
+            // compact a transposed rhs when the reduction dimension is short: gemm_nt's
+            // per-output horizontal reduction only beats a one-time transpose copy once
+            // the dot products are long enough to amortise it (attention's Q·Kᵀ with a
+            // small head_dim is exactly this case).
+            Some(MatLayout::Col(_)) if matches!(la, MatLayout::Col(_)) || lk < NT_MIN_K => {
+                rhs_holder = other.materialize();
+                &rhs_holder
+            }
+            Some(_) => other,
+            None => {
+                rhs_holder = other.materialize();
+                &rhs_holder
+            }
+        };
+        let lb = mat_layout(&rhs.shape, &rhs.strides).expect("rhs normalised");
+
+        // Per-batch storage offsets, walked through each operand's own (broadcast-aligned)
+        // batch strides — sliced and broadcast batch dims cost nothing here.
+        let l_offsets = batch_offsets(lhs, &batch_shape);
+        let r_offsets = batch_offsets(rhs, &batch_shape);
+
         let mut out_shape = batch_shape.clone();
         out_shape.push(lm);
         out_shape.push(rn);
         let mut out = vec![0.0f32; batch * lm * rn];
-        let l_stride = if lbn == 1 { 0 } else { lm * lk };
-        let r_stride = if rbn == 1 { 0 } else { rk * rn };
-        for bidx in 0..batch {
-            let a = &self.data[bidx * l_stride..bidx * l_stride + lm * lk];
-            let b = &other.data[bidx * r_stride..bidx * r_stride + rk * rn];
-            let o = &mut out[bidx * lm * rn..(bidx + 1) * lm * rn];
-            gemm(a, b, o, lm, lk, rn);
+        let ldata: &[f32] = &lhs.storage;
+        let rdata: &[f32] = &rhs.storage;
+
+        let threads =
+            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).min(MAX_THREADS);
+        let big = batch * lm * rn >= PARALLEL_THRESHOLD;
+
+        if big && threads > 1 && batch >= threads {
+            // Enough batch entries to saturate the pool: parallelise across the
+            // batch×heads dimension, each worker running whole products serially.
+            let per = batch.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut rest = out.as_mut_slice();
+                let mut b0 = 0usize;
+                while b0 < batch {
+                    let nb = per.min(batch - b0);
+                    let (chunk, tail) = rest.split_at_mut(nb * lm * rn);
+                    rest = tail;
+                    let lo = &l_offsets[b0..b0 + nb];
+                    let ro = &r_offsets[b0..b0 + nb];
+                    scope.spawn(move || {
+                        for (bi, o) in chunk.chunks_mut(lm * rn).enumerate() {
+                            matmul_2d(&ldata[lo[bi]..], la, &rdata[ro[bi]..], lb, o, lm, lk, rn);
+                        }
+                    });
+                    b0 += nb;
+                }
+            });
+        } else if big && threads > 1 && lm >= 2 {
+            // Fewer batch entries than workers (including batch == 1): split each
+            // product's output rows across the pool so small batch counts still use
+            // every core, one product at a time.
+            let rows_per = lm.div_ceil(threads);
+            for bidx in 0..batch {
+                let a = &ldata[l_offsets[bidx]..];
+                let b = &rdata[r_offsets[bidx]..];
+                let out_b = &mut out[bidx * lm * rn..(bidx + 1) * lm * rn];
+                std::thread::scope(|scope| {
+                    let mut rest = out_b;
+                    let mut row0 = 0usize;
+                    while row0 < lm {
+                        let rows = rows_per.min(lm - row0);
+                        let (chunk, tail) = rest.split_at_mut(rows * rn);
+                        rest = tail;
+                        let a_chunk = lhs_rows_from(la, a, row0);
+                        scope.spawn(move || matmul_2d(a_chunk, la, b, lb, chunk, rows, lk, rn));
+                        row0 += rows;
+                    }
+                });
+            }
+        } else {
+            for bidx in 0..batch {
+                let o = &mut out[bidx * lm * rn..(bidx + 1) * lm * rn];
+                matmul_2d(
+                    &ldata[l_offsets[bidx]..],
+                    la,
+                    &rdata[r_offsets[bidx]..],
+                    lb,
+                    o,
+                    lm,
+                    lk,
+                    rn,
+                );
+            }
         }
         NdArray::from_vec(out, &out_shape)
     }
 
     /// `self · otherᵀ` where the transpose applies to the last two dims of `other`.
     ///
-    /// Equivalent to `self.matmul(&other.transpose_last2())` but avoids materialising the
-    /// transpose for the common attention pattern `Q · Kᵀ`.
+    /// The transpose itself is a zero-copy stride swap. Whether the kernel then consumes
+    /// it directly depends on the reduction length: for `k >= NT_MIN_K` the
+    /// row-dot-product kernel (`gemm_nt`) runs on the view with no data movement; for
+    /// shorter reductions (e.g. attention's `Q · Kᵀ` with a small head_dim) the
+    /// transposed operand is compacted once because the streaming `gemm_rr` kernel beats
+    /// short per-output dot products even including the copy.
     pub fn matmul_nt(&self, other: &NdArray) -> Result<NdArray> {
         if self.ndim() < 2 || other.ndim() < 2 {
             return Err(TensorError::MatmulMismatch {
@@ -123,7 +321,6 @@ impl NdArray {
                 rhs: other.shape.clone(),
             });
         }
-        // Correctness over micro-optimisation: delegate to transpose + matmul.
         self.matmul(&other.transpose_last2()?)
     }
 
@@ -135,8 +332,28 @@ impl NdArray {
                 rhs: other.shape.clone(),
             });
         }
-        Ok(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum())
+        if self.is_contiguous() && other.is_contiguous() {
+            return Ok(self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice().iter())
+                .map(|(&a, &b)| a * b)
+                .sum());
+        }
+        Ok(self.values().zip(other.values()).map(|(a, b)| a * b).sum())
     }
+}
+
+/// Storage offset of each batch matrix of `a` for the broadcast `batch_shape`.
+fn batch_offsets(a: &NdArray, batch_shape: &[usize]) -> Vec<usize> {
+    let nd = a.ndim();
+    let abatch_shape = &a.shape()[..nd - 2];
+    let abatch_strides = &a.strides[..nd - 2];
+    // Right-align the operand's batch dims inside batch_shape with stride 0 elsewhere.
+    let view =
+        NdArray::view(a.storage.clone(), abatch_shape.to_vec(), abatch_strides.to_vec(), a.offset);
+    let eff = effective_strides(&view, batch_shape);
+    crate::array::OffsetIter::new(batch_shape, &eff, a.offset).collect()
 }
 
 #[cfg(test)]
@@ -211,9 +428,53 @@ mod tests {
         let q = NdArray::arange(0.0, 0.1, 24).reshape(&[2, 3, 4]).unwrap();
         let k = NdArray::arange(0.5, 0.2, 40).reshape(&[2, 5, 4]).unwrap();
         let a = q.matmul_nt(&k).unwrap();
-        let b = q.matmul(&k.transpose_last2().unwrap()).unwrap();
+        let b = q.matmul(&k.transpose_last2().unwrap().materialize()).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.shape(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn transposed_lhs_view_matches_materialized() {
+        // Exercises the gemm_tn (col-major lhs) kernel against the compacted reference.
+        let a = NdArray::arange(0.0, 0.2, 12).reshape(&[4, 3]).unwrap();
+        let b = NdArray::arange(-1.0, 0.15, 20).reshape(&[4, 5]).unwrap();
+        let at = a.transpose_last2().unwrap(); // (3, 4) view
+        let via_view = at.matmul(&b).unwrap();
+        let via_copy = at.materialize().matmul(&b).unwrap();
+        assert!(allclose(via_view.as_slice(), via_copy.as_slice(), 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn both_transposed_views_match_materialized() {
+        let a = NdArray::arange(0.0, 0.2, 12).reshape(&[4, 3]).unwrap();
+        let b = NdArray::arange(-1.0, 0.15, 12).reshape(&[4, 3]).unwrap();
+        let at = a.transpose_last2().unwrap(); // (3, 4)
+        let bt = b.transpose_last2().unwrap(); // (3, 4) -> needs (4, ...) rhs; use at · a
+        let c_view = at.matmul(&a).unwrap();
+        let c_copy = at.materialize().matmul(&a).unwrap();
+        assert!(allclose(c_view.as_slice(), c_copy.as_slice(), 1e-5, 1e-5));
+        // col×col: atᵀ is (3,4) col-major; bt (3,4) col-major as rhs of (4,3)·(3,4)
+        let d_view = a.matmul(&bt).unwrap();
+        let d_copy = a.matmul(&bt.materialize()).unwrap();
+        assert!(allclose(d_view.as_slice(), d_copy.as_slice(), 1e-5, 1e-5));
+        // col×col: at (3,4) col-major · ct (4,5) col-major.
+        let c0 = NdArray::arange(0.3, -0.07, 20).reshape(&[5, 4]).unwrap();
+        let ct = c0.transpose_last2().unwrap();
+        let e_view = at.matmul(&ct).unwrap();
+        let e_copy = at.materialize().matmul(&ct.materialize()).unwrap();
+        assert!(allclose(e_view.as_slice(), e_copy.as_slice(), 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn batched_matmul_on_sliced_batch_views() {
+        // Slice away the first batch entry on each operand: offsets must follow strides.
+        let a = NdArray::arange(0.0, 0.05, 36).reshape(&[3, 4, 3]).unwrap();
+        let b = NdArray::arange(1.0, -0.02, 27).reshape(&[3, 3, 3]).unwrap();
+        let asub = a.slice_axis(0, 1, 3).unwrap();
+        let bsub = b.slice_axis(0, 1, 3).unwrap();
+        let via_view = asub.matmul(&bsub).unwrap();
+        let via_copy = asub.materialize().matmul(&bsub.materialize()).unwrap();
+        assert!(allclose(via_view.as_slice(), via_copy.as_slice(), 1e-5, 1e-5));
     }
 
     #[test]
@@ -227,6 +488,23 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         let expect = naive_matmul(&a, &b);
         assert!(allclose(c.as_slice(), expect.as_slice(), 1e-3, 1e-4));
+    }
+
+    #[test]
+    fn large_batched_matmul_parallel_path_matches_per_batch() {
+        // batch large enough to trigger the batch-parallel path.
+        let (bt, m, k, n) = (8, 32, 16, 32);
+        let a = NdArray::arange(0.0, 0.0007, bt * m * k).reshape(&[bt, m, k]).unwrap();
+        let b = NdArray::arange(0.5, -0.0003, bt * k * n).reshape(&[bt, k, n]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[bt, m, n]);
+        for bi in 0..bt {
+            let ai = a.index_axis0(bi).unwrap().materialize();
+            let bi_ = b.index_axis0(bi).unwrap().materialize();
+            let expect = naive_matmul(&ai, &bi_);
+            let got = c.index_axis0(bi).unwrap();
+            assert!(allclose(got.as_slice(), expect.as_slice(), 1e-3, 1e-4), "batch {bi}");
+        }
     }
 
     #[test]

@@ -33,14 +33,14 @@ impl NdArray {
                 data.push(r * theta.sin() * std);
             }
         }
-        Self { shape: shape.to_vec(), data }
+        Self::from_buffer(data, shape)
     }
 
     /// Uniform samples in `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
-        Self { shape: shape.to_vec(), data }
+        Self::from_buffer(data, shape)
     }
 
     /// Kaiming/He-style initialisation for a weight of shape `[fan_in, fan_out]`.
@@ -53,7 +53,7 @@ impl NdArray {
     pub fn bernoulli(shape: &[usize], p: f32, rng: &mut impl Rng) -> Self {
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 }).collect();
-        Self { shape: shape.to_vec(), data }
+        Self::from_buffer(data, shape)
     }
 }
 

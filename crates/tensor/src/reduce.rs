@@ -1,48 +1,66 @@
 //! Reductions (sum / mean / max / min), softmax, and argmax.
+//!
+//! All reductions are stride-aware: an axis reduction walks the view's 1-D *lanes* along
+//! the reduced axis through a single stride each (see `LaneIter`), so softmax and
+//! layer-norm style reductions run directly on permuted / sliced / broadcast views with
+//! no compaction. Lanes whose stride is 1 take a contiguous fast path.
 
+use crate::array::LaneIter;
 use crate::{NdArray, Result, TensorError};
 
 impl NdArray {
     /// Sum of every element.
     pub fn sum_all(&self) -> f32 {
-        self.data.iter().sum()
+        if self.is_contiguous() {
+            return self.as_slice().iter().sum();
+        }
+        self.values().sum()
     }
 
     /// Mean of every element (0 for empty arrays).
     pub fn mean_all(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum_all() / self.data.len() as f32
+            self.sum_all() / self.len() as f32
         }
     }
 
     /// Maximum element (negative infinity for empty arrays).
     pub fn max_all(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.values().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (positive infinity for empty arrays).
     pub fn min_all(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.values().fold(f32::INFINITY, f32::min)
     }
 
-    fn reduce_axis(&self, axis: usize, keepdim: bool, init: f32, f: impl Fn(f32, f32) -> f32) -> Result<NdArray> {
+    fn reduce_axis(
+        &self,
+        axis: usize,
+        keepdim: bool,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<NdArray> {
         if axis >= self.ndim() {
             return Err(TensorError::AxisOutOfRange { axis, ndim: self.ndim() });
         }
-        let outer: usize = self.shape[..axis].iter().product::<usize>().max(1);
-        let axis_len = self.shape[axis];
-        let inner: usize = self.shape[axis + 1..].iter().product::<usize>().max(1);
-        let mut out = vec![init; outer * inner];
-        for o in 0..outer {
-            for a in 0..axis_len {
-                let base = (o * axis_len + a) * inner;
-                let out_base = o * inner;
-                for i in 0..inner {
-                    out[out_base + i] = f(out[out_base + i], self.data[base + i]);
+        let lanes = LaneIter::new(self, axis);
+        let (lane_len, lane_stride) = (lanes.lane_len, lanes.lane_stride);
+        let mut out = Vec::with_capacity(self.len() / lane_len.max(1));
+        for base in lanes {
+            let mut acc = init;
+            if lane_stride == 1 {
+                for &v in &self.storage[base..base + lane_len] {
+                    acc = f(acc, v);
+                }
+            } else {
+                for a in 0..lane_len {
+                    acc = f(acc, self.storage[base + a * lane_stride]);
                 }
             }
+            out.push(acc);
         }
         let mut shape = self.shape.clone();
         if keepdim {
@@ -74,7 +92,8 @@ impl NdArray {
         self.reduce_axis(axis, keepdim, f32::INFINITY, f32::min)
     }
 
-    /// Numerically stable softmax over the last dimension.
+    /// Numerically stable softmax over the last dimension. Stride-aware: runs directly on
+    /// views (e.g. head-split or sliced score tensors).
     pub fn softmax_last(&self) -> Result<NdArray> {
         if self.ndim() == 0 {
             return Ok(NdArray::scalar(1.0));
@@ -83,39 +102,68 @@ impl NdArray {
         if last == 0 {
             return Ok(self.clone());
         }
-        let rows = self.data.len() / last;
-        let mut out = vec![0.0f32; self.data.len()];
-        for r in 0..rows {
-            let row = &self.data[r * last..(r + 1) * last];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut out = vec![0.0f32; self.len()];
+        let lanes = LaneIter::new(self, self.ndim() - 1);
+        let stride = lanes.lane_stride;
+        for (r, base) in lanes.enumerate() {
+            let out_row = &mut out[r * last..(r + 1) * last];
+            let mut m = f32::NEG_INFINITY;
+            if stride == 1 {
+                out_row.copy_from_slice(&self.storage[base..base + last]);
+                for &x in out_row.iter() {
+                    m = m.max(x);
+                }
+            } else {
+                for (i, o) in out_row.iter_mut().enumerate() {
+                    let x = self.storage[base + i * stride];
+                    *o = x;
+                    m = m.max(x);
+                }
+            }
             let mut sum = 0.0f32;
-            for (o, &x) in out[r * last..(r + 1) * last].iter_mut().zip(row.iter()) {
-                let e = (x - m).exp();
+            for o in out_row.iter_mut() {
+                let e = (*o - m).exp();
                 *o = e;
                 sum += e;
             }
             let inv = 1.0 / sum;
-            for o in &mut out[r * last..(r + 1) * last] {
+            for o in out_row.iter_mut() {
                 *o *= inv;
             }
         }
         NdArray::from_vec(out, &self.shape)
     }
 
-    /// Log-softmax over the last dimension (numerically stable).
+    /// Log-softmax over the last dimension (numerically stable, stride-aware).
     pub fn log_softmax_last(&self) -> Result<NdArray> {
         if self.ndim() == 0 {
             return Ok(NdArray::scalar(0.0));
         }
         let last = self.shape[self.ndim() - 1];
-        let rows = self.data.len() / last.max(1);
-        let mut out = vec![0.0f32; self.data.len()];
-        for r in 0..rows {
-            let row = &self.data[r * last..(r + 1) * last];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            for (o, &x) in out[r * last..(r + 1) * last].iter_mut().zip(row.iter()) {
-                *o = x - lse;
+        if last == 0 {
+            return Ok(self.clone());
+        }
+        let mut out = vec![0.0f32; self.len()];
+        let lanes = LaneIter::new(self, self.ndim() - 1);
+        let stride = lanes.lane_stride;
+        for (r, base) in lanes.enumerate() {
+            let out_row = &mut out[r * last..(r + 1) * last];
+            let mut m = f32::NEG_INFINITY;
+            if stride == 1 {
+                out_row.copy_from_slice(&self.storage[base..base + last]);
+                for &x in out_row.iter() {
+                    m = m.max(x);
+                }
+            } else {
+                for (i, o) in out_row.iter_mut().enumerate() {
+                    let x = self.storage[base + i * stride];
+                    *o = x;
+                    m = m.max(x);
+                }
+            }
+            let lse = m + out_row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for o in out_row.iter_mut() {
+                *o -= lse;
             }
         }
         NdArray::from_vec(out, &self.shape)
@@ -123,17 +171,18 @@ impl NdArray {
 
     /// Index of the maximum element along the last dimension, per row.
     pub fn argmax_last(&self) -> Vec<usize> {
-        if self.ndim() == 0 || self.data.is_empty() {
+        if self.ndim() == 0 || self.is_empty() {
             return vec![];
         }
         let last = self.shape[self.ndim() - 1];
-        let rows = self.data.len() / last;
-        let mut out = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let row = &self.data[r * last..(r + 1) * last];
+        let lanes = LaneIter::new(self, self.ndim() - 1);
+        let stride = lanes.lane_stride;
+        let mut out = Vec::with_capacity(self.len() / last.max(1));
+        for base in lanes {
             let mut best = 0usize;
             let mut best_v = f32::NEG_INFINITY;
-            for (i, &v) in row.iter().enumerate() {
+            for i in 0..last {
+                let v = self.storage[base + i * stride];
                 if v > best_v {
                     best_v = v;
                     best = i;
@@ -190,6 +239,20 @@ mod tests {
     }
 
     #[test]
+    fn axis_reduction_on_permuted_view_matches_materialized() {
+        let a = NdArray::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let p = a.permute(&[2, 0, 1]).unwrap();
+        for axis in 0..3 {
+            let via_view = p.sum_axis(axis, false).unwrap();
+            let via_copy = p.materialize().sum_axis(axis, false).unwrap();
+            assert_eq!(via_view, via_copy, "axis {axis}");
+            let mx_view = p.max_axis(axis, true).unwrap();
+            let mx_copy = p.materialize().max_axis(axis, true).unwrap();
+            assert_eq!(mx_view, mx_copy, "max axis {axis}");
+        }
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_are_stable() {
         let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1001.0, 1002.0], &[2, 3]).unwrap();
         let s = a.softmax_last().unwrap();
@@ -200,6 +263,18 @@ mod tests {
         // Shift invariance: both rows should produce identical distributions.
         assert!(allclose(&s.as_slice()[..3], &s.as_slice()[3..], 1e-6, 1e-6));
         assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn softmax_on_transposed_view_matches_materialized() {
+        let a = NdArray::arange(-2.0, 0.37, 12).reshape(&[3, 4]).unwrap();
+        let t = a.transpose_last2().unwrap();
+        let via_view = t.softmax_last().unwrap();
+        let via_copy = t.materialize().softmax_last().unwrap();
+        assert!(allclose(via_view.as_slice(), via_copy.as_slice(), 1e-7, 1e-7));
+        let lvia_view = t.log_softmax_last().unwrap();
+        let lvia_copy = t.materialize().log_softmax_last().unwrap();
+        assert!(allclose(lvia_view.as_slice(), lvia_copy.as_slice(), 1e-6, 1e-6));
     }
 
     #[test]
@@ -214,6 +289,9 @@ mod tests {
     fn argmax_per_row() {
         let a = NdArray::from_vec(vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0], &[2, 3]).unwrap();
         assert_eq!(a.argmax_last(), vec![1, 0]);
+        // And through a transposed view.
+        let t = a.transpose_last2().unwrap(); // (3, 2)
+        assert_eq!(t.argmax_last(), t.materialize().argmax_last());
     }
 
     #[test]

@@ -1,29 +1,39 @@
 //! Shape manipulation: reshape, transpose/permute, concatenation, slicing, stacking and
 //! row gathering.
+//!
+//! Since the zero-copy refactor, every operation in this module that *can* be a pure
+//! metadata edit is one: `reshape` of a contiguous view, `permute`/`transpose_last2`,
+//! `slice_axis`, `index_axis0`/`index_axis`, `chunk_axis0`, `squeeze`/`unsqueeze` and
+//! `flatten` of contiguous data all return views that alias the input's storage in O(1).
+//! Only `concat`, `stack` and `gather_rows` (which must interleave buffers) and `reshape`
+//! of a non-contiguous view (which must compact first) copy data.
 
+use crate::array::contiguous_strides;
 use crate::{NdArray, Result, TensorError};
 
 impl NdArray {
     /// Returns an array with the same data and a new shape (element counts must match).
+    ///
+    /// Zero-copy for contiguous inputs; a non-contiguous view is compacted first.
     pub fn reshape(&self, shape: &[usize]) -> Result<NdArray> {
         let expected: usize = shape.iter().product();
-        if expected != self.data.len() {
-            return Err(TensorError::ReshapeMismatch { from: self.shape.clone(), to: shape.to_vec() });
+        if expected != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape.clone(),
+                to: shape.to_vec(),
+            });
         }
-        Ok(NdArray { shape: shape.to_vec(), data: self.data.clone() })
+        let base = self.materialize(); // cheap clone when contiguous
+        Ok(NdArray::view(base.storage, shape.to_vec(), contiguous_strides(shape), base.offset))
     }
 
-    /// Consumes `self` and returns it with a new shape, avoiding a copy of the buffer.
-    pub fn into_reshaped(mut self, shape: &[usize]) -> Result<NdArray> {
-        let expected: usize = shape.iter().product();
-        if expected != self.data.len() {
-            return Err(TensorError::ReshapeMismatch { from: self.shape.clone(), to: shape.to_vec() });
-        }
-        self.shape = shape.to_vec();
-        Ok(self)
+    /// Consumes `self` and returns it with a new shape. Alias of [`NdArray::reshape`]
+    /// (which no longer copies contiguous buffers), kept for API compatibility.
+    pub fn into_reshaped(self, shape: &[usize]) -> Result<NdArray> {
+        self.reshape(shape)
     }
 
-    /// Swaps the last two dimensions (batched matrix transpose).
+    /// Swaps the last two dimensions (batched matrix transpose). Zero-copy.
     pub fn transpose_last2(&self) -> Result<NdArray> {
         let nd = self.ndim();
         if nd < 2 {
@@ -36,7 +46,7 @@ impl NdArray {
         self.permute(&axes)
     }
 
-    /// Permutes dimensions according to `axes` (a permutation of `0..ndim`).
+    /// Permutes dimensions according to `axes` (a permutation of `0..ndim`). Zero-copy.
     pub fn permute(&self, axes: &[usize]) -> Result<NdArray> {
         let nd = self.ndim();
         if axes.len() != nd {
@@ -53,32 +63,13 @@ impl NdArray {
             }
             seen[a] = true;
         }
-        let old_strides = self.strides();
-        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
-        let n = self.data.len();
-        let mut data = Vec::with_capacity(n);
-        if n == 0 {
-            return NdArray::from_vec(data, &new_shape);
-        }
-        let mut index = vec![0usize; nd];
-        for _ in 0..n {
-            let mut src = 0usize;
-            for (d, &idx) in index.iter().enumerate() {
-                src += idx * old_strides[axes[d]];
-            }
-            data.push(self.data[src]);
-            for d in (0..nd).rev() {
-                index[d] += 1;
-                if index[d] < new_shape[d] {
-                    break;
-                }
-                index[d] = 0;
-            }
-        }
-        NdArray::from_vec(data, &new_shape)
+        let shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let strides: Vec<usize> = axes.iter().map(|&a| self.strides[a]).collect();
+        Ok(NdArray::view(self.storage.clone(), shape, strides, self.offset))
     }
 
-    /// Concatenates arrays along `axis`. All other dimensions must agree.
+    /// Concatenates arrays along `axis`. All other dimensions must agree. (Copies: the
+    /// output interleaves its inputs' buffers.)
     pub fn concat(parts: &[&NdArray], axis: usize) -> Result<NdArray> {
         if parts.is_empty() {
             return Err(TensorError::ConcatMismatch { detail: "no operands".into() });
@@ -110,21 +101,23 @@ impl NdArray {
         let mut out_shape = first.shape.clone();
         out_shape[axis] = axis_total;
 
+        // Compact any strided operands once, then splice contiguous blocks.
+        let dense: Vec<NdArray> = parts.iter().map(|p| p.materialize()).collect();
         // Outer = product of dims before axis; inner = product of dims after axis.
         let outer: usize = first.shape[..axis].iter().product::<usize>().max(1);
         let inner: usize = first.shape[axis + 1..].iter().product::<usize>().max(1);
         let mut data = Vec::with_capacity(out_shape.iter().product());
         for o in 0..outer {
-            for p in parts {
+            for p in &dense {
                 let pa = p.shape[axis];
                 let start = o * pa * inner;
-                data.extend_from_slice(&p.data[start..start + pa * inner]);
+                data.extend_from_slice(&p.as_slice()[start..start + pa * inner]);
             }
         }
         NdArray::from_vec(data, &out_shape)
     }
 
-    /// Stacks equally shaped arrays along a new leading axis.
+    /// Stacks equally shaped arrays along a new leading axis. (Copies.)
     pub fn stack(parts: &[&NdArray]) -> Result<NdArray> {
         if parts.is_empty() {
             return Err(TensorError::ConcatMismatch { detail: "no operands".into() });
@@ -137,14 +130,15 @@ impl NdArray {
                     detail: format!("stack shape mismatch: {:?} vs {:?}", p.shape, first_shape),
                 });
             }
-            data.extend_from_slice(&p.data);
+            let dense = p.materialize();
+            data.extend_from_slice(dense.as_slice());
         }
         let mut shape = vec![parts.len()];
         shape.extend_from_slice(&first_shape);
         NdArray::from_vec(data, &shape)
     }
 
-    /// Extracts the half-open range `[start, end)` along `axis`.
+    /// Extracts the half-open range `[start, end)` along `axis`. Zero-copy.
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Result<NdArray> {
         let nd = self.ndim();
         if axis >= nd {
@@ -156,33 +150,39 @@ impl NdArray {
                 self.shape[axis]
             )));
         }
-        let outer: usize = self.shape[..axis].iter().product::<usize>().max(1);
-        let inner: usize = self.shape[axis + 1..].iter().product::<usize>().max(1);
-        let axis_len = self.shape[axis];
-        let mut out_shape = self.shape.clone();
-        out_shape[axis] = end - start;
-        let mut data = Vec::with_capacity(outer * (end - start) * inner);
-        for o in 0..outer {
-            let base = o * axis_len * inner;
-            data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+        let mut shape = self.shape.clone();
+        shape[axis] = end - start;
+        let offset = self.offset + start * self.strides[axis];
+        Ok(NdArray::view(self.storage.clone(), shape, self.strides.clone(), offset))
+    }
+
+    /// Returns the `i`-th sub-array along `axis` (the shape loses that axis). Zero-copy.
+    pub fn index_axis(&self, axis: usize, i: usize) -> Result<NdArray> {
+        if axis >= self.ndim() {
+            return Err(TensorError::AxisOutOfRange { axis, ndim: self.ndim() });
         }
-        NdArray::from_vec(data, &out_shape)
+        if i >= self.shape[axis] {
+            return Err(TensorError::IndexOutOfBounds { index: i, len: self.shape[axis] });
+        }
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        let offset = self.offset + i * strides[axis];
+        shape.remove(axis);
+        strides.remove(axis);
+        Ok(NdArray::view(self.storage.clone(), shape, strides, offset))
     }
 
     /// Returns the `i`-th sub-array along the leading axis (shape loses that axis).
+    /// Zero-copy.
     pub fn index_axis0(&self, i: usize) -> Result<NdArray> {
         if self.ndim() == 0 {
             return Err(TensorError::InvalidArgument("cannot index a scalar".into()));
         }
-        if i >= self.shape[0] {
-            return Err(TensorError::IndexOutOfBounds { index: i, len: self.shape[0] });
-        }
-        let inner: usize = self.shape[1..].iter().product::<usize>().max(1);
-        let data = self.data[i * inner..(i + 1) * inner].to_vec();
-        NdArray::from_vec(data, &self.shape[1..])
+        self.index_axis(0, i)
     }
 
     /// Gathers rows (sub-arrays along axis 0) given by `indices` into a new leading axis.
+    /// (Copies: the output is a new arrangement of rows.)
     pub fn gather_rows(&self, indices: &[usize]) -> Result<NdArray> {
         if self.ndim() == 0 {
             return Err(TensorError::InvalidArgument("cannot gather from a scalar".into()));
@@ -193,16 +193,22 @@ impl NdArray {
             if i >= self.shape[0] {
                 return Err(TensorError::IndexOutOfBounds { index: i, len: self.shape[0] });
             }
-            data.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+            let row = self.index_axis(0, i).expect("validated row index");
+            if row.is_contiguous() {
+                data.extend_from_slice(row.as_slice());
+            } else {
+                data.extend(row.values());
+            }
         }
         let mut shape = self.shape.clone();
         shape[0] = indices.len();
         NdArray::from_vec(data, &shape)
     }
 
-    /// Splits the array into `chunks` equal parts along axis 0.
+    /// Splits the array into `chunks` equal parts along axis 0. Zero-copy (each chunk is
+    /// a view).
     pub fn chunk_axis0(&self, chunks: usize) -> Result<Vec<NdArray>> {
-        if chunks == 0 || self.ndim() == 0 || self.shape[0] % chunks != 0 {
+        if chunks == 0 || self.ndim() == 0 || !self.shape[0].is_multiple_of(chunks) {
             return Err(TensorError::InvalidArgument(format!(
                 "cannot split leading dimension {} into {chunks} equal chunks",
                 self.shape.first().copied().unwrap_or(0)
@@ -212,22 +218,26 @@ impl NdArray {
         (0..chunks).map(|c| self.slice_axis(0, c * per, (c + 1) * per)).collect()
     }
 
-    /// Flattens to 1-D.
+    /// Flattens to 1-D. Zero-copy for contiguous inputs.
     pub fn flatten(&self) -> NdArray {
-        NdArray { shape: vec![self.data.len()], data: self.data.clone() }
+        self.reshape(&[self.len()]).expect("flatten preserves the element count")
     }
 
-    /// Inserts a size-1 dimension at `axis`.
+    /// Inserts a size-1 dimension at `axis`. Zero-copy.
     pub fn unsqueeze(&self, axis: usize) -> Result<NdArray> {
         if axis > self.ndim() {
             return Err(TensorError::AxisOutOfRange { axis, ndim: self.ndim() + 1 });
         }
         let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
         shape.insert(axis, 1);
-        Ok(NdArray { shape, data: self.data.clone() })
+        // A size-1 dimension is never stepped over, so any stride is valid; 0 keeps the
+        // metadata consistent with broadcast views.
+        strides.insert(axis, 0);
+        Ok(NdArray::view(self.storage.clone(), shape, strides, self.offset))
     }
 
-    /// Removes a size-1 dimension at `axis`.
+    /// Removes a size-1 dimension at `axis`. Zero-copy.
     pub fn squeeze(&self, axis: usize) -> Result<NdArray> {
         if axis >= self.ndim() {
             return Err(TensorError::AxisOutOfRange { axis, ndim: self.ndim() });
@@ -239,8 +249,10 @@ impl NdArray {
             )));
         }
         let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
         shape.remove(axis);
-        Ok(NdArray { shape, data: self.data.clone() })
+        strides.remove(axis);
+        Ok(NdArray::view(self.storage.clone(), shape, strides, self.offset))
     }
 }
 
@@ -260,11 +272,24 @@ mod tests {
     }
 
     #[test]
+    fn reshape_of_contiguous_is_zero_copy() {
+        let a = NdArray::arange(0.0, 1.0, 6);
+        let b = a.reshape(&[2, 3]).unwrap();
+        assert!(a.shares_storage(&b));
+        // Reshape of a permuted (non-contiguous) view must compact.
+        let t = b.transpose_last2().unwrap();
+        let r = t.reshape(&[6]).unwrap();
+        assert!(!t.shares_storage(&r));
+        assert_eq!(r.as_slice(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
     fn transpose_and_permute() {
         let a = NdArray::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
         let t = a.transpose_last2().unwrap();
         assert_eq!(t.shape(), &[3, 2]);
         assert_eq!(t.get(&[2, 1]).unwrap(), a.get(&[1, 2]).unwrap());
+        assert!(a.shares_storage(&t), "transpose must be a view");
 
         let b = NdArray::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
         let p = b.permute(&[2, 0, 1]).unwrap();
@@ -277,7 +302,9 @@ mod tests {
     #[test]
     fn double_transpose_is_identity() {
         let a = NdArray::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
-        assert_eq!(a.transpose_last2().unwrap().transpose_last2().unwrap(), a);
+        let tt = a.transpose_last2().unwrap().transpose_last2().unwrap();
+        assert_eq!(tt, a);
+        assert!(tt.is_contiguous(), "double transpose restores the layout");
     }
 
     #[test]
@@ -292,6 +319,14 @@ mod tests {
         assert_eq!(c1.as_slice(), &[0.0, 1.0, 10.0, 11.0, 2.0, 3.0, 12.0, 13.0]);
         assert!(NdArray::concat(&[&a, &NdArray::zeros(&[3, 3])], 0).is_err());
         assert!(NdArray::concat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn concat_accepts_strided_views() {
+        let a = NdArray::arange(0.0, 1.0, 4).reshape(&[2, 2]).unwrap();
+        let t = a.transpose_last2().unwrap();
+        let c = NdArray::concat(&[&t, &t], 0).unwrap();
+        assert_eq!(c.as_slice(), &[0.0, 2.0, 1.0, 3.0, 0.0, 2.0, 1.0, 3.0]);
     }
 
     #[test]
@@ -311,6 +346,7 @@ mod tests {
         let s = a.slice_axis(0, 1, 3).unwrap();
         assert_eq!(s.shape(), &[2, 3, 2]);
         assert_eq!(s.get(&[0, 0, 0]).unwrap(), 6.0);
+        assert!(a.shares_storage(&s), "slice must be a view");
         let s1 = a.slice_axis(1, 2, 3).unwrap();
         assert_eq!(s1.shape(), &[4, 1, 2]);
         assert_eq!(s1.get(&[1, 0, 1]).unwrap(), a.get(&[1, 2, 1]).unwrap());
@@ -321,6 +357,17 @@ mod tests {
         assert_eq!(row.shape(), &[3, 2]);
         assert_eq!(row.get(&[0, 0]).unwrap(), 12.0);
         assert!(a.index_axis0(4).is_err());
+    }
+
+    #[test]
+    fn index_axis_works_on_any_axis() {
+        let a = NdArray::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let mid = a.index_axis(1, 2).unwrap();
+        assert_eq!(mid.shape(), &[2, 4]);
+        assert_eq!(mid.get(&[1, 3]).unwrap(), a.get(&[1, 2, 3]).unwrap());
+        assert!(a.shares_storage(&mid));
+        assert!(a.index_axis(3, 0).is_err());
+        assert!(a.index_axis(1, 3).is_err());
     }
 
     #[test]
@@ -339,13 +386,25 @@ mod tests {
     }
 
     #[test]
+    fn gather_rows_from_strided_view() {
+        let a = NdArray::arange(0.0, 1.0, 12).reshape(&[4, 3]).unwrap();
+        let t = a.transpose_last2().unwrap(); // (3, 4), rows are columns of a
+        let g = t.gather_rows(&[2, 0]).unwrap();
+        assert_eq!(g.shape(), &[2, 4]);
+        assert_eq!(g.as_slice(), &[2.0, 5.0, 8.0, 11.0, 0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
     fn squeeze_unsqueeze_flatten() {
         let a = NdArray::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
         let u = a.unsqueeze(1).unwrap();
         assert_eq!(u.shape(), &[2, 1, 3]);
+        assert!(a.shares_storage(&u));
         let s = u.squeeze(1).unwrap();
         assert_eq!(s.shape(), &[2, 3]);
+        assert!(a.shares_storage(&s));
         assert!(u.squeeze(0).is_err());
         assert_eq!(a.flatten().shape(), &[6]);
+        assert!(a.shares_storage(&a.flatten()));
     }
 }

@@ -27,7 +27,8 @@ fn main() {
         ..Default::default()
     };
     let mut imputer = Imputer::new(config, &mut rng);
-    let cfg = TrainConfig { epochs: 3, batch_size: 4, lr: 1e-3, mask_rate: 0.2, ..Default::default() };
+    let cfg =
+        TrainConfig { epochs: 3, batch_size: 4, lr: 1e-3, mask_rate: 0.2, ..Default::default() };
     let report = imputer.train(&split.train, &cfg, &mut rng);
     for (i, e) in report.epochs.iter().enumerate() {
         println!("epoch {i}: masked MSE {:.5}  ({:.2}s)", e.loss, e.seconds);

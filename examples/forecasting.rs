@@ -28,7 +28,8 @@ fn main() {
     };
     let mut imputer = Imputer::new(config, &mut rng);
     // Train with suffix-heavy masking by raising the mask rate a little.
-    let cfg = TrainConfig { epochs: 3, batch_size: 12, lr: 1e-3, mask_rate: 0.3, ..Default::default() };
+    let cfg =
+        TrainConfig { epochs: 3, batch_size: 12, lr: 1e-3, mask_rate: 0.3, ..Default::default() };
     let report = imputer.train(&split.train, &cfg, &mut rng);
     println!("final training masked MSE: {:.5}", report.final_loss());
 

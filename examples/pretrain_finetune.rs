@@ -17,7 +17,11 @@ fn main() {
     let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 150, 40, 200, &mut rng);
     let split = data.split_at(150);
     let few = split.train.few_labels_per_class(5);
-    println!("unlabeled pretraining set: {} series; labeled fine-tuning set: {} series", split.train.len(), few.len());
+    println!(
+        "unlabeled pretraining set: {} series; labeled fine-tuning set: {} series",
+        split.train.len(),
+        few.len()
+    );
 
     let config = RitaConfig {
         channels: 3,

@@ -15,7 +15,12 @@ fn main() {
     // 1. Generate an HHAR-like dataset (3-channel accelerometer, 5 activities).
     let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 120, 30, 200, &mut rng);
     let split = data.split_at(120);
-    println!("train: {} samples, valid: {} samples, length {}", split.train.len(), split.valid.len(), data.length());
+    println!(
+        "train: {} samples, valid: {} samples, length {}",
+        split.train.len(),
+        split.valid.len(),
+        data.length()
+    );
 
     // 2. Configure RITA with group attention (error bound ε = 2, adaptive scheduler on).
     let config = RitaConfig {

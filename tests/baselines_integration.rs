@@ -48,9 +48,11 @@ fn tst_imputer_end_to_end() {
 #[test]
 fn grail_univariate_classification() {
     let mut r = rng(2);
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, 60, 20, 80, &mut r).to_univariate(0);
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, 60, 20, 80, &mut r)
+        .to_univariate(0);
     let split = data.split_at(60);
-    let grail = Grail::fit(GrailConfig { landmarks: 12, ..Default::default() }, &split.train, &mut r);
+    let grail =
+        Grail::fit(GrailConfig { landmarks: 12, ..Default::default() }, &split.train, &mut r);
     let acc = grail.evaluate(&split.valid);
     // 8 classes → chance 0.125; landmark 1-NN should do clearly better on this easy data.
     assert!(acc > 0.2, "GRAIL accuracy {acc}");

@@ -19,8 +19,12 @@ fn rng(seed: u64) -> SeedableRng64 {
 #[test]
 fn classification_beats_chance_with_group_attention() {
     let mut r = rng(0);
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 60, 20, 80, &mut r);
-    let split = data.split_at(60);
+    // Dataset/epoch sizes were enlarged (60->120 train samples, 4->6 epochs) when the
+    // offline RNG stand-ins replaced upstream rand: the seeded stream changed, and the
+    // original tiny setup's accuracy straddled the 0.3 threshold under the new stream.
+    // The assertion itself is unchanged.
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 120, 40, 80, &mut r);
+    let split = data.split_at(120);
     let config = RitaConfig {
         channels: 3,
         max_len: 80,
@@ -32,7 +36,7 @@ fn classification_beats_chance_with_group_attention() {
         ..Default::default()
     };
     let mut clf = Classifier::new(config, 5, &mut r);
-    let cfg = TrainConfig { epochs: 4, batch_size: 12, lr: 2e-3, ..Default::default() };
+    let cfg = TrainConfig { epochs: 6, batch_size: 12, lr: 2e-3, ..Default::default() };
     let report = clf.train(&split.train, &cfg, &mut r);
     assert!(report.final_loss() < report.epochs[0].loss);
     let acc = clf.evaluate(&split.valid, 12, &mut r);
@@ -117,7 +121,8 @@ fn forecasting_runs_through_the_public_api() {
         ..Default::default()
     };
     let mut imp = Imputer::new(config, &mut r);
-    let cfg = TrainConfig { epochs: 2, batch_size: 10, lr: 2e-3, mask_rate: 0.3, ..Default::default() };
+    let cfg =
+        TrainConfig { epochs: 2, batch_size: 10, lr: 2e-3, mask_rate: 0.3, ..Default::default() };
     let _ = imp.train(&split.train, &cfg, &mut r);
     let metrics = evaluate_forecast(&mut imp, &split.valid, 15, 8, &mut r);
     assert!(metrics.mse.is_finite() && metrics.mse >= 0.0);
@@ -156,10 +161,21 @@ fn all_attention_variants_train_on_the_same_data() {
 
 #[test]
 fn batch_size_predictor_integrates_with_model_configs() {
-    let memory = MemoryModel { d_model: 64, layers: 8, heads: 2, ff_hidden: 256, channels: 21, window: 5, bytes_per_element: 4 };
+    let memory = MemoryModel {
+        d_model: 64,
+        layers: 8,
+        heads: 2,
+        ff_hidden: 256,
+        channels: 21,
+        window: 5,
+        bytes_per_element: 4,
+    };
     let predictor = BatchSizePredictor::train(&memory, 10_000, 16 * 1024 * 1024 * 1024, 5, 3);
     let short = predictor.predict(200, 16);
     let long = predictor.predict(10_000, 512);
-    assert!(short >= long, "longer series with more groups must not admit larger batches ({short} vs {long})");
+    assert!(
+        short >= long,
+        "longer series with more groups must not admit larger batches ({short} vs {long})"
+    );
     assert!(long >= 1);
 }

@@ -1,7 +1,10 @@
 //! Property-based tests for the theoretical machinery of §4.3 and §5.1: Lemma 1's ratio
 //! bound, Lemma 2's merge safety, and the momentum update's invariants.
+//!
+//! The properties are exercised over many deterministically seeded random cases (the
+//! build environment has no crates.io access, so the sampling loop replaces `proptest`;
+//! the case counts match what the original `proptest` configuration ran).
 
-use proptest::prelude::*;
 use rita::core::group::kmeans_matmul;
 use rita::core::scheduler::{
     can_absorb, distance_threshold, guaranteed_epsilon, key_ball_radius, mergeable_count,
@@ -28,74 +31,107 @@ fn max_ratio(query: &[f32], keys: &[Vec<f32>], reps: &[Vec<f32>]) -> f32 {
         .fold(1.0f32, f32::max)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic case sweep: runs `f` for 64 seeds, mimicking `ProptestConfig::with_cases`.
+fn for_cases(f: impl Fn(u64)) {
+    for seed in 0..64u64 {
+        f(seed);
+    }
+}
 
-    /// Lemma 1: if every key is within d = ln(ε)/(2R) of its representative, every
-    /// restored attention entry is within [1/ε, ε] of the exact value.
-    #[test]
-    fn lemma1_ratio_bound_holds(
-        seed in 0u64..1000,
-        epsilon in 1.1f32..3.0,
-        n in 4usize..20,
-        d in 2usize..6,
-    ) {
+/// Lemma 1: if every key is within d = ln(ε)/(2R) of its representative, every restored
+/// attention entry is within [1/ε, ε] of the exact value.
+#[test]
+fn lemma1_ratio_bound_holds() {
+    for_cases(|seed| {
         let mut rng = rita::tensor::rng_from_seed(seed);
+        use rand::Rng;
+        let epsilon = rng.gen_range(1.1f32..3.0);
+        let n = rng.gen_range(4usize..20);
+        let d = rng.gen_range(2usize..6);
         let keys_arr = NdArray::rand_uniform(&[n, d], -1.0, 1.0, &mut rng);
         let query_arr = NdArray::rand_uniform(&[d], -1.0, 1.0, &mut rng);
         let radius = key_ball_radius(&keys_arr);
         let threshold = distance_threshold(epsilon, radius);
 
         // Build representatives by perturbing each key by strictly less than the threshold.
-        let keys: Vec<Vec<f32>> = (0..n).map(|i| keys_arr.as_slice()[i*d..(i+1)*d].to_vec()).collect();
-        let reps: Vec<Vec<f32>> = keys.iter().enumerate().map(|(i, k)| {
-            let dir = NdArray::rand_uniform(&[d], -1.0, 1.0, &mut rng);
-            let norm = dir.norm().max(1e-6);
-            let step = threshold.min(0.5) * 0.99 * ((i % 3) as f32 / 3.0);
-            k.iter().zip(dir.as_slice()).map(|(v, u)| v + u / norm * step).collect()
-        }).collect();
+        let keys: Vec<Vec<f32>> =
+            (0..n).map(|i| keys_arr.as_slice()[i * d..(i + 1) * d].to_vec()).collect();
+        let reps: Vec<Vec<f32>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let dir = NdArray::rand_uniform(&[d], -1.0, 1.0, &mut rng);
+                let norm = dir.norm().max(1e-6);
+                let step = threshold.min(0.5) * 0.99 * ((i % 3) as f32 / 3.0);
+                k.iter().zip(dir.as_slice()).map(|(v, u)| v + u / norm * step).collect()
+            })
+            .collect();
 
         let ratio = max_ratio(query_arr.as_slice(), &keys, &reps);
-        prop_assert!(ratio <= epsilon * 1.01, "ratio {} exceeded epsilon {}", ratio, epsilon);
-    }
+        assert!(ratio <= epsilon * 1.01, "ratio {ratio} exceeded epsilon {epsilon} (seed {seed})");
+    });
+}
 
-    /// The guaranteed epsilon is monotone in the observed distance and consistent with the
-    /// threshold inversion.
-    #[test]
-    fn epsilon_distance_inversion_is_consistent(radius in 0.1f32..10.0, eps in 1.01f32..5.0) {
+/// The guaranteed epsilon is monotone in the observed distance and consistent with the
+/// threshold inversion.
+#[test]
+fn epsilon_distance_inversion_is_consistent() {
+    for_cases(|seed| {
+        let mut rng = rita::tensor::rng_from_seed(seed);
+        use rand::Rng;
+        let radius = rng.gen_range(0.1f32..10.0);
+        let eps = rng.gen_range(1.01f32..5.0);
         let d = distance_threshold(eps, radius);
         let back = guaranteed_epsilon(d, radius);
-        prop_assert!((back - eps).abs() / eps < 1e-3);
-        prop_assert!(guaranteed_epsilon(d * 0.5, radius) < back);
-    }
+        assert!((back - eps).abs() / eps < 1e-3, "eps {eps} round-tripped to {back}");
+        assert!(guaranteed_epsilon(d * 0.5, radius) < back);
+    });
+}
 
-    /// Momentum never moves N below N - D or above N, for any alpha in [0, 1].
-    #[test]
-    fn momentum_update_stays_in_range(n in 1.0f32..1000.0, merged in 0usize..500, alpha in 0.0f32..1.0) {
-        let merged = merged.min(n as usize);
-        let updated = momentum_update(n, merged, alpha);
-        prop_assert!(updated <= n + 1e-3);
-        prop_assert!(updated >= n - merged as f32 - 1e-3);
-    }
-
-    /// The merge count never exceeds N-1 and is monotone in the threshold.
-    #[test]
-    fn merge_count_monotone_in_threshold(seed in 0u64..500, groups in 2usize..10) {
+/// Momentum never moves N below N - D or above N, for any alpha in [0, 1].
+#[test]
+fn momentum_update_stays_in_range() {
+    for_cases(|seed| {
         let mut rng = rita::tensor::rng_from_seed(seed);
+        use rand::Rng;
+        let n = rng.gen_range(1.0f32..1000.0);
+        let merged = rng.gen_range(0usize..500).min(n as usize);
+        let alpha = rng.gen_range(0.0f32..1.0);
+        let updated = momentum_update(n, merged, alpha);
+        assert!(updated <= n + 1e-3);
+        assert!(updated >= n - merged as f32 - 1e-3);
+    });
+}
+
+/// The merge count never exceeds N-1 and is monotone in the threshold.
+#[test]
+fn merge_count_monotone_in_threshold() {
+    for_cases(|seed| {
+        let mut rng = rita::tensor::rng_from_seed(seed);
+        use rand::Rng;
+        let groups = rng.gen_range(2usize..10);
         let points = NdArray::rand_uniform(&[40, 4], -1.0, 1.0, &mut rng);
         let grouping = kmeans_matmul(&points, groups, 4);
         let tight = mergeable_count(&grouping, 0.01);
         let loose = mergeable_count(&grouping, 10.0);
-        prop_assert!(tight <= loose);
-        prop_assert!(loose <= grouping.num_groups().saturating_sub(1) + 1);
-    }
+        assert!(tight <= loose);
+        assert!(loose <= grouping.num_groups().saturating_sub(1) + 1);
+    });
+}
 
-    /// can_absorb is monotone: growing the threshold never turns an absorbable pair into a
-    /// non-absorbable one.
-    #[test]
-    fn absorb_monotone_in_threshold(dist in 0.0f32..2.0, r1 in 0.0f32..1.0, r2 in 0.0f32..1.0, d in 0.0f32..4.0) {
+/// can_absorb is monotone: growing the threshold never turns an absorbable pair into a
+/// non-absorbable one.
+#[test]
+fn absorb_monotone_in_threshold() {
+    for_cases(|seed| {
+        let mut rng = rita::tensor::rng_from_seed(seed);
+        use rand::Rng;
+        let dist = rng.gen_range(0.0f32..2.0);
+        let r1 = rng.gen_range(0.0f32..1.0);
+        let r2 = rng.gen_range(0.0f32..1.0);
+        let d = rng.gen_range(0.0f32..4.0);
         if can_absorb(dist, r1, r2, d) {
-            prop_assert!(can_absorb(dist, r1, r2, d * 1.5 + 0.1));
+            assert!(can_absorb(dist, r1, r2, d * 1.5 + 0.1));
         }
-    }
+    });
 }
