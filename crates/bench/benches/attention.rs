@@ -48,6 +48,17 @@ fn bench_attention_forward(c: &mut Criterion) {
             });
             b.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
         });
+        group.bench_with_input(BenchmarkId::new("group_dense", n), &n, |b, _| {
+            // The pre-sparse-pipeline formulation (dense one-hot grouping matrices),
+            // kept as the perf baseline for the segment-sum default above.
+            let mut attn = GroupAttention::new(GroupAttentionConfig {
+                initial_groups: 16,
+                adaptive: false,
+                dense_matrices: true,
+                ..Default::default()
+            });
+            b.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
         group.bench_with_input(BenchmarkId::new("performer", n), &n, |b, _| {
             let mut rng = SeedableRng64::seed_from_u64(2);
             let mut attn = PerformerAttention::new(dh, 32, &mut rng);
@@ -98,6 +109,15 @@ fn bench_attention_forward_multihead(c: &mut Criterion) {
             let mut attn = GroupAttention::new(GroupAttentionConfig {
                 initial_groups: 16,
                 adaptive: false,
+                ..Default::default()
+            });
+            bch.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));
+        });
+        group.bench_with_input(BenchmarkId::new("group_dense", n), &n, |bch, _| {
+            let mut attn = GroupAttention::new(GroupAttentionConfig {
+                initial_groups: 16,
+                adaptive: false,
+                dense_matrices: true,
                 ..Default::default()
             });
             bch.iter(|| no_grad(|| attn.forward(&q, &k, &v).to_array()));

@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the grouping step (§4.4): the matmul-formulated k-means
-//! against the naive pairwise-difference formulation, and the cost of assembling the
-//! group-softmax inputs. This is the ablation DESIGN.md calls out for the "GPU friendly"
-//! distance formulation.
+//! against the naive pairwise-difference formulation, the cost of assembling the
+//! group-softmax inputs, and the sparse segment-sum pipeline against the dense one-hot
+//! matrix formulation of the grouping constants. This is the ablation DESIGN.md calls
+//! out for the "GPU friendly" distance formulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -40,5 +41,47 @@ fn bench_kmeans_iterations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kmeans_formulations, bench_kmeans_iterations);
+/// Applying the grouping constants: the dense path builds the one-hot `(N, n)`
+/// averaging/summation matrices and pays two `O(N·n·d)` products; the sparse path is two
+/// `O(n·d)` segment sums plus a broadcast scale. This is the tentpole ablation — the
+/// quantity that used to dominate the non-score cost of group attention.
+fn bench_grouping_constants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping_constants");
+    group.sample_size(10);
+    let (d, n_groups) = (32usize, 64usize);
+    for &n in &[256usize, 1024, 4096] {
+        let x = keys(n, d);
+        let g = kmeans_matmul(&x, n_groups, 2);
+        let inv_counts = NdArray::from_vec(
+            g.counts.iter().map(|&c| 1.0 / (c.max(1) as f32)).collect(),
+            &[n_groups, 1],
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("dense_matrices", n), &n, |b, _| {
+            b.iter(|| {
+                let s = g.averaging_matrix();
+                let m = g.sum_matrix();
+                let reps = s.matmul(&x).unwrap();
+                let agg = m.matmul(&x).unwrap();
+                (reps, agg)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_segment_sum", n), &n, |b, _| {
+            b.iter(|| {
+                let sums = x.segment_sum(&g.assignments, n_groups).unwrap();
+                let reps = sums.mul(&inv_counts).unwrap();
+                let agg = x.segment_sum(&g.assignments, n_groups).unwrap();
+                (reps, agg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kmeans_formulations,
+    bench_kmeans_iterations,
+    bench_grouping_constants
+);
 criterion_main!(benches);

@@ -14,6 +14,14 @@
 //! The number of groups is managed by the adaptive scheduler (§5.1): it starts large and
 //! shrinks whenever clusters can be merged without violating the user's error bound ε
 //! (Lemmas 1 & 2), with a momentum update smoothing the trajectory.
+//!
+//! The grouping constants are applied **sparsely** by default: instead of materialising
+//! the one-hot `(N, n)` averaging/summation matrices per `(batch, head)` and paying two
+//! `O(N·n·d)` products, the representatives and aggregated values are computed with one
+//! `segment_sum` each (`O(n·d)`, keeping the total grouped-attention cost dominated by
+//! the `n×N` score/output products exactly as §4.4 intends). The dense matrix
+//! formulation survives behind [`GroupAttentionConfig::dense_matrices`] as the
+//! exactness oracle.
 
 use super::Attention;
 use crate::group::{kmeans_matmul, Grouping};
@@ -21,6 +29,11 @@ use crate::scheduler::error_bound::{distance_threshold, key_ball_radius};
 use crate::scheduler::merge::{mergeable_count, momentum_update};
 use rita_nn::Var;
 use rita_tensor::NdArray;
+
+/// Minimum total distance-matrix work (`Σ blocks · n · N · d`) before the k-means
+/// fan-out pays for thread start-up; below this every block runs serially (the same
+/// role as the batched matmul's `PARALLEL_THRESHOLD`).
+const GROUPING_PARALLEL_THRESHOLD: usize = 64 * 64 * 16;
 
 /// Configuration of a group-attention module.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +51,12 @@ pub struct GroupAttentionConfig {
     pub kmeans_iters: usize,
     /// Momentum α of the group-count update.
     pub momentum_alpha: f32,
+    /// Use the dense `(N, n)` averaging/summation constant matrices instead of the
+    /// sparse segment-sum pipeline. The dense formulation costs `O(N·n·d)` per
+    /// `(batch, head)` in the two constant products and materialises `(b, h, N, n)`
+    /// buffers; it is kept purely as the exactness oracle the property tests compare
+    /// the sparse default against.
+    pub dense_matrices: bool,
 }
 
 impl Default for GroupAttentionConfig {
@@ -49,6 +68,7 @@ impl Default for GroupAttentionConfig {
             adaptive: true,
             kmeans_iters: 2,
             momentum_alpha: 0.5,
+            dense_matrices: false,
         }
     }
 }
@@ -106,42 +126,64 @@ impl GroupAttention {
         self.n_groups = n as f32;
     }
 
-    /// Runs the grouping for every `(batch, head)` pair and assembles the batched
-    /// constant matrices used by the attention computation.
-    fn group_all(
-        &self,
+    /// Runs the k-means grouping for every `(batch, head)` pair, picking the worker
+    /// count from the machine budget and the total distance-matrix work.
+    fn group_all(&self, keys: &NdArray, n_groups: usize) -> Vec<Grouping> {
+        let shape = keys.shape();
+        let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
+        let work = b * h * n * n_groups * dh;
+        let threads = if work < GROUPING_PARALLEL_THRESHOLD {
+            1
+        } else {
+            rita_tensor::worker_budget().min(b * h)
+        };
+        Self::group_blocks(keys, n_groups, self.config.kmeans_iters, threads)
+    }
+
+    /// Clusters every `(batch, head)` block of `keys` with `threads` workers (1 =
+    /// serial).
+    ///
+    /// Each block is an O(1) strided sub-view of the (possibly head-split) key tensor
+    /// (k-means reads its rows in place), and the blocks are independent, so they fan
+    /// out across the shared scoped-chunk pool — the same batch×heads axis the batched
+    /// matmul parallelises over. Workers cap their inner matmuls at their share of the
+    /// machine budget so the two fan-outs never multiply into oversubscription.
+    fn group_blocks(
         keys: &NdArray,
         n_groups: usize,
-    ) -> (Vec<Grouping>, NdArray, NdArray, NdArray) {
-        let shape = keys.shape().to_vec();
-        let (b, h, n) = (shape[0], shape[1], shape[2]);
-        let mut groupings = Vec::with_capacity(b * h);
-        let mut avg = Vec::with_capacity(b * h * n_groups * n);
-        let mut sum = Vec::with_capacity(b * h * n_groups * n);
-        let mut counts = Vec::with_capacity(b * h * n_groups);
-        for bi in 0..b {
-            for hi in 0..h {
-                // Zero-copy (n, dh) key block: an O(1) strided sub-view of the (possibly
-                // head-split) key tensor; k-means reads its rows in place.
-                let block = keys
-                    .index_axis(0, bi)
-                    .and_then(|kb| kb.index_axis(0, hi))
-                    .expect("key block view");
-                let grouping = kmeans_matmul(&block, n_groups, self.config.kmeans_iters);
-                avg.extend_from_slice(grouping.averaging_matrix().as_slice());
-                sum.extend_from_slice(grouping.sum_matrix().as_slice());
-                counts.extend(grouping.counts.iter().map(|&c| c as f32));
-                groupings.push(grouping);
-            }
+        iters: usize,
+        threads: usize,
+    ) -> Vec<Grouping> {
+        let (b, h) = (keys.shape()[0], keys.shape()[1]);
+        let blocks: Vec<NdArray> = (0..b * h)
+            .map(|idx| {
+                keys.index_axis(0, idx / h)
+                    .and_then(|kb| kb.index_axis(0, idx % h))
+                    .expect("key block view")
+            })
+            .collect();
+        if threads <= 1 {
+            return blocks.iter().map(|block| kmeans_matmul(block, n_groups, iters)).collect();
         }
-        let avg = NdArray::from_vec(avg, &[b, h, n_groups, n]).expect("avg matrix batch");
-        let sum = NdArray::from_vec(sum, &[b, h, n_groups, n]).expect("sum matrix batch");
-        let counts = NdArray::from_vec(counts, &[b, h, 1, n_groups]).expect("counts batch");
-        (groupings, avg, sum, counts)
+        let mut results: Vec<Option<Grouping>> = (0..blocks.len()).map(|_| None).collect();
+        let per = blocks.len().div_ceil(threads);
+        // Each worker gets its share of the machine budget for the matmuls inside
+        // k-means (serial when the block fan-out already saturates the pool, more when
+        // there are fewer blocks than cores), so the two fan-outs never multiply into
+        // oversubscription but idle cores are still used.
+        let inner = rita_tensor::worker_budget().div_ceil(threads).max(1);
+        rita_tensor::scoped_chunks_mut(&mut results, 1, per, |start, chunk| {
+            rita_tensor::with_worker_threads(inner, || {
+                for (slot, block) in chunk.iter_mut().zip(&blocks[start..]) {
+                    *slot = Some(kmeans_matmul(block, n_groups, iters));
+                }
+            });
+        });
+        results.into_iter().map(|g| g.expect("worker filled every slot")).collect()
     }
 
     /// Runs the adaptive scheduler (§5.1) after a forward pass.
-    fn update_scheduler(&mut self, groupings: &[Grouping], keys: &NdArray, n_windows: usize) {
+    fn update_scheduler(&mut self, groupings: &[Grouping], keys: &NdArray) {
         let radius = key_ball_radius(keys);
         let d = distance_threshold(self.config.epsilon, radius);
         self.stats.last_distance_threshold = d;
@@ -155,7 +197,14 @@ impl GroupAttention {
         self.stats.last_merged = avg_merged;
         let updated =
             momentum_update(self.n_groups, avg_merged.round() as usize, self.config.momentum_alpha);
-        self.n_groups = updated.clamp(self.config.min_groups as f32, n_windows as f32);
+        // Persistent state is floored at `min_groups` but deliberately NOT clamped to
+        // this series' window count: the window count is a property of one series, not
+        // of the schedule, and since the momentum update can never raise the count
+        // again, absorbing one short series would permanently collapse the schedule for
+        // every longer series that follows. `effective_groups` clamps the per-forward
+        // count instead. (The old ceiling also made `f32::clamp` panic — min > max —
+        // whenever a series had fewer windows than `min_groups`.)
+        self.n_groups = updated.max(self.config.min_groups as f32);
     }
 }
 
@@ -163,18 +212,56 @@ impl Attention for GroupAttention {
     fn forward(&mut self, q: &Var, k: &Var, v: &Var) -> Var {
         let shape = q.shape();
         assert_eq!(shape.len(), 4, "group attention expects (batch, heads, windows, head_dim)");
-        let n = shape[2];
-        let dh = shape[3];
+        let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
         let n_groups = self.effective_groups(n);
 
         // 1. Group the (detached) keys; grouping is a discrete decision, so no gradient
-        //    flows through the cluster assignment itself — but the representative keys are
-        //    centroids expressed as `S · K`, so gradients still reach K.
+        //    flows through the cluster assignment itself — but the representative keys
+        //    are centroids (per-group means of K), so gradients still reach K.
         let keys_detached = k.to_array();
-        let (groupings, avg_m, sum_m, counts) = self.group_all(&keys_detached, n_groups);
+        let groupings = self.group_all(&keys_detached, n_groups);
 
-        // 2. Representative keys R = S · K  (batch, heads, N, dh).
-        let representatives = Var::constant(avg_m).matmul(k);
+        // Per-group member counts (block-major over batch×heads).
+        let mut counts_flat = Vec::with_capacity(b * h * n_groups);
+        for g in &groupings {
+            counts_flat.extend(g.counts.iter().map(|&c| c as f32));
+        }
+        let counts =
+            NdArray::from_vec(counts_flat.clone(), &[b, h, 1, n_groups]).expect("counts batch");
+
+        // 2. Representative keys R = S · K and aggregated values Ṽ = M · V, both
+        //    (batch, heads, N, dh). The default sparse pipeline realises them as one
+        //    segment sum per tensor — O(n·dh) per (batch, head) with no intermediate —
+        //    while the dense oracle materialises the one-hot (N, n) matrices and pays
+        //    the O(N·n·dh) products the paper's matrix formulation describes.
+        let (representatives, aggregated_values) = if self.config.dense_matrices {
+            let mut avg = Vec::with_capacity(b * h * n_groups * n);
+            let mut sum = Vec::with_capacity(b * h * n_groups * n);
+            for g in &groupings {
+                avg.extend_from_slice(g.averaging_matrix().as_slice());
+                sum.extend_from_slice(g.sum_matrix().as_slice());
+            }
+            let avg = NdArray::from_vec(avg, &[b, h, n_groups, n]).expect("avg matrix batch");
+            let sum = NdArray::from_vec(sum, &[b, h, n_groups, n]).expect("sum matrix batch");
+            (Var::constant(avg).matmul(k), Var::constant(sum).matmul(v))
+        } else {
+            let inv_counts = NdArray::from_vec(
+                counts_flat.iter().map(|&c| 1.0 / c.max(1.0)).collect(),
+                &[b, h, n_groups, 1],
+            )
+            .expect("inverse counts batch");
+            // Flat group assignments, block-major over batch×heads — the layout
+            // `segment_sum` consumes. One shared allocation feeds both segment sums
+            // (and their backward closures) instead of two copies.
+            let mut segments = Vec::with_capacity(b * h * n);
+            for g in &groupings {
+                segments.extend_from_slice(&g.assignments);
+            }
+            let segments: std::sync::Arc<[usize]> = segments.into();
+            let representatives =
+                k.segment_sum(segments.clone(), n_groups).mul(&Var::constant(inv_counts));
+            (representatives, v.segment_sum(segments, n_groups))
+        };
 
         // 3. Compressed score matrix  P̃ = Q · Rᵀ / √d_k   (batch, heads, n, N).
         let scores = q.matmul_nt(&representatives).scale(1.0 / (dh as f32).sqrt());
@@ -188,14 +275,13 @@ impl Attention for GroupAttention {
         let denom = exp.mul(&Var::constant(counts)).sum_axis(3);
         let attention = exp.div(&denom);
 
-        // 5. Embedding aggregation: Ṽ = M · V  (batch, heads, N, dh), then O = Ã · Ṽ.
-        let aggregated_values = Var::constant(sum_m).matmul(v);
+        // 5. Final product of the embedding aggregation: O = Ã · Ṽ.
         let output = attention.matmul(&aggregated_values);
 
         // 6. Adaptive scheduling for the next iteration.
         self.stats.current_groups = n_groups;
         self.stats.forward_calls += 1;
-        self.update_scheduler(&groupings, &keys_detached, n);
+        self.update_scheduler(&groupings, &keys_detached);
 
         output
     }
@@ -390,5 +476,51 @@ mod tests {
     #[should_panic(expected = "epsilon must be > 1")]
     fn rejects_invalid_epsilon() {
         let _ = GroupAttention::new(GroupAttentionConfig { epsilon: 0.5, ..Default::default() });
+    }
+
+    /// Forces the multi-worker grouping fan-out (which the single-CPU CI box never
+    /// triggers through `group_all`'s budget) and checks it reproduces the serial
+    /// clusterings block for block. k-means is deterministic, so equality is exact.
+    #[test]
+    fn parallel_grouping_matches_serial() {
+        let (b, h, n, dh, groups) = (2, 3, 24, 4, 4);
+        let keys = duplicated_keys(b, h, n, dh, groups, 51);
+        let serial = GroupAttention::group_blocks(&keys, groups, 4, 1);
+        for threads in [2usize, 4, 6] {
+            let parallel = GroupAttention::group_blocks(&keys, groups, 4, threads);
+            assert_eq!(parallel.len(), serial.len());
+            for (block, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+                assert_eq!(p.assignments, s.assignments, "block {block}, {threads} threads");
+                assert_eq!(p.counts, s.counts, "block {block}, {threads} threads");
+                assert_eq!(p.centers, s.centers, "block {block}, {threads} threads");
+            }
+        }
+    }
+
+    /// Regression: a series with fewer windows than `min_groups` (here a single window
+    /// against the default `min_groups = 2`) used to panic inside `update_scheduler` —
+    /// `f32::clamp` aborts when min > max.
+    #[test]
+    fn adaptive_forward_survives_series_shorter_than_min_groups() {
+        let mut r = rng(31);
+        let dh = 8;
+        let q = Var::constant(NdArray::randn(&[1, 1, 1, dh], 1.0, &mut r));
+        let k = Var::constant(NdArray::randn(&[1, 1, 1, dh], 1.0, &mut r));
+        let v = Var::constant(NdArray::randn(&[1, 1, 1, dh], 1.0, &mut r));
+        let mut attn = GroupAttention::new(GroupAttentionConfig::default());
+        assert!(attn.config.adaptive && attn.config.min_groups > 1);
+        for _ in 0..3 {
+            let o = attn.forward(&q, &k, &v);
+            assert_eq!(o.shape(), vec![1, 1, 1, dh]);
+            assert!(!o.to_array().has_non_finite());
+        }
+        assert_eq!(attn.effective_groups(1), 1);
+        assert_eq!(attn.stats.current_groups, 1);
+        // The degenerate series must not be absorbed into the persistent scheduler
+        // state: a later long series still gets the originally scheduled group count,
+        // not one collapsed to the short series' window count (the momentum update can
+        // never raise it back).
+        assert_eq!(attn.scheduled_groups(), attn.config.initial_groups as f32);
+        assert_eq!(attn.effective_groups(256), attn.config.initial_groups);
     }
 }

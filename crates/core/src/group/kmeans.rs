@@ -137,6 +137,9 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
     let k = num_groups.clamp(1, n);
     let mut centers = init_centers(x, k);
     let mut assignments = vec![0usize; n];
+    // Squared distance of each point to its assigned centre, kept from the assignment
+    // step; drives the empty-cluster re-seeding below.
+    let mut dists = vec![0.0f32; n];
 
     let x_sq = row_sq_norms(x);
     for _ in 0..iters.max(1) {
@@ -157,6 +160,7 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
                     }
                 }
                 assignments[i] = best;
+                dists[i] = best_d.max(0.0);
             }
         } else {
             let cd = centers.as_slice();
@@ -172,6 +176,7 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
                     }
                 }
                 assignments[i] = best;
+                dists[i] = best_d;
             }
         }
 
@@ -184,7 +189,6 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
                 *s += v;
             }
         }
-        // Empty clusters keep their previous centre (a common, stable convention).
         let cd = centers.as_mut_slice();
         for g in 0..k {
             if counts[g] > 0 {
@@ -193,6 +197,47 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
                     cd[g * d + j] = sums[g * d + j] * inv;
                 }
             }
+        }
+
+        // --- empty-cluster re-seeding ---
+        // Periodic/duplicated key layouts (the windowed-timeseries regime) make the
+        // farthest-point init pick duplicate centres, which leaves clusters permanently
+        // empty under the old keep-the-stale-centre convention. Re-seed each empty
+        // cluster with the most outlying point — ranked by the assignment step's
+        // distances, i.e. against the pre-update centres, a deliberately cheap
+        // heuristic — taken from a donor cluster that keeps at least one member, moving
+        // that point's assignment so counts stay consistent within this iteration;
+        // k ≤ n guarantees a donor exists whenever a cluster is empty.
+        for g in 0..k {
+            if counts[g] > 0 {
+                continue;
+            }
+            let mut pick: Option<usize> = None;
+            for i in 0..n {
+                if counts[assignments[i]] < 2 {
+                    continue;
+                }
+                if pick.is_none_or(|p| dists[i] > dists[p]) {
+                    pick = Some(i);
+                }
+            }
+            let i = pick.expect("k <= n guarantees a donor point for every empty cluster");
+            let donor = assignments[i];
+            cd[g * d..(g + 1) * d].copy_from_slice(x.row(i));
+            // Keep the donor's stored centre equal to the mean of its *remaining*
+            // members: the attention pipeline's representatives are exact segment
+            // means, so the scheduler's radii/merge tests must measure against the
+            // same centroids (a stale donor mean would let the Lemma-2 merge test
+            // silently exceed the user's epsilon bound).
+            counts[donor] -= 1;
+            let inv = 1.0 / counts[donor] as f32;
+            for j in 0..d {
+                sums[donor * d + j] -= cd[g * d + j];
+                cd[donor * d + j] = sums[donor * d + j] * inv;
+            }
+            assignments[i] = g;
+            counts[g] = 1;
+            dists[i] = 0.0;
         }
     }
 
@@ -296,6 +341,79 @@ mod tests {
         let counts = g.counts_array();
         assert_eq!(counts.shape(), &[1, 2]);
         assert_eq!(counts.sum_all(), 8.0);
+    }
+
+    #[test]
+    fn no_empty_clusters_with_duplicated_rows() {
+        // 3 distinct prototypes repeated over 12 rows, 5 clusters: the farthest-point
+        // init necessarily duplicates centres, and without re-seeding at least two
+        // clusters would stay permanently empty.
+        let mut rng = SeedableRng64::seed_from_u64(17);
+        let protos = NdArray::randn(&[3, 4], 1.0, &mut rng);
+        let mut data = Vec::new();
+        for i in 0..12 {
+            data.extend_from_slice(&protos.as_slice()[(i % 3) * 4..(i % 3 + 1) * 4]);
+        }
+        let x = NdArray::from_vec(data, &[12, 4]).unwrap();
+        for iters in [1usize, 2, 4, 8] {
+            for formulation in [kmeans_matmul, kmeans_pairwise] {
+                let g = formulation(&x, 5, iters);
+                assert_eq!(g.num_groups(), 5);
+                assert!(
+                    g.counts.iter().all(|&c| c > 0),
+                    "iters {iters}: empty cluster in counts {:?}",
+                    g.counts
+                );
+                assert_eq!(g.counts.iter().sum::<usize>(), 12);
+            }
+        }
+    }
+
+    #[test]
+    fn reseeding_recovers_empty_clusters_on_periodic_keys() {
+        // Two tight blobs but k = 4: re-seeding must place the extra centres on real
+        // points (the farthest members), not leave them stale at duplicated inits.
+        let x = two_blobs(10, 23);
+        let g = kmeans_matmul(&x, 4, 6);
+        assert!(g.counts.iter().all(|&c| c > 0), "counts {:?}", g.counts);
+        // Re-seeded centres coincide with actual data points or means thereof, so every
+        // radius stays bounded by the blob spread.
+        assert!(g.max_radius() < 2.0);
+    }
+
+    /// After a re-seed the donor cluster's stored centre must still be the mean of its
+    /// remaining members — the attention pipeline's representatives are exact segment
+    /// means, and the scheduler's radii are measured against the stored centres, so the
+    /// two must agree even when the final iteration moved a point.
+    #[test]
+    fn centers_equal_member_means_after_reseeding() {
+        for (n_per, k, iters, seed) in [(10usize, 4usize, 1usize, 29u64), (8, 5, 3, 31)] {
+            let x = two_blobs(n_per, seed);
+            let g = kmeans_matmul(&x, k, iters);
+            let d = x.shape()[1];
+            for cluster in 0..g.num_groups() {
+                assert!(g.counts[cluster] > 0);
+                let mut mean = vec![0.0f32; d];
+                for (i, &a) in g.assignments.iter().enumerate() {
+                    if a == cluster {
+                        for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+                            *m += v;
+                        }
+                    }
+                }
+                for m in &mut mean {
+                    *m /= g.counts[cluster] as f32;
+                }
+                for (j, m) in mean.iter().enumerate() {
+                    let c = g.centers.as_slice()[cluster * d + j];
+                    assert!(
+                        (c - m).abs() < 1e-4,
+                        "cluster {cluster} dim {j}: stored centre {c} vs member mean {m} \
+                         (k={k}, iters={iters})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

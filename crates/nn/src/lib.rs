@@ -43,6 +43,7 @@ pub mod layers;
 pub mod loss;
 mod ops_basic;
 mod ops_matrix;
+mod ops_segment;
 pub mod optim;
 mod var;
 

@@ -1,0 +1,139 @@
+//! Sparse grouping operations on [`Var`]: batched segment-sum and row gathering.
+//!
+//! These wrap [`rita_tensor::NdArray::segment_sum`] / [`rita_tensor::NdArray::gather_rows_batched`] as autograd
+//! ops. The two are adjoint, which makes the backward rules one line each:
+//!
+//! * `segment_sum` backward — each input row contributed to exactly one segment, so its
+//!   gradient is that segment's upstream gradient: a **gather** with the same assignments.
+//! * `gather_rows_batched` backward — each source row was read by zero or more outputs,
+//!   so its gradient is the sum of their upstream gradients: a **scatter-add**, i.e. a
+//!   segment sum with the gather indices as the assignments.
+//!
+//! The group-attention pipeline in `rita-core` uses `segment_sum` for both the
+//! representative keys (`S · K` = segment sum / group size) and the aggregated values
+//! (`M · V` = segment sum), eliminating the dense `(batch, heads, N, n)` constant
+//! matrices the matmul formulation required.
+
+use std::sync::Arc;
+
+use crate::var::Var;
+
+impl Var {
+    /// Batched segment sum over the second-to-last axis (see [`rita_tensor::NdArray::segment_sum`]).
+    ///
+    /// `segments` assigns every `(block, row)` pair of the `(..., n, d)` input to a
+    /// segment in `0..n_segments`, flattened block-major; the result has shape
+    /// `(..., n_segments, d)`. Gradient rule: the upstream gradient is gathered back to
+    /// the rows that were summed. Accepts a plain slice (copied once into the backward
+    /// closure) or an `Arc<[usize]>` — hot paths applying the same assignment list to
+    /// several tensors (group attention's K and V) share one allocation that way.
+    pub fn segment_sum(&self, segments: impl Into<Arc<[usize]>>, n_segments: usize) -> Var {
+        let segments: Arc<[usize]> = segments.into();
+        let value = self.value().segment_sum(&segments, n_segments).expect("segment_sum");
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| {
+                vec![g.gather_rows_batched(&segments).expect("segment_sum backward")]
+            }),
+        )
+    }
+
+    /// Batched row gather over the second-to-last axis (see
+    /// [`rita_tensor::NdArray::gather_rows_batched`]).
+    ///
+    /// `indices` selects one source row per output row within each batch block,
+    /// flattened block-major (slice or shared `Arc<[usize]>`, as for
+    /// [`Var::segment_sum`]). Gradient rule: upstream gradients are scatter-added onto
+    /// the source rows (a segment sum keyed by the same indices).
+    pub fn gather_rows_batched(&self, indices: impl Into<Arc<[usize]>>) -> Var {
+        let indices: Arc<[usize]> = indices.into();
+        let value = self.value().gather_rows_batched(&indices[..]).expect("gather_rows_batched");
+        let shape = self.shape();
+        let m = shape[shape.len() - 2];
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| {
+                vec![g.segment_sum(&indices, m).expect("gather_rows_batched backward")]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+    use rita_tensor::NdArray;
+
+    #[test]
+    fn segment_sum_forward_matches_tensor_kernel() {
+        let x0 = NdArray::arange(0.0, 1.0, 2 * 3 * 2).reshape(&[2, 3, 2]).unwrap();
+        let segments = [1usize, 0, 1, 0, 0, 1];
+        let v = Var::constant(x0.clone()).segment_sum(&segments[..], 2);
+        assert_eq!(v.to_array(), x0.segment_sum(&segments[..], 2).unwrap());
+    }
+
+    #[test]
+    fn segment_sum_gradient_is_gather() {
+        // y = <w, segment_sum(x)>: dy/dx_i = w[segment(i)].
+        let x = Var::parameter(NdArray::ones(&[4, 2]));
+        let w = NdArray::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[2, 2]).unwrap();
+        let segments = [1usize, 0, 1, 1];
+        x.segment_sum(&segments[..], 2).mul(&Var::constant(w)).sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.as_slice(), &[10.0, 20.0, 1.0, 2.0, 10.0, 20.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn gather_gradient_is_scatter_add() {
+        // Rows read twice accumulate two upstream gradients; unread rows get zero.
+        let x = Var::parameter(NdArray::ones(&[3, 2]));
+        x.gather_rows_batched(&[2usize, 2, 0][..]).sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn segment_sum_gradcheck() {
+        let x0 = NdArray::from_vec(
+            vec![0.3, -0.8, 1.2, 0.05, -0.4, 0.7, 0.9, -1.1, 0.2, 0.6, -0.3, 0.15],
+            &[2, 3, 2],
+        )
+        .unwrap();
+        let segments = [0usize, 1, 0, 1, 1, 0];
+        let report = gradcheck(|x| x.segment_sum(&segments[..], 2).square().sum_all(), &x0, 1e-2);
+        assert!(report.passes(1e-2, 1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn gather_rows_gradcheck() {
+        let x0 = NdArray::from_vec(vec![0.3, -0.8, 1.2, 0.05, -0.4, 0.7, 0.9, -1.1], &[2, 2, 2])
+            .unwrap();
+        let indices = [1usize, 0, 0, 0, 1, 1];
+        let report =
+            gradcheck(|x| x.gather_rows_batched(&indices[..]).square().sum_all(), &x0, 1e-2);
+        assert!(report.passes(1e-2, 1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn composed_pipeline_gradcheck() {
+        // The group-attention usage: representatives = segment_sum(K) / counts, then a
+        // product with Q — checks the gather/scatter pair composes under matmul.
+        let x0 =
+            NdArray::from_vec(vec![0.5, -0.2, 0.8, 0.1, -0.6, 0.4, 0.3, 0.9], &[1, 4, 2]).unwrap();
+        let segments = [0usize, 1, 0, 1];
+        let inv_counts = NdArray::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[1, 2, 2]).unwrap();
+        let q = NdArray::from_vec(vec![0.7, -0.3, 0.2, 1.1, -0.5, 0.6], &[1, 3, 2]).unwrap();
+        let report = gradcheck(
+            |x| {
+                let reps = x.segment_sum(&segments[..], 2).mul(&Var::constant(inv_counts.clone()));
+                Var::constant(q.clone()).matmul_nt(&reps).square().sum_all()
+            },
+            &x0,
+            1e-2,
+        );
+        assert!(report.passes(2e-2, 2e-2), "{report:?}");
+    }
+}

@@ -142,11 +142,8 @@ pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            let scaled = p.grad().map(|g| g.scale(scale));
-            if let Some(s) = scaled {
-                p.zero_grad();
-                // re-seed the gradient slot with the scaled gradient
-                *p.0.grad.borrow_mut() = Some(s);
+            if let Some(g) = p.grad() {
+                p.set_grad(Some(g.scale(scale)));
             }
         }
     }

@@ -164,6 +164,16 @@ impl Var {
         *self.0.grad.borrow_mut() = None;
     }
 
+    /// Replaces the accumulated gradient wholesale (gradient clipping, manual seeding).
+    /// Unlike the accumulation performed by [`Var::backward`], this overwrites whatever
+    /// was stored; pass `None` to clear (equivalent to [`Var::zero_grad`]).
+    pub fn set_grad(&self, grad: Option<NdArray>) {
+        if let Some(g) = &grad {
+            debug_assert_eq!(g.shape(), self.0.value.borrow().shape(), "set_grad shape mismatch");
+        }
+        *self.0.grad.borrow_mut() = grad;
+    }
+
     /// Replaces the value in place (used by optimisers; does not touch the graph).
     pub fn set_value(&self, value: NdArray) {
         *self.0.value.borrow_mut() = value;
@@ -347,6 +357,20 @@ mod tests {
         let x = Var::parameter(NdArray::ones(&[2]));
         let y = x.scale(1.0);
         y.backward();
+    }
+
+    #[test]
+    fn set_grad_overwrites_and_clears() {
+        let x = Var::parameter(NdArray::from_slice(&[1.0, 2.0]));
+        x.scale(2.0).sum_all().backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[2.0, 2.0]);
+        x.set_grad(Some(NdArray::from_slice(&[5.0, -1.0])));
+        assert_eq!(x.grad().unwrap().as_slice(), &[5.0, -1.0]);
+        x.set_grad(None);
+        assert!(x.grad().is_none());
+        // Subsequent backward accumulates from the cleared slot, not the overwritten one.
+        x.scale(3.0).sum_all().backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[3.0, 3.0]);
     }
 
     #[test]

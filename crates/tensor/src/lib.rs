@@ -38,12 +38,15 @@ mod array;
 mod broadcast;
 mod error;
 mod matmul;
+mod parallel;
 mod random;
 mod reduce;
+mod segment;
 mod shape;
 
 pub use array::NdArray;
 pub use error::TensorError;
+pub use parallel::{scoped_chunks_mut, with_worker_threads, worker_budget};
 pub use random::{rng_from_seed, SeedableRng64};
 
 /// Convenience result alias used across the crate.

@@ -13,13 +13,11 @@
 #![allow(clippy::too_many_arguments)]
 
 use crate::broadcast::effective_strides;
+use crate::parallel::{scoped_chunks_mut, worker_budget};
 use crate::{NdArray, Result, TensorError};
 
 /// Minimum number of output elements before the kernels fan work out to threads.
 const PARALLEL_THRESHOLD: usize = 64 * 64;
-
-/// Upper bound on worker threads (thread start-up dominates beyond this on one matmul).
-const MAX_THREADS: usize = 16;
 
 /// Minimum reduction length before the transpose-free `gemm_nt` kernel pays off; below
 /// this the transposed rhs is compacted once and the streaming `gemm_rr` kernel used.
@@ -241,29 +239,25 @@ impl NdArray {
         let ldata: &[f32] = &lhs.storage;
         let rdata: &[f32] = &rhs.storage;
 
-        let threads =
-            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).min(MAX_THREADS);
+        let threads = worker_budget();
         let big = batch * lm * rn >= PARALLEL_THRESHOLD;
 
         if big && threads > 1 && batch >= threads {
             // Enough batch entries to saturate the pool: parallelise across the
             // batch×heads dimension, each worker running whole products serially.
-            let per = batch.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let mut rest = out.as_mut_slice();
-                let mut b0 = 0usize;
-                while b0 < batch {
-                    let nb = per.min(batch - b0);
-                    let (chunk, tail) = rest.split_at_mut(nb * lm * rn);
-                    rest = tail;
-                    let lo = &l_offsets[b0..b0 + nb];
-                    let ro = &r_offsets[b0..b0 + nb];
-                    scope.spawn(move || {
-                        for (bi, o) in chunk.chunks_mut(lm * rn).enumerate() {
-                            matmul_2d(&ldata[lo[bi]..], la, &rdata[ro[bi]..], lb, o, lm, lk, rn);
-                        }
-                    });
-                    b0 += nb;
+            scoped_chunks_mut(&mut out, lm * rn, batch.div_ceil(threads), |b0, chunk| {
+                for (bi, o) in chunk.chunks_mut(lm * rn).enumerate() {
+                    let idx = b0 + bi;
+                    matmul_2d(
+                        &ldata[l_offsets[idx]..],
+                        la,
+                        &rdata[r_offsets[idx]..],
+                        lb,
+                        o,
+                        lm,
+                        lk,
+                        rn,
+                    );
                 }
             });
         } else if big && threads > 1 && lm >= 2 {
@@ -275,17 +269,9 @@ impl NdArray {
                 let a = &ldata[l_offsets[bidx]..];
                 let b = &rdata[r_offsets[bidx]..];
                 let out_b = &mut out[bidx * lm * rn..(bidx + 1) * lm * rn];
-                std::thread::scope(|scope| {
-                    let mut rest = out_b;
-                    let mut row0 = 0usize;
-                    while row0 < lm {
-                        let rows = rows_per.min(lm - row0);
-                        let (chunk, tail) = rest.split_at_mut(rows * rn);
-                        rest = tail;
-                        let a_chunk = lhs_rows_from(la, a, row0);
-                        scope.spawn(move || matmul_2d(a_chunk, la, b, lb, chunk, rows, lk, rn));
-                        row0 += rows;
-                    }
+                scoped_chunks_mut(out_b, rn, rows_per, |row0, chunk| {
+                    let a_chunk = lhs_rows_from(la, a, row0);
+                    matmul_2d(a_chunk, la, b, lb, chunk, chunk.len() / rn, lk, rn);
                 });
             }
         } else {

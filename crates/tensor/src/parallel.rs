@@ -1,0 +1,134 @@
+//! The shared worker fan-out used by every threaded kernel in the workspace: a scoped
+//! chunked split over a mutable output slice, a global worker budget, and a per-thread
+//! cap so nested fan-outs (a grouping worker issuing matmuls) stay serial instead of
+//! oversubscribing the machine.
+
+use std::cell::Cell;
+
+/// Upper bound on worker threads for any single fan-out (thread start-up dominates
+/// beyond this on one kernel invocation).
+const MAX_THREADS: usize = 16;
+
+thread_local! {
+    /// Per-thread override of the worker budget (see [`with_worker_threads`]).
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Number of worker threads a kernel may fan out to from this thread:
+/// `available_parallelism`, capped at 16 and at any [`with_worker_threads`] override.
+pub fn worker_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+        .min(THREAD_CAP.with(|c| c.get()))
+}
+
+/// Runs `f` with the worker budget on this thread capped at `cap` threads.
+///
+/// Callers that fan work out across their own pool (e.g. the per-head k-means grouping)
+/// wrap their worker bodies in `with_worker_threads(1, ..)` so the kernels they issue
+/// stay serial instead of nesting a second fan-out on top of an already saturated
+/// machine. The cap is per-thread and restored on exit (panic-safe via a drop guard).
+pub fn with_worker_threads<T>(cap: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_CAP.with(|c| c.replace(cap.max(1))));
+    f()
+}
+
+/// Fans `data` out across scoped worker threads in contiguous chunks.
+///
+/// `data` is treated as logical items of `unit` elements each; every worker receives up
+/// to `per` consecutive items — `f(start_item, chunk)` where `chunk` covers items
+/// `[start_item, start_item + chunk.len() / unit)`. Blocks until all workers finish
+/// (`std::thread::scope`), so `f` may borrow from the caller's stack. With `per` at or
+/// above the item count, `f` runs once on the calling thread's stack frame — callers
+/// decide the chunking, this helper only owns the splitting and spawning.
+pub fn scoped_chunks_mut<T: Send>(
+    data: &mut [T],
+    unit: usize,
+    per: usize,
+    f: impl Fn(usize, &mut [T]) + Send + Copy,
+) {
+    // Hard asserts (both O(1)): a non-multiple length would silently leave trailing
+    // elements unprocessed in the threaded path below.
+    assert!(unit > 0 && per > 0, "scoped_chunks_mut requires positive unit/per");
+    assert!(
+        data.len().is_multiple_of(unit),
+        "scoped_chunks_mut: {} elements do not divide into items of {unit}",
+        data.len()
+    );
+    let items = data.len() / unit;
+    if items <= per {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        while start < items {
+            let count = per.min(items - start);
+            let (chunk, tail) = rest.split_at_mut(count * unit);
+            rest = tail;
+            scope.spawn(move || f(start, chunk));
+            start += count;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_chunks_cover_every_item_exactly_once() {
+        // 10 items of 3 elements, 4 per chunk: workers must see starts 0, 4, 8 and
+        // jointly write every element exactly once.
+        let mut data = vec![0usize; 30];
+        scoped_chunks_mut(&mut data, 3, 4, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += start * 3 + i + 1;
+            }
+        });
+        let expect: Vec<usize> = (1..=30).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn scoped_chunks_run_inline_when_one_chunk_suffices() {
+        let mut data = vec![0u8; 6];
+        scoped_chunks_mut(&mut data, 2, 3, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 6);
+            chunk.fill(7);
+        });
+        assert_eq!(data, vec![7; 6]);
+    }
+
+    #[test]
+    fn worker_cap_applies_and_restores() {
+        let outer = worker_budget();
+        with_worker_threads(1, || {
+            assert_eq!(worker_budget(), 1);
+            // Nested caps apply innermost-first and unwind in order.
+            with_worker_threads(3, || assert_eq!(worker_budget(), 3.min(outer.max(1))));
+            assert_eq!(worker_budget(), 1);
+        });
+        assert_eq!(worker_budget(), outer);
+    }
+
+    #[test]
+    fn capped_matmul_matches_uncapped() {
+        // Exceeds the parallel threshold so the budget is actually consulted.
+        let a = crate::NdArray::arange(0.0, 0.001, 80 * 40).reshape(&[80, 40]).unwrap();
+        let b = crate::NdArray::arange(1.0, -0.0005, 40 * 80).reshape(&[40, 80]).unwrap();
+        let free = a.matmul(&b).unwrap();
+        let capped = with_worker_threads(1, || a.matmul(&b).unwrap());
+        assert_eq!(free, capped);
+    }
+}

@@ -4,6 +4,7 @@
 //! 10,000-sample series.
 //!
 //! Run with: `cargo run --release --example eeg_imputation`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
@@ -13,13 +14,16 @@ use rita::data::{DatasetKind, TimeseriesDataset};
 use rita::tensor::SeedableRng64;
 
 fn main() {
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, n_valid, length, epochs) = if quick { (6, 2, 200, 1) } else { (16, 4, 600, 3) };
     let mut rng = SeedableRng64::seed_from_u64(3);
     // A reduced MGH-like dataset: 21 channels, length 600 (paper: 10,000).
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Mgh, 16, 4, 600, &mut rng);
-    let split = data.split_at(16);
+    let data =
+        TimeseriesDataset::generate_reduced(DatasetKind::Mgh, n_train, n_valid, length, &mut rng);
+    let split = data.split_at(n_train);
     let config = RitaConfig {
         channels: 21,
-        max_len: 600,
+        max_len: length,
         d_model: 32,
         n_layers: 2,
         ff_hidden: 64,
@@ -27,8 +31,7 @@ fn main() {
         ..Default::default()
     };
     let mut imputer = Imputer::new(config, &mut rng);
-    let cfg =
-        TrainConfig { epochs: 3, batch_size: 4, lr: 1e-3, mask_rate: 0.2, ..Default::default() };
+    let cfg = TrainConfig { epochs, batch_size: 4, lr: 1e-3, mask_rate: 0.2, ..Default::default() };
     let report = imputer.train(&split.train, &cfg, &mut rng);
     for (i, e) in report.epochs.iter().enumerate() {
         println!("epoch {i}: masked MSE {:.5}  ({:.2}s)", e.loss, e.seconds);

@@ -3,6 +3,7 @@
 //! last-value-persistence baseline.
 //!
 //! Run with: `cargo run --release --example forecasting`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
@@ -12,9 +13,12 @@ use rita::data::{DatasetKind, TimeseriesDataset};
 use rita::tensor::SeedableRng64;
 
 fn main() {
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, n_valid, epochs) = if quick { (12, 6, 1) } else { (60, 15, 3) };
     let mut rng = SeedableRng64::seed_from_u64(17);
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 60, 15, 200, &mut rng);
-    let split = data.split_at(60);
+    let data =
+        TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, n_train, n_valid, 200, &mut rng);
+    let split = data.split_at(n_train);
     let horizon = 40;
 
     let config = RitaConfig {
@@ -29,7 +33,7 @@ fn main() {
     let mut imputer = Imputer::new(config, &mut rng);
     // Train with suffix-heavy masking by raising the mask rate a little.
     let cfg =
-        TrainConfig { epochs: 3, batch_size: 12, lr: 1e-3, mask_rate: 0.3, ..Default::default() };
+        TrainConfig { epochs, batch_size: 12, lr: 1e-3, mask_rate: 0.3, ..Default::default() };
     let report = imputer.train(&split.train, &cfg, &mut rng);
     println!("final training masked MSE: {:.5}", report.final_loss());
 

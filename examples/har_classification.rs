@@ -4,6 +4,7 @@
 //! longer series.
 //!
 //! Run with: `cargo run --release --example har_classification`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
@@ -13,9 +14,12 @@ use rita::data::{DatasetKind, TimeseriesDataset};
 use rita::tensor::SeedableRng64;
 
 fn run(attention: AttentionKind, name: &str) {
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, n_valid, epochs) = if quick { (16, 8, 1) } else { (120, 30, 3) };
     let mut rng = SeedableRng64::seed_from_u64(7);
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, 120, 30, 200, &mut rng);
-    let split = data.split_at(120);
+    let data =
+        TimeseriesDataset::generate_reduced(DatasetKind::Rwhar, n_train, n_valid, 200, &mut rng);
+    let split = data.split_at(n_train);
     let config = RitaConfig {
         channels: 3,
         max_len: 200,
@@ -26,7 +30,7 @@ fn run(attention: AttentionKind, name: &str) {
         ..Default::default()
     };
     let mut clf = Classifier::new(config, 8, &mut rng);
-    let cfg = TrainConfig { epochs: 3, batch_size: 16, lr: 1e-3, ..Default::default() };
+    let cfg = TrainConfig { epochs, batch_size: 16, lr: 1e-3, ..Default::default() };
     let report = clf.train(&split.train, &cfg, &mut rng);
     let acc = clf.evaluate(&split.valid, 16, &mut rng);
     println!(

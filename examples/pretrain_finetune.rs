@@ -4,6 +4,7 @@
 //! scratch on the same few labels.
 //!
 //! Run with: `cargo run --release --example pretrain_finetune`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
@@ -13,9 +14,12 @@ use rita::data::{DatasetKind, TimeseriesDataset};
 use rita::tensor::SeedableRng64;
 
 fn main() {
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, n_valid, epochs) = if quick { (20, 10, 1) } else { (150, 40, 3) };
     let mut rng = SeedableRng64::seed_from_u64(11);
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 150, 40, 200, &mut rng);
-    let split = data.split_at(150);
+    let data =
+        TimeseriesDataset::generate_reduced(DatasetKind::Hhar, n_train, n_valid, 200, &mut rng);
+    let split = data.split_at(n_train);
     let few = split.train.few_labels_per_class(5);
     println!(
         "unlabeled pretraining set: {} series; labeled fine-tuning set: {} series",
@@ -32,7 +36,7 @@ fn main() {
         attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 16, adaptive: true },
         ..Default::default()
     };
-    let cfg = TrainConfig { epochs: 3, batch_size: 16, lr: 1e-3, ..Default::default() };
+    let cfg = TrainConfig { epochs, batch_size: 16, lr: 1e-3, ..Default::default() };
 
     // Scratch baseline: few labels only.
     let mut rng_a = SeedableRng64::seed_from_u64(5);

@@ -2,6 +2,7 @@
 //! activity-recognition dataset and report validation accuracy.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
@@ -11,10 +12,14 @@ use rita::data::{DatasetKind, TimeseriesDataset};
 use rita::tensor::SeedableRng64;
 
 fn main() {
+    // Quick mode (RITA_QUICK set): tiny sizes so CI can smoke-run the example.
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, n_valid, epochs) = if quick { (16, 8, 1) } else { (120, 30, 3) };
     let mut rng = SeedableRng64::seed_from_u64(0);
     // 1. Generate an HHAR-like dataset (3-channel accelerometer, 5 activities).
-    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 120, 30, 200, &mut rng);
-    let split = data.split_at(120);
+    let data =
+        TimeseriesDataset::generate_reduced(DatasetKind::Hhar, n_train, n_valid, 200, &mut rng);
+    let split = data.split_at(n_train);
     println!(
         "train: {} samples, valid: {} samples, length {}",
         split.train.len(),
@@ -35,7 +40,7 @@ fn main() {
     let mut classifier = Classifier::new(config, 5, &mut rng);
 
     // 3. Train and evaluate.
-    let train_cfg = TrainConfig { epochs: 3, batch_size: 16, lr: 1e-3, ..Default::default() };
+    let train_cfg = TrainConfig { epochs, batch_size: 16, lr: 1e-3, ..Default::default() };
     let report = classifier.train(&split.train, &train_cfg, &mut rng);
     for (i, e) in report.epochs.iter().enumerate() {
         println!("epoch {i}: loss {:.4}  ({:.2}s)", e.loss, e.seconds);
