@@ -89,9 +89,7 @@ fn train_cfg(scale: Scale) -> TrainConfig {
         epochs: scale.epochs(),
         batch_size: scale.batch_size(),
         lr: 3e-3,
-        weight_decay: 1e-4,
-        grad_clip: 1.0,
-        mask_rate: 0.2,
+        ..Default::default()
     }
 }
 
@@ -227,6 +225,7 @@ pub fn would_oom_at_paper_scale(name: &str, paper_length: usize) -> bool {
         ff_hidden: 256,
         channels: 21,
         window,
+        stride: window,
         bytes_per_element: 4,
     };
     // Attention matrices retained per layer and head for the backward pass: raw scores,

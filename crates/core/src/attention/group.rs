@@ -294,6 +294,10 @@ impl Attention for GroupAttention {
         Some(self.stats)
     }
 
+    fn scheduled_group_target(&self) -> Option<f32> {
+        Some(self.scheduled_groups())
+    }
+
     fn set_group_count(&mut self, n: usize) {
         self.set_groups(n);
     }

@@ -81,6 +81,15 @@ pub trait Attention {
         None
     }
 
+    /// The scheduler's persistent (real-valued) group-count target, available only for
+    /// group attention. Unlike [`GroupAttentionStats::current_groups`] — which is the
+    /// count the *last* forward pass used, clamped to that batch's window count — this
+    /// does not depend on which batch ran last, so it is the right input for batch-size
+    /// planning over mixed-length buckets.
+    fn scheduled_group_target(&self) -> Option<f32> {
+        None
+    }
+
     /// Overrides the group count (no-op for non-group mechanisms). Used by the
     /// fixed-N ablation (Table 4).
     fn set_group_count(&mut self, _n: usize) {}

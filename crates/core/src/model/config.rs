@@ -2,6 +2,19 @@
 
 use crate::attention::AttentionKind;
 
+/// Number of windows a `(window, stride)` convolution produces on a series of `len`
+/// timestamps — the single home of this arithmetic (config, embedding and scheduler all
+/// rely on it agreeing). Panics with a clear message when the series is shorter than the
+/// window: the naive `len - window` underflows `usize` otherwise.
+pub fn windows_for(len: usize, window: usize, stride: usize) -> usize {
+    assert!(
+        len >= window,
+        "series length {len} is shorter than the convolution window {window}; \
+         pad the series or configure a smaller window"
+    );
+    (len - window) / stride.max(1) + 1
+}
+
 /// Hyper-parameters of a RITA model (Fig. 1 of the paper).
 ///
 /// The defaults follow Appendix A.1: an 8-layer stack of 2-head attention with hidden
@@ -68,8 +81,7 @@ impl RitaConfig {
 
     /// Number of windows a series of length `len` produces.
     pub fn windows_for(&self, len: usize) -> usize {
-        assert!(len >= self.window, "series length {len} shorter than window {}", self.window);
-        (len - self.window) / self.stride + 1
+        windows_for(len, self.window, self.stride)
     }
 
     /// Maximum number of windows (for `max_len`).
@@ -118,7 +130,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shorter than window")]
+    #[should_panic(expected = "shorter than the convolution window")]
     fn windows_for_rejects_short_series() {
         let c = RitaConfig::default();
         let _ = c.windows_for(2);

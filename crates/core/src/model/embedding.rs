@@ -48,6 +48,13 @@ impl TimeConvEmbed {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "expected (batch, channels, length), got {shape:?}");
         assert_eq!(shape[1], self.channels, "channel mismatch: {} vs {}", shape[1], self.channels);
+        assert!(
+            shape[2] >= self.window,
+            "series length {} is shorter than the convolution window {}; \
+             pad the series or configure a smaller window",
+            shape[2],
+            self.window
+        );
         let batch = shape[0];
         // Window embedding: unfold then project (the convolution).
         let windows = x.unfold1d(self.window, self.stride); // (B, n, c*w)
@@ -67,9 +74,10 @@ impl TimeConvEmbed {
         with_cls.add(&Var::constant(pos))
     }
 
-    /// Number of windows produced for a series of length `len`.
+    /// Number of windows produced for a series of length `len`. Panics with a clear
+    /// error when `len` is shorter than the window (see [`crate::model::config::windows_for`]).
     pub fn windows_for(&self, len: usize) -> usize {
-        (len - self.window) / self.stride + 1
+        crate::model::config::windows_for(len, self.window, self.stride)
     }
 
     /// Convolution window width.
@@ -165,6 +173,25 @@ mod tests {
         assert!(embed.conv.weight.grad().unwrap().norm() > 0.0);
         assert!(embed.cls.grad().unwrap().norm() > 0.0);
         assert_eq!(embed.parameters().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the convolution window")]
+    fn rejects_series_shorter_than_the_window() {
+        // Regression: `len < window` used to underflow the usize subtraction in the
+        // window arithmetic and die with an overflow panic instead of a clear error.
+        let mut r = rng(5);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let x = Var::constant(NdArray::zeros(&[1, 3, 3]));
+        let _ = embed.forward(&x);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the convolution window")]
+    fn windows_for_rejects_short_series() {
+        let mut r = rng(6);
+        let embed = TimeConvEmbed::new(&config(), &mut r);
+        let _ = embed.windows_for(2);
     }
 
     #[test]

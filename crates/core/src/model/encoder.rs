@@ -114,6 +114,18 @@ impl RitaEncoder {
         }
     }
 
+    /// Average *persistent* scheduler group-count target across group-attention layers —
+    /// independent of which batch ran last, unlike [`RitaEncoder::mean_group_count`].
+    pub fn mean_scheduled_groups(&self) -> Option<f32> {
+        let targets: Vec<f32> =
+            self.layers.iter().filter_map(|l| l.attention.scheduled_group_target()).collect();
+        if targets.is_empty() {
+            None
+        } else {
+            Some(targets.iter().sum::<f32>() / targets.len() as f32)
+        }
+    }
+
     /// Forces a fixed group count on every group-attention layer (Table 4's baseline).
     pub fn set_group_count(&mut self, n: usize) {
         for layer in &mut self.layers {

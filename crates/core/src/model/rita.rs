@@ -4,6 +4,7 @@ use crate::attention::GroupAttentionStats;
 use crate::model::config::RitaConfig;
 use crate::model::embedding::TimeConvEmbed;
 use crate::model::encoder::RitaEncoder;
+use crate::scheduler::MemoryModel;
 use rand::Rng;
 use rita_nn::{Module, Var};
 use rita_tensor::NdArray;
@@ -62,9 +63,31 @@ impl RitaModel {
         self.encoder.mean_group_count()
     }
 
+    /// Average persistent scheduler group-count target across group-attention layers.
+    /// Defined from construction on (the configured initial group count) and independent
+    /// of batch order, which makes it the right `N` for batch-size planning (§5.2); the
+    /// count an actual batch uses is this target clamped to the batch's window count.
+    pub fn mean_scheduled_groups(&self) -> Option<f32> {
+        self.encoder.mean_scheduled_groups()
+    }
+
     /// Forces a fixed group count on all group-attention layers.
     pub fn set_group_count(&mut self, n: usize) {
         self.encoder.set_group_count(n);
+    }
+
+    /// The memory-relevant shape of this model, for the §5.2 batch-size machinery.
+    pub fn memory_model(&self) -> MemoryModel {
+        MemoryModel {
+            d_model: self.config.d_model,
+            layers: self.config.n_layers,
+            heads: self.config.n_heads,
+            ff_hidden: self.config.ff_hidden,
+            channels: self.config.channels,
+            window: self.config.window,
+            stride: self.config.stride,
+            bytes_per_element: 4,
+        }
     }
 }
 

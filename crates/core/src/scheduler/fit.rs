@@ -10,7 +10,7 @@
 //! reciprocal scale), each fitted by linear least squares, and the same interval DP picks
 //! the optimal split along the length axis.
 
-use super::memory::MemoryModel;
+use super::memory::{usable_budget, MemoryModel, DEFAULT_BUDGET_FRACTION};
 
 /// One observation: for series length `len` and group count `groups`, the memory oracle
 /// admits batch size `batch`.
@@ -148,13 +148,24 @@ pub fn fit_best(points: &[BatchPoint]) -> Option<(FittedFn, f32)> {
     best
 }
 
-/// The batch-size predictor: a list of length intervals, each carrying its fitted function.
+/// The batch-size predictor: a list of length intervals, each carrying its fitted function,
+/// together with the memory model it was trained against. Predictions are clamped against
+/// that model — a fitted function extrapolated beyond the training grid (an `Affine` fit in
+/// particular) can otherwise return a batch size that blows the memory budget.
 #[derive(Debug, Clone)]
 pub struct BatchSizePredictor {
     /// `(len_upper_bound_inclusive, fitted function)` pairs sorted by length.
     pub segments: Vec<(usize, FittedFn)>,
     /// Points the predictor was trained on (kept for inspection / tests).
     pub training_points: Vec<BatchPoint>,
+    /// The memory cost model predictions are clamped against.
+    pub memory: MemoryModel,
+    /// Simulated accelerator memory in bytes.
+    pub budget_bytes: usize,
+    /// Fraction of the budget that may be occupied (the paper targets 90 %).
+    pub budget_fraction: f32,
+    /// Hard upper bound on any predicted batch size.
+    pub max_batch: usize,
 }
 
 impl BatchSizePredictor {
@@ -168,19 +179,48 @@ impl BatchSizePredictor {
         samples_per_axis: usize,
         max_segments: usize,
     ) -> Self {
+        Self::train_with(
+            memory,
+            max_len,
+            budget_bytes,
+            DEFAULT_BUDGET_FRACTION,
+            1 << 16,
+            samples_per_axis,
+            max_segments,
+        )
+    }
+
+    /// [`BatchSizePredictor::train`] with explicit budget fraction and batch-size cap.
+    pub fn train_with(
+        memory: &MemoryModel,
+        max_len: usize,
+        budget_bytes: usize,
+        budget_fraction: f32,
+        max_batch: usize,
+        samples_per_axis: usize,
+        max_segments: usize,
+    ) -> Self {
         let samples_per_axis = samples_per_axis.max(2);
         let mut points = Vec::new();
         for li in 1..=samples_per_axis {
             let len = (max_len * li / samples_per_axis).max(memory.window);
-            let max_groups = (len / memory.window).max(1);
+            let max_groups = memory.windows(len);
             for ni in 1..=samples_per_axis {
                 let groups = (max_groups * ni / samples_per_axis).max(1);
-                let batch = memory.max_batch_size(len, groups, budget_bytes, 0.9, 1 << 16);
+                let batch =
+                    memory.max_batch_size(len, groups, budget_bytes, budget_fraction, max_batch);
                 points.push(BatchPoint { len, groups, batch });
             }
         }
         let segments = Self::segment_dp(&points, max_segments);
-        Self { segments, training_points: points }
+        Self {
+            segments,
+            training_points: points,
+            memory: *memory,
+            budget_bytes,
+            budget_fraction,
+            max_batch,
+        }
     }
 
     /// Interval dynamic program over the sorted distinct lengths: `dp[i]` = minimal total
@@ -251,8 +291,17 @@ impl BatchSizePredictor {
             .collect()
     }
 
-    /// Predicts a batch size for a series length and group count (always ≥ 1).
+    /// Predicts a batch size for a series length and group count (always ≥ 1), clamped so
+    /// it never exceeds `max_batch` and never blows the memory budget — even far beyond
+    /// the training grid, where the raw fit extrapolates freely. One exception mirrors
+    /// Alg. 2's floor: when even a single sample exceeds the budget, the prediction is
+    /// still 1 (training at all requires at least one sample per batch).
     pub fn predict(&self, len: usize, groups: usize) -> usize {
+        self.clamp(self.predict_unclamped(len, groups), len, groups)
+    }
+
+    /// The raw fitted-function prediction without the memory-budget clamp.
+    pub fn predict_unclamped(&self, len: usize, groups: usize) -> usize {
         let f = self
             .segments
             .iter()
@@ -262,6 +311,18 @@ impl BatchSizePredictor {
         match f {
             Some(f) => f.predict(len, groups).round().max(1.0) as usize,
             None => 1,
+        }
+    }
+
+    /// Clamps a candidate batch size to `[1, max_batch]` and, when the cost model says the
+    /// candidate overshoots the budget, falls back to the binary-search oracle (Alg. 2).
+    fn clamp(&self, batch: usize, len: usize, groups: usize) -> usize {
+        let batch = batch.clamp(1, self.max_batch.max(1));
+        let limit = usable_budget(self.budget_bytes, self.budget_fraction);
+        if self.memory.bytes_for(batch, len, groups) <= limit {
+            batch
+        } else {
+            self.memory.max_batch_size(len, groups, self.budget_bytes, self.budget_fraction, batch)
         }
     }
 }
@@ -322,6 +383,51 @@ mod tests {
         let long = predictor.predict(8000, 32);
         assert!(short >= long, "short {short} long {long}");
         assert!(predictor.predict(123, 4) >= 1);
+    }
+
+    #[test]
+    fn extrapolated_predictions_respect_the_budget() {
+        // Train up to length 1000, then query 2–4× beyond the grid: the raw fit may
+        // extrapolate to arbitrary values, but the clamped prediction must stay inside
+        // the budget and the batch cap.
+        let memory = MemoryModel::default();
+        let budget = 256 * 1024 * 1024;
+        let p = BatchSizePredictor::train(&memory, 1000, budget, 5, 4);
+        let limit = usable_budget(budget, p.budget_fraction);
+        for &len in &[2000usize, 2500, 3000, 4000] {
+            for &groups in &[1usize, 8, 64, 200] {
+                let b = p.predict(len, groups);
+                assert!(b >= 1 && b <= p.max_batch, "len {len} groups {groups} batch {b}");
+                assert!(
+                    memory.bytes_for(b, len, groups) <= limit,
+                    "len {len} groups {groups}: predicted batch {b} blows the budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runaway_affine_extrapolation_is_clamped() {
+        // A hand-built predictor whose only segment grows linearly in L: beyond the
+        // training grid the raw prediction explodes, the clamped one does not.
+        let memory = MemoryModel::default();
+        let budget = 64 * 1024 * 1024;
+        let p = BatchSizePredictor {
+            segments: vec![(1000, FittedFn::Affine(10.0, 1.0, 0.0))],
+            training_points: Vec::new(),
+            memory,
+            budget_bytes: budget,
+            budget_fraction: 0.9,
+            max_batch: 4096,
+        };
+        let raw = p.predict_unclamped(4000, 4);
+        assert!(raw > 4000, "raw extrapolation should explode, got {raw}");
+        let clamped = p.predict(4000, 4);
+        assert!(clamped < raw);
+        assert!(clamped <= p.max_batch);
+        assert!(memory.bytes_for(clamped, 4000, 4) <= usable_budget(budget, 0.9));
+        // The clamp is exactly the oracle's boundary, not an arbitrary shrink.
+        assert_eq!(clamped, memory.max_batch_size(4000, 4, budget, 0.9, 4096));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct MemoryModel {
     pub channels: usize,
     /// Convolution window width (timestamps per window).
     pub window: usize,
+    /// Convolution stride (the paper chunks, i.e. stride = window; overlapping windows
+    /// with stride < window produce more windows and cost more memory).
+    pub stride: usize,
     /// Bytes per element (4 for f32).
     pub bytes_per_element: usize,
 }
@@ -36,6 +39,7 @@ impl Default for MemoryModel {
             ff_hidden: 256,
             channels: 3,
             window: 5,
+            stride: 5,
             bytes_per_element: 4,
         }
     }
@@ -49,7 +53,7 @@ impl MemoryModel {
     /// the window embeddings (`n·d`), the group attention matrix (`n·N`), the aggregated
     /// values (`N·d`) and the feed-forward activations (`n·ff`).
     pub fn bytes_for(&self, batch_size: usize, series_len: usize, groups: usize) -> usize {
-        let n = (series_len / self.window.max(1)).max(1); // windows per series
+        let n = self.windows(series_len);
         let groups = groups.clamp(1, n);
         let per_sample_input = self.channels * series_len;
         // Retained activations per layer (forward values kept for backward).
@@ -69,6 +73,17 @@ impl MemoryModel {
         (parameters * 4 + batch_size * activations * 2) * self.bytes_per_element
     }
 
+    /// Windows per series of length `series_len` — the same `(len - window) / stride + 1`
+    /// arithmetic as `rita_core::model::config::windows_for`, saturating to one window
+    /// for shorter-than-window series instead of panicking (a cost model must stay total).
+    pub fn windows(&self, series_len: usize) -> usize {
+        if series_len >= self.window.max(1) {
+            (series_len - self.window) / self.stride.max(1) + 1
+        } else {
+            1
+        }
+    }
+
     /// The largest batch size whose estimated footprint stays below
     /// `budget_fraction × budget_bytes`, found by the paper's binary search (Alg. 2).
     /// Returns at least 1.
@@ -80,7 +95,7 @@ impl MemoryModel {
         budget_fraction: f32,
         max_batch: usize,
     ) -> usize {
-        let limit = (budget_bytes as f64 * budget_fraction as f64) as usize;
+        let limit = usable_budget(budget_bytes, budget_fraction);
         let fits = |b: usize| self.bytes_for(b, series_len, groups) <= limit;
         if !fits(1) {
             return 1;
@@ -102,6 +117,14 @@ impl MemoryModel {
 /// Default simulated accelerator memory: 16 GB, matching the V100 the paper used.
 pub const DEFAULT_BUDGET_BYTES: usize = 16 * 1024 * 1024 * 1024;
 
+/// The fraction of the budget the paper keeps occupied (Alg. 2 targets 90 %).
+pub const DEFAULT_BUDGET_FRACTION: f32 = 0.9;
+
+/// The usable slice of an accelerator budget: `budget_fraction × budget_bytes`.
+pub fn usable_budget(budget_bytes: usize, budget_fraction: f32) -> usize {
+    (budget_bytes as f64 * budget_fraction as f64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,8 +140,21 @@ mod tests {
     #[test]
     fn groups_are_clamped_to_window_count() {
         let m = MemoryModel::default();
-        let n = 1000 / m.window;
+        let n = m.windows(1000);
+        assert_eq!(n, 200);
         assert_eq!(m.bytes_for(1, 1000, n), m.bytes_for(1, 1000, 10 * n));
+    }
+
+    #[test]
+    fn overlapping_windows_cost_more_memory() {
+        // stride < window multiplies the window count; the cost model must see it.
+        let chunked = MemoryModel::default();
+        let overlapping = MemoryModel { stride: 1, ..chunked };
+        assert_eq!(overlapping.windows(200), 196);
+        assert_eq!(chunked.windows(200), 40);
+        assert!(overlapping.bytes_for(1, 200, 16) > chunked.bytes_for(1, 200, 16));
+        // Shorter-than-window series saturate to one window instead of panicking.
+        assert_eq!(chunked.windows(3), 1);
     }
 
     #[test]

@@ -16,5 +16,5 @@ pub mod merge;
 
 pub use error_bound::{distance_threshold, guaranteed_epsilon, key_ball_radius};
 pub use fit::{BatchPoint, BatchSizePredictor, FittedFn};
-pub use memory::{MemoryModel, DEFAULT_BUDGET_BYTES};
+pub use memory::{usable_budget, MemoryModel, DEFAULT_BUDGET_BYTES, DEFAULT_BUDGET_FRACTION};
 pub use merge::{can_absorb, mergeable_count, momentum_update};

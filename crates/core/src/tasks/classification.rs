@@ -2,13 +2,12 @@
 //! linear classifier trained with cross entropy.
 
 use crate::model::{RitaConfig, RitaModel};
-use crate::tasks::trainer::{timed, EpochMetrics, TrainConfig, TrainReport};
+use crate::tasks::trainer::{timed, train_task, TrainConfig, TrainReport, TrainTask};
 use rand::Rng;
-use rita_data::batch::{batch_indices, make_batch};
+use rita_data::batch::{batch_indices_by_length, make_batch};
 use rita_data::TimeseriesDataset;
 use rita_nn::layers::Linear;
 use rita_nn::loss::{accuracy, cross_entropy_logits};
-use rita_nn::optim::{clip_grad_norm, AdamW, Optimizer};
 use rita_nn::{no_grad, Module, Var};
 use rita_tensor::NdArray;
 
@@ -42,53 +41,21 @@ impl Classifier {
         self.head.forward(&cls)
     }
 
-    /// Runs one training epoch, returning the mean loss and the wall-clock time.
-    pub fn train_epoch(
-        &mut self,
-        data: &TimeseriesDataset,
-        opt: &mut AdamW,
-        config: &TrainConfig,
-        rng: &mut impl Rng,
-    ) -> EpochMetrics {
-        let labels = data.labels.as_ref().expect("classification needs labels");
-        assert!(!labels.is_empty(), "empty training set");
-        let (loss_sum, seconds) = timed(|| {
-            let mut loss_sum = 0.0f32;
-            let mut batches = 0usize;
-            for idx in batch_indices(data.len(), config.batch_size, true, rng) {
-                let batch = make_batch(data, &idx);
-                opt.zero_grad();
-                let logits = self.logits(&batch.inputs, true, rng);
-                let loss = cross_entropy_logits(&logits, &batch.labels);
-                loss.backward();
-                if config.grad_clip > 0.0 {
-                    clip_grad_norm(opt.parameters(), config.grad_clip);
-                }
-                opt.step();
-                loss_sum += loss.item();
-                batches += 1;
-            }
-            loss_sum / batches.max(1) as f32
-        });
-        EpochMetrics { loss: loss_sum, seconds }
-    }
-
-    /// Trains for `config.epochs` epochs with AdamW, returning per-epoch metrics.
+    /// Trains for `config.epochs` epochs through the shared adaptive engine
+    /// ([`train_task`]), returning per-epoch metrics and batch-size decisions.
     pub fn train(
         &mut self,
         data: &TimeseriesDataset,
         config: &TrainConfig,
         rng: &mut impl Rng,
     ) -> TrainReport {
-        let mut opt = AdamW::new(self.parameters(), config.lr, config.weight_decay);
-        let mut report = TrainReport::default();
-        for _ in 0..config.epochs {
-            report.push(self.train_epoch(data, &mut opt, config, rng));
-        }
-        report
+        let labels = data.labels.as_ref().expect("classification needs labels");
+        assert!(!labels.is_empty(), "empty training set");
+        train_task(self, data, config, rng)
     }
 
     /// Classification accuracy on a labelled dataset (inference mode, no graph).
+    /// Variable-length datasets are evaluated in length-bucketed batches.
     pub fn evaluate(
         &mut self,
         data: &TimeseriesDataset,
@@ -100,7 +67,7 @@ impl Classifier {
             return 0.0;
         }
         let mut correct_weighted = 0.0f32;
-        for idx in batch_indices(data.len(), batch_size, false, rng) {
+        for idx in batch_indices_by_length(&data.lengths(), |_| batch_size, false, rng) {
             let batch = make_batch(data, &idx);
             let logits = no_grad(|| self.logits(&batch.inputs, false, rng).to_array());
             correct_weighted += accuracy(&logits, &batch.labels) * idx.len() as f32;
@@ -116,12 +83,31 @@ impl Classifier {
         rng: &mut impl Rng,
     ) -> f64 {
         let (_, seconds) = timed(|| {
-            for idx in batch_indices(data.len(), batch_size, false, rng) {
+            for idx in batch_indices_by_length(&data.lengths(), |_| batch_size, false, rng) {
                 let batch = make_batch(data, &idx);
                 let _ = no_grad(|| self.logits(&batch.inputs, false, rng).to_array());
             }
         });
         seconds
+    }
+}
+
+impl TrainTask for Classifier {
+    fn backbone(&self) -> &RitaModel {
+        &self.model
+    }
+
+    fn batch_loss_on<R: Rng>(
+        &mut self,
+        data: &TimeseriesDataset,
+        idx: &[usize],
+        _config: &TrainConfig,
+        rng: &mut R,
+    ) -> (Var, f32) {
+        let batch = make_batch(data, idx);
+        let logits = self.logits(&batch.inputs, true, rng);
+        // Cross entropy averages over samples, so a batch weighs its sample count.
+        (cross_entropy_logits(&logits, &batch.labels), idx.len() as f32)
     }
 }
 

@@ -10,6 +10,10 @@ use rita_data::TimeseriesDataset;
 use rita_nn::no_grad;
 use rita_tensor::NdArray;
 
+// NOTE: `mask_suffix` scales every series by the minimum of its *observed prefix* only.
+// Scaling by the full-series minimum would leak the horizon's minimum into the model
+// input and silently flatter every forecasting number reported here.
+
 /// Per-dataset forecasting result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForecastMetrics {
@@ -28,12 +32,18 @@ pub fn evaluate_forecast(
     batch_size: usize,
     rng: &mut impl Rng,
 ) -> ForecastMetrics {
+    assert!(
+        !data.is_variable_length(),
+        "forecasting assumes a fixed-length dataset (horizons are counted from a shared \
+         series length); truncate or bucket the data first"
+    );
     assert!(horizon < data.length(), "horizon must be shorter than the series");
     if data.is_empty() {
         return ForecastMetrics { mse: 0.0, horizon };
     }
     let observed_len = data.length() - horizon;
     let mut weighted = 0.0f32;
+    let mut masked_total = 0.0f32;
     for idx in batch_indices(data.len(), batch_size, false, rng) {
         let masked: Vec<_> =
             idx.iter().map(|&i| mask_suffix(&data.samples[i], observed_len)).collect();
@@ -42,9 +52,12 @@ pub fn evaluate_forecast(
         let targets = stack_samples(&masked.iter().map(|m| m.target.clone()).collect::<Vec<_>>());
         let mask = stack_samples(&masked.iter().map(|m| m.mask.clone()).collect::<Vec<_>>());
         let recon = no_grad(|| imputer.reconstruct(&observed, false, rng).to_array());
-        weighted += horizon_mse(&recon, &targets, &mask) * idx.len() as f32;
+        // Weight by masked-element count so the smaller final batch is not over-weighted.
+        let weight = mask.sum_all();
+        weighted += horizon_mse(&recon, &targets, &mask) * weight;
+        masked_total += weight;
     }
-    ForecastMetrics { mse: weighted / data.len() as f32, horizon }
+    ForecastMetrics { mse: weighted / masked_total.max(1.0), horizon }
 }
 
 /// Mean squared error restricted to masked (horizon) positions.
@@ -58,6 +71,11 @@ fn horizon_mse(recon: &NdArray, targets: &NdArray, mask: &NdArray) -> f32 {
 /// A naive persistence baseline: predict the last observed value for the whole horizon.
 /// Used in tests and examples to sanity-check that a trained model beats the trivial rule.
 pub fn persistence_forecast_mse(data: &TimeseriesDataset, horizon: usize) -> f32 {
+    assert!(
+        !data.is_variable_length(),
+        "forecasting assumes a fixed-length dataset (horizons are counted from a shared \
+         series length); truncate or bucket the data first"
+    );
     assert!(horizon < data.length());
     let observed_len = data.length() - horizon;
     let mut total = 0.0f32;
@@ -105,11 +123,93 @@ mod tests {
     }
 
     #[test]
+    fn forecast_input_is_independent_of_horizon_values() {
+        // Regression for the future-leak: two datasets identical on the observed prefix,
+        // but `deep` hides a large negative dip inside the horizon. The model must see
+        // bit-identical inputs (prefix scaling only), hence produce identical forecasts.
+        let mut r = rng(4);
+        let base = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 3, 0, 40, &mut r);
+        let observed_len = 30;
+        let mut deep = base.clone();
+        for s in &mut deep.samples {
+            let mut modified = s.clone();
+            modified.set(&[0, 35], s.min_all() - 7.0).unwrap();
+            *s = modified;
+        }
+        let config = RitaConfig::tiny(3, 40, AttentionKind::Vanilla);
+        let mut imp = Imputer::new(config, &mut r);
+        for (a, b) in base.samples.iter().zip(&deep.samples) {
+            let ma = mask_suffix(a, observed_len);
+            let mb = mask_suffix(b, observed_len);
+            assert_eq!(ma.observed, mb.observed, "observed input leaked horizon information");
+            let ra = rita_nn::no_grad(|| {
+                imp.reconstruct(
+                    &stack_samples(std::slice::from_ref(&ma.observed)),
+                    false,
+                    &mut rng(9),
+                )
+                .to_array()
+            });
+            let rb = rita_nn::no_grad(|| {
+                imp.reconstruct(
+                    &stack_samples(std::slice::from_ref(&mb.observed)),
+                    false,
+                    &mut rng(9),
+                )
+                .to_array()
+            });
+            assert_eq!(ra, rb, "forecast changed when only hidden horizon values changed");
+        }
+    }
+
+    #[test]
+    fn forecast_mse_matches_per_sample_expectation() {
+        // The batched metric must equal the hand-computed masked MSE over all samples,
+        // independent of the batch split (weighting by masked elements, prefix scaling).
+        let mut r = rng(6);
+        let data = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 5, 0, 40, &mut r);
+        let horizon = 10;
+        let observed_len = data.length() - horizon;
+        let config = RitaConfig::tiny(3, 40, AttentionKind::Vanilla);
+        let mut imp = Imputer::new(config, &mut r);
+        let mut num = 0.0f32;
+        let mut den = 0.0f32;
+        for sample in &data.samples {
+            let m = mask_suffix(sample, observed_len);
+            let recon = rita_nn::no_grad(|| {
+                imp.reconstruct(&stack_samples(std::slice::from_ref(&m.observed)), false, &mut r)
+                    .to_array()
+            });
+            let target = stack_samples(std::slice::from_ref(&m.target));
+            let mask = stack_samples(std::slice::from_ref(&m.mask));
+            let diff = recon.sub(&target).unwrap();
+            num += diff.mul(&diff).unwrap().mul(&mask).unwrap().sum_all();
+            den += mask.sum_all();
+        }
+        let expected = num / den;
+        // Batch size 2 over 5 samples: a skewed final batch exercises the weighting.
+        let metrics = evaluate_forecast(&mut imp, &data, horizon, 2, &mut r);
+        assert!(
+            (metrics.mse - expected).abs() <= 1e-4 * expected.max(1.0),
+            "batched forecast MSE {} != per-sample expectation {expected}",
+            metrics.mse
+        );
+    }
+
+    #[test]
     fn persistence_baseline_is_positive_for_oscillating_series() {
         let mut r = rng(1);
         let data = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 5, 0, 60, &mut r);
         let mse = persistence_forecast_mse(&data, 20);
         assert!(mse > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-length dataset")]
+    fn persistence_baseline_rejects_variable_length_data() {
+        let mut r = rng(7);
+        let data = TimeseriesDataset::generate_variable(DatasetKind::Hhar, 6, 0, 40, 80, 2, &mut r);
+        let _ = persistence_forecast_mse(&data, 10);
     }
 
     #[test]

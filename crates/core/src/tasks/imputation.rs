@@ -6,13 +6,12 @@
 //! masked mean-squared error over the missing positions is minimised.
 
 use crate::model::{RitaConfig, RitaModel};
-use crate::tasks::trainer::{timed, EpochMetrics, TrainConfig, TrainReport};
+use crate::tasks::trainer::{timed, train_task, TrainConfig, TrainReport, TrainTask};
 use rand::Rng;
-use rita_data::batch::{batch_indices, make_masked_batch, MaskedBatch};
+use rita_data::batch::{batch_indices_by_length, make_masked_batch, MaskedBatch};
 use rita_data::TimeseriesDataset;
 use rita_nn::layers::Linear;
 use rita_nn::loss::masked_mse;
-use rita_nn::optim::{clip_grad_norm, AdamW, Optimizer};
 use rita_nn::{no_grad, Module, Var};
 use rita_tensor::NdArray;
 
@@ -49,57 +48,30 @@ impl Imputer {
         decoded.fold1d(config.channels, config.window, config.stride, length)
     }
 
-    /// One training epoch of the masked-reconstruction objective.
-    pub fn train_epoch(
-        &mut self,
-        data: &TimeseriesDataset,
-        opt: &mut AdamW,
-        config: &TrainConfig,
-        rng: &mut impl Rng,
-    ) -> EpochMetrics {
-        assert!(!data.is_empty(), "empty training set");
-        let (loss_mean, seconds) = timed(|| {
-            let mut loss_sum = 0.0f32;
-            let mut batches = 0usize;
-            for idx in batch_indices(data.len(), config.batch_size, true, rng) {
-                let batch = make_masked_batch(data, &idx, config.mask_rate, rng);
-                opt.zero_grad();
-                let loss = self.batch_loss(&batch, true, rng);
-                loss.backward();
-                if config.grad_clip > 0.0 {
-                    clip_grad_norm(opt.parameters(), config.grad_clip);
-                }
-                opt.step();
-                loss_sum += loss.item();
-                batches += 1;
-            }
-            loss_sum / batches.max(1) as f32
-        });
-        EpochMetrics { loss: loss_mean, seconds }
-    }
-
     /// Masked-MSE loss of one batch.
     pub fn batch_loss(&mut self, batch: &MaskedBatch, training: bool, rng: &mut impl Rng) -> Var {
         let recon = self.reconstruct(&batch.observed, training, rng);
         masked_mse(&recon, &batch.targets, &batch.mask)
     }
 
-    /// Trains for `config.epochs` epochs with AdamW.
+    /// Trains for `config.epochs` epochs through the shared adaptive engine
+    /// ([`train_task`]).
     pub fn train(
         &mut self,
         data: &TimeseriesDataset,
         config: &TrainConfig,
         rng: &mut impl Rng,
     ) -> TrainReport {
-        let mut opt = AdamW::new(self.parameters(), config.lr, config.weight_decay);
-        let mut report = TrainReport::default();
-        for _ in 0..config.epochs {
-            report.push(self.train_epoch(data, &mut opt, config, rng));
-        }
-        report
+        train_task(self, data, config, rng)
     }
 
     /// Mean squared imputation error over masked positions of a held-out dataset.
+    ///
+    /// Each batch's mean masked MSE is weighted by its number of masked elements
+    /// (`mask.sum_all()`), not by its sample count: batches mask different numbers of
+    /// elements (random mask draws, shorter samples in variable-length data, the smaller
+    /// final batch), and sample-count weighting would bias the estimate towards batches
+    /// with few masked positions.
     pub fn evaluate(
         &mut self,
         data: &TimeseriesDataset,
@@ -111,12 +83,19 @@ impl Imputer {
             return 0.0;
         }
         let mut weighted = 0.0f32;
-        for idx in batch_indices(data.len(), batch_size, false, rng) {
+        let mut masked_total = 0.0f32;
+        for idx in batch_indices_by_length(&data.lengths(), |_| batch_size, false, rng) {
             let batch = make_masked_batch(data, &idx, mask_rate, rng);
             let mse = no_grad(|| self.batch_loss(&batch, false, rng).item());
-            weighted += mse * idx.len() as f32;
+            let weight = batch.mask.sum_all();
+            weighted += mse * weight;
+            masked_total += weight;
         }
-        weighted / data.len() as f32
+        if masked_total > 0.0 {
+            weighted / masked_total
+        } else {
+            0.0
+        }
     }
 
     /// Mean inference seconds for reconstructing a dataset (Table 7).
@@ -128,12 +107,32 @@ impl Imputer {
         rng: &mut impl Rng,
     ) -> f64 {
         let (_, seconds) = timed(|| {
-            for idx in batch_indices(data.len(), batch_size, false, rng) {
+            for idx in batch_indices_by_length(&data.lengths(), |_| batch_size, false, rng) {
                 let batch = make_masked_batch(data, &idx, mask_rate, rng);
                 let _ = no_grad(|| self.reconstruct(&batch.observed, false, rng).to_array());
             }
         });
         seconds
+    }
+}
+
+impl TrainTask for Imputer {
+    fn backbone(&self) -> &RitaModel {
+        &self.model
+    }
+
+    fn batch_loss_on<R: Rng>(
+        &mut self,
+        data: &TimeseriesDataset,
+        idx: &[usize],
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> (Var, f32) {
+        let batch = make_masked_batch(data, idx, config.mask_rate, rng);
+        // Masked MSE averages over masked elements, so a batch weighs its mask count —
+        // the same unbiased weighting `evaluate` uses.
+        let weight = batch.mask.sum_all();
+        (self.batch_loss(&batch, true, rng), weight)
     }
 }
 
@@ -205,6 +204,63 @@ mod tests {
         assert!(report.final_loss().is_finite());
         assert!(imp.inference_seconds(&data, 4, 0.2, &mut r) > 0.0);
         assert!(imp.model.mean_group_count().is_some());
+    }
+
+    #[test]
+    fn evaluation_weights_batches_by_masked_elements() {
+        // Variable-length data with mask_rate 1.0: masks are deterministic (every element
+        // masked) and the model is deterministic in eval mode, so the masked MSE must not
+        // depend on how samples are batched. The length-40 bucket holds three samples and
+        // the length-80 bucket two — a skewed split whose batches mask very different
+        // element counts. Sample-count weighting (the old bug) disagrees between the two
+        // calls; per-masked-element weighting makes them identical.
+        let mut r = rng(7);
+        let mut samples = Vec::new();
+        for i in 0..3 {
+            samples.push(rita_data::generators::har(
+                rita_data::generators::HarFlavour::Hhar,
+                i,
+                3,
+                40,
+                &mut r,
+            ));
+        }
+        for i in 0..2 {
+            samples.push(rita_data::generators::har(
+                rita_data::generators::HarFlavour::Hhar,
+                i,
+                3,
+                80,
+                &mut r,
+            ));
+        }
+        let spec = DatasetKind::Hhar.reduced_spec(5, 0, 80).with_variable_length(40, 2);
+        let data = TimeseriesDataset { spec, samples, labels: None };
+        assert!(data.is_variable_length());
+        let config = RitaConfig::tiny(3, 80, AttentionKind::Vanilla);
+        let mut imp = Imputer::new(config, &mut r);
+        let batched = imp.evaluate(&data, 4, 1.0, &mut rng(8));
+        let one_by_one = imp.evaluate(&data, 1, 1.0, &mut rng(9));
+        assert!(batched.is_finite() && batched > 0.0);
+        assert!(
+            (batched - one_by_one).abs() <= 1e-4 * batched.max(1.0),
+            "masked MSE must not depend on batching: {batched} vs {one_by_one}"
+        );
+    }
+
+    #[test]
+    fn variable_length_dataset_trains_through_the_engine() {
+        let mut r = rng(11);
+        let data =
+            TimeseriesDataset::generate_variable(DatasetKind::Hhar, 10, 0, 40, 80, 3, &mut r);
+        let config = RitaConfig::tiny(3, 80, AttentionKind::default_group());
+        let mut imp = Imputer::new(config, &mut r);
+        let cfg = TrainConfig { epochs: 2, batch_size: 4, lr: 1e-3, ..Default::default() };
+        let report = imp.train(&data, &cfg, &mut r);
+        assert_eq!(report.epochs.len(), 2);
+        assert!(report.final_loss().is_finite());
+        // Fixed policy records no batch-size decisions.
+        assert!(report.decisions.is_empty());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Downstream tasks supported by RITA (Appendix A.7): classification, imputation,
-//! self-supervised pretraining + few-label fine-tuning, and forecasting, plus the shared
-//! training-loop plumbing.
+//! self-supervised pretraining + few-label fine-tuning, and forecasting. All of them
+//! train through the unified adaptive engine in [`trainer`], which owns the epoch loop,
+//! length-bucketed batching, and the §5.2 batch-size schedule.
 
 pub mod classification;
 pub mod forecasting;
@@ -12,4 +13,7 @@ pub use classification::Classifier;
 pub use forecasting::{evaluate_forecast, persistence_forecast_mse, ForecastMetrics};
 pub use imputation::Imputer;
 pub use pretrain::{finetune_classifier, pretrain, train_from_scratch, PretrainOutcome};
-pub use trainer::{timed, EpochMetrics, TrainConfig, TrainReport};
+pub use trainer::{
+    timed, train_task, AdaptiveBatchConfig, BatchSizeDecision, BatchSizePolicy, EpochMetrics,
+    TrainConfig, TrainReport, TrainTask,
+};

@@ -4,6 +4,11 @@
 //! train the backbone (plus a throw-away reconstruction head) to recover them. The
 //! pretrained backbone is then reused for a downstream task — here classification with
 //! only a few labelled samples per class — by attaching a fresh head and fine-tuning.
+//!
+//! Both stages train through the shared adaptive engine
+//! ([`train_task`](crate::tasks::trainer::train_task)): pretraining drives the
+//! [`Imputer`] task, fine-tuning the [`Classifier`] task, so variable-length data and the
+//! §5.2 batch-size schedule apply to them without extra plumbing.
 
 use crate::model::{RitaConfig, RitaModel};
 use crate::tasks::classification::Classifier;

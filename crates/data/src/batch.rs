@@ -50,6 +50,37 @@ pub fn batch_indices(
     order.chunks(batch_size).map(|c| c.to_vec()).collect()
 }
 
+/// Length-bucketed batching for (possibly) variable-length datasets: indices are grouped
+/// by their sample length so every batch stacks rectangular, then each bucket is chunked
+/// with its own batch size `batch_size_for(length)` — which is where the §5.2 predictor's
+/// `B = f(L, N)` plugs in. With `shuffle`, sample order within buckets and the order of
+/// the resulting batches are both randomised; otherwise batches come in ascending length
+/// order with ascending indices inside.
+pub fn batch_indices_by_length(
+    lengths: &[usize],
+    mut batch_size_for: impl FnMut(usize) -> usize,
+    shuffle: bool,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, &l) in lengths.iter().enumerate() {
+        buckets.entry(l).or_default().push(i);
+    }
+    let mut batches = Vec::new();
+    for (len, mut idxs) in buckets {
+        if shuffle {
+            idxs.shuffle(rng);
+        }
+        let batch_size = batch_size_for(len);
+        assert!(batch_size > 0, "batch size must be positive (got 0 for length {len})");
+        batches.extend(idxs.chunks(batch_size).map(|c| c.to_vec()));
+    }
+    if shuffle {
+        batches.shuffle(rng);
+    }
+    batches
+}
+
 /// Builds a classification batch from dataset rows `indices`.
 pub fn make_batch(dataset: &TimeseriesDataset, indices: &[usize]) -> Batch {
     let samples: Vec<NdArray> = indices.iter().map(|&i| dataset.samples[i].clone()).collect();
@@ -142,5 +173,42 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         let _ = batch_indices(10, 0, false, &mut rng(0));
+    }
+
+    #[test]
+    fn length_bucketed_batches_are_rectangular_and_cover_everything() {
+        let ds =
+            TimeseriesDataset::generate_variable(DatasetKind::Hhar, 20, 0, 40, 80, 3, &mut rng(3));
+        let lengths = ds.lengths();
+        let batches = batch_indices_by_length(&lengths, |_| 4, true, &mut rng(4));
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+        for idx in &batches {
+            assert!(idx.len() <= 4);
+            // Every batch holds samples of one length, so stacking stays rectangular.
+            let first = lengths[idx[0]];
+            assert!(idx.iter().all(|&i| lengths[i] == first));
+            let b = make_batch(&ds, idx);
+            assert_eq!(b.inputs.shape(), &[idx.len(), 3, first]);
+        }
+    }
+
+    #[test]
+    fn per_length_batch_sizes_are_respected() {
+        let lengths = [10usize, 20, 10, 20, 20, 10, 10, 20, 20];
+        let batches =
+            batch_indices_by_length(&lengths, |l| if l == 10 { 4 } else { 2 }, false, &mut rng(5));
+        // Unshuffled: ascending length order, ascending indices inside.
+        assert_eq!(batches[0], vec![0, 2, 5, 6]); // all four length-10 samples, batch size 4
+        assert_eq!(batches[1], vec![1, 3]); // length-20 samples in pairs
+        assert_eq!(batches[2], vec![4, 7]);
+        assert_eq!(batches[3], vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_bucket_batch_size_rejected() {
+        let _ = batch_indices_by_length(&[10, 10], |_| 0, false, &mut rng(0));
     }
 }

@@ -59,6 +59,24 @@ impl TimeseriesDataset {
         Self::generate(kind.reduced_spec(train_size, valid_size, length), rng)
     }
 
+    /// Convenience: generate a reduced-scale *variable-length* dataset — sample lengths
+    /// are drawn uniformly from `buckets` evenly spaced values in `[min_length, length]`
+    /// (the paper's Fig. 4 varying-length workload).
+    pub fn generate_variable(
+        kind: DatasetKind,
+        train_size: usize,
+        valid_size: usize,
+        min_length: usize,
+        length: usize,
+        buckets: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let spec = kind
+            .reduced_spec(train_size, valid_size, length)
+            .with_variable_length(min_length, buckets);
+        Self::generate(spec, rng)
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -74,9 +92,36 @@ impl TimeseriesDataset {
         self.spec.channels
     }
 
-    /// Length (timestamps) per sample.
+    /// Nominal (maximum) length in timestamps. For variable-length datasets individual
+    /// samples may be shorter — see [`TimeseriesDataset::sample_length`].
     pub fn length(&self) -> usize {
         self.spec.length
+    }
+
+    /// Length (timestamps) of sample `i`.
+    pub fn sample_length(&self, i: usize) -> usize {
+        self.samples[i].shape()[1]
+    }
+
+    /// Per-sample lengths, aligned with `samples` — the input to length-bucketed batching
+    /// ([`crate::batch::batch_indices_by_length`]).
+    pub fn lengths(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.shape()[1]).collect()
+    }
+
+    /// `true` when samples do not all share one length.
+    pub fn is_variable_length(&self) -> bool {
+        let mut lens = self.samples.iter().map(|s| s.shape()[1]);
+        match lens.next() {
+            Some(first) => lens.any(|l| l != first),
+            None => false,
+        }
+    }
+
+    /// The longest sample length actually present (equals [`TimeseriesDataset::length`]
+    /// for generated datasets; 0 when empty).
+    pub fn max_length(&self) -> usize {
+        self.samples.iter().map(|s| s.shape()[1]).max().unwrap_or(0)
     }
 
     /// Shuffles samples (and labels) in place.
@@ -272,6 +317,29 @@ mod tests {
         for c in 0..5 {
             assert_eq!(labels.iter().filter(|&&l| l == c).count(), 3);
         }
+    }
+
+    #[test]
+    fn variable_length_generation_mixes_bucket_lengths() {
+        let ds =
+            TimeseriesDataset::generate_variable(DatasetKind::Hhar, 24, 0, 40, 80, 3, &mut rng(7));
+        assert!(ds.is_variable_length());
+        assert_eq!(ds.length(), 80);
+        assert_eq!(ds.max_length(), 80);
+        let buckets = ds.spec.bucket_lengths();
+        assert_eq!(buckets, vec![40, 60, 80]);
+        let lengths = ds.lengths();
+        assert_eq!(lengths.len(), 24);
+        for (i, &l) in lengths.iter().enumerate() {
+            assert!(buckets.contains(&l));
+            assert_eq!(ds.sample_length(i), l);
+        }
+        let distinct: std::collections::BTreeSet<usize> = lengths.into_iter().collect();
+        assert!(distinct.len() > 1, "expected mixed lengths, got {distinct:?}");
+        // Labels stay aligned through the shuffle.
+        assert_eq!(ds.labels.as_ref().unwrap().len(), 24);
+        // Fixed-length datasets report themselves as such.
+        assert!(!tiny(DatasetKind::Hhar).is_variable_length());
     }
 
     #[test]

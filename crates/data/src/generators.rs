@@ -189,19 +189,34 @@ pub fn eeg(channels: usize, length: usize, rng: &mut impl Rng) -> NdArray {
 
 /// Generates one sample for `spec`, choosing the right generator family. For labeled
 /// datasets the label must be provided; unlabeled datasets ignore it.
+///
+/// Variable-length specs ([`DatasetSpec::is_variable_length`]) draw the sample length
+/// uniformly from the spec's length buckets, emitting the mixed-length workloads of the
+/// paper's Fig. 4 varying-length experiment.
 pub fn generate_sample(spec: &DatasetSpec, class: usize, rng: &mut impl Rng) -> NdArray {
+    let length = spec.sample_length(rng);
+    generate_sample_of_length(spec, class, length, rng)
+}
+
+/// Generates one sample for `spec` with an explicit `length` (overriding the spec's).
+pub fn generate_sample_of_length(
+    spec: &DatasetSpec,
+    class: usize,
+    length: usize,
+    rng: &mut impl Rng,
+) -> NdArray {
     match spec.kind {
         DatasetKind::Wisdm | DatasetKind::WisdmUni => {
-            har(HarFlavour::Wisdm, class, spec.channels, spec.length, rng)
+            har(HarFlavour::Wisdm, class, spec.channels, length, rng)
         }
         DatasetKind::Hhar | DatasetKind::HharUni => {
-            har(HarFlavour::Hhar, class, spec.channels, spec.length, rng)
+            har(HarFlavour::Hhar, class, spec.channels, length, rng)
         }
         DatasetKind::Rwhar | DatasetKind::RwharUni => {
-            har(HarFlavour::Rwhar, class, spec.channels, spec.length, rng)
+            har(HarFlavour::Rwhar, class, spec.channels, length, rng)
         }
-        DatasetKind::Ecg => ecg(class, spec.channels, spec.length, rng),
-        DatasetKind::Mgh => eeg(spec.channels, spec.length, rng),
+        DatasetKind::Ecg => ecg(class, spec.channels, length, rng),
+        DatasetKind::Mgh => eeg(spec.channels, length, rng),
     }
 }
 
@@ -326,5 +341,22 @@ mod tests {
         }
         let uni = DatasetKind::WisdmUni.reduced_spec(1, 1, 120);
         assert_eq!(generate_sample(&uni, 2, &mut rng(3)).shape(), &[1, 120]);
+    }
+
+    #[test]
+    fn variable_length_spec_emits_bucket_lengths() {
+        let spec = DatasetKind::Hhar.reduced_spec(1, 1, 100).with_variable_length(50, 3);
+        let buckets = spec.bucket_lengths();
+        let mut r = rng(11);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..32 {
+            let s = generate_sample(&spec, 0, &mut r);
+            assert_eq!(s.shape()[0], 3);
+            assert!(buckets.contains(&s.shape()[1]), "unexpected length {}", s.shape()[1]);
+            seen.insert(s.shape()[1]);
+        }
+        assert!(seen.len() > 1, "mixed-length workload expected, got {seen:?}");
+        // Explicit lengths override the spec.
+        assert_eq!(generate_sample_of_length(&spec, 0, 75, &mut r).shape(), &[3, 75]);
     }
 }

@@ -14,7 +14,10 @@ pub const MASK_VALUE: f32 = -1.0;
 pub struct MaskedSample {
     /// The observed series with masked timestamps set to [`MASK_VALUE`]; shape `(c, l)`.
     pub observed: NdArray,
-    /// The ground-truth (scaled, non-negative) series; shape `(c, l)`.
+    /// The ground-truth scaled series; shape `(c, l)`. Non-negative at every *observed*
+    /// position; for [`mask_suffix`] the masked horizon may dip below zero, because the
+    /// shift uses the observed-prefix minimum only (anything else would leak the future
+    /// into the model input). Masked targets are never fed to the model.
     pub target: NdArray,
     /// 1.0 at masked positions, 0.0 elsewhere; shape `(c, l)`.
     pub mask: NdArray,
@@ -49,12 +52,24 @@ pub fn mask_sample(sample: &NdArray, p: f32, rng: &mut impl Rng) -> MaskedSample
 
 /// Masks the *suffix* of the series after `observed_len` timestamps — the forecasting
 /// task of Appendix A.7.3, where all "missing" values are at the end.
+///
+/// The non-negativity scaling uses the minimum of the **observed prefix only**: scaling by
+/// the full-series minimum would leak future information (a deep minimum hidden in the
+/// forecast horizon shifts the observed prefix) into every forecasting metric. As a
+/// consequence, `target` values inside the horizon may be negative — they are never fed to
+/// the model, only compared against its reconstruction.
 pub fn mask_suffix(sample: &NdArray, observed_len: usize) -> MaskedSample {
     assert_eq!(sample.ndim(), 2, "mask_suffix expects (channels, length)");
     let channels = sample.shape()[0];
     let length = sample.shape()[1];
     assert!(observed_len <= length, "observed_len {observed_len} exceeds length {length}");
-    let target = scale_non_negative(sample);
+    let prefix_min = if observed_len > 0 {
+        sample.slice_axis(1, 0, observed_len).expect("prefix slice").min_all()
+    } else {
+        // Nothing is observed, so nothing can leak; scale by the full series.
+        sample.min_all()
+    };
+    let target = sample.add_scalar(-prefix_min);
     let mut observed = target.clone();
     let mut mask = NdArray::zeros(&[channels, length]);
     for t in observed_len..length {
@@ -129,6 +144,29 @@ mod tests {
         let m = mask_sample(&s, 0.3, &mut r);
         // After scaling, every target value is >= 0, so -1 never collides with real data.
         assert!(m.target.min_all() >= 0.0);
+    }
+
+    #[test]
+    fn suffix_masking_does_not_leak_the_horizon_minimum() {
+        // Two series identical on the observed prefix; `b` hides the global minimum in the
+        // horizon. The model input (observed prefix) must not depend on hidden values, so
+        // both must produce bit-identical observed arrays — under full-series scaling the
+        // horizon minimum would shift b's prefix (the future leak this test pins down).
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 6]).unwrap();
+        let b = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, -10.0, 6.0], &[1, 6]).unwrap();
+        let ma = mask_suffix(&a, 4);
+        let mb = mask_suffix(&b, 4);
+        assert_eq!(ma.observed, mb.observed, "observed prefix leaked horizon information");
+        // The prefix is exactly what scaling the prefix alone produces.
+        let prefix = b.slice_axis(1, 0, 4).unwrap();
+        let scaled_prefix = scale_non_negative(&prefix);
+        for t in 0..4 {
+            assert_eq!(mb.observed.get(&[0, t]).unwrap(), scaled_prefix.get(&[0, t]).unwrap());
+            assert_eq!(mb.target.get(&[0, t]).unwrap(), scaled_prefix.get(&[0, t]).unwrap());
+        }
+        // Horizon targets keep the prefix scale (and may legitimately be negative).
+        assert_eq!(mb.target.get(&[0, 4]).unwrap(), -11.0);
+        assert_eq!(mb.target.get(&[0, 5]).unwrap(), 5.0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Dataset specifications matching Table 1 of the RITA paper.
 
+use rand::Rng;
+
 /// The eight datasets used in the paper's evaluation (five multivariate, three
 /// univariate derivations marked with `*`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +64,8 @@ impl DatasetKind {
                 num_classes: 18,
                 sampling_hz: 20.0,
                 heterogeneous_rate: false,
+                min_length: 200,
+                length_buckets: 1,
             },
             DatasetKind::Hhar => DatasetSpec {
                 kind: *self,
@@ -72,6 +76,8 @@ impl DatasetKind {
                 num_classes: 5,
                 sampling_hz: 50.0,
                 heterogeneous_rate: true,
+                min_length: 200,
+                length_buckets: 1,
             },
             DatasetKind::Rwhar => DatasetSpec {
                 kind: *self,
@@ -82,6 +88,8 @@ impl DatasetKind {
                 num_classes: 8,
                 sampling_hz: 50.0,
                 heterogeneous_rate: false,
+                min_length: 200,
+                length_buckets: 1,
             },
             DatasetKind::Ecg => DatasetSpec {
                 kind: *self,
@@ -92,6 +100,8 @@ impl DatasetKind {
                 num_classes: 9,
                 sampling_hz: 500.0,
                 heterogeneous_rate: false,
+                min_length: 2_000,
+                length_buckets: 1,
             },
             DatasetKind::Mgh => DatasetSpec {
                 kind: *self,
@@ -102,6 +112,8 @@ impl DatasetKind {
                 num_classes: 0,
                 sampling_hz: 200.0,
                 heterogeneous_rate: false,
+                min_length: 10_000,
+                length_buckets: 1,
             },
             DatasetKind::WisdmUni => {
                 DatasetSpec { channels: 1, ..DatasetKind::Wisdm.paper_spec() }.with_kind(*self)
@@ -123,6 +135,8 @@ impl DatasetKind {
         spec.train_size = train_size;
         spec.valid_size = valid_size;
         spec.length = length;
+        spec.min_length = length;
+        spec.length_buckets = 1;
         spec
     }
 }
@@ -146,6 +160,12 @@ pub struct DatasetSpec {
     pub sampling_hz: f32,
     /// Whether the sampling rate varies across (synthetic) devices, as in HHAR.
     pub heterogeneous_rate: bool,
+    /// Minimum sample length. When below [`DatasetSpec::length`], generated samples draw
+    /// their lengths from [`DatasetSpec::length_buckets`] evenly spaced values in
+    /// `[min_length, length]` — the paper's varying-length workload (Fig. 4).
+    pub min_length: usize,
+    /// Number of distinct sample lengths a variable-length spec generates (1 = fixed).
+    pub length_buckets: usize,
 }
 
 impl DatasetSpec {
@@ -162,6 +182,54 @@ impl DatasetSpec {
     /// `true` for datasets with class labels.
     pub fn is_labeled(&self) -> bool {
         self.num_classes > 0
+    }
+
+    /// Switches the spec to a mixed-length workload: sample lengths are drawn uniformly
+    /// from `buckets` evenly spaced values in `[min_length, self.length]`.
+    pub fn with_variable_length(mut self, min_length: usize, buckets: usize) -> Self {
+        assert!(min_length > 0, "min_length must be positive");
+        assert!(
+            min_length <= self.length,
+            "min_length {min_length} exceeds the spec length {}",
+            self.length
+        );
+        assert!(
+            min_length == self.length || buckets >= 2,
+            "a variable-length spec needs at least two length buckets"
+        );
+        assert!(
+            min_length == self.length || self.length - min_length >= buckets - 1,
+            "length span {}..{} is too small for {buckets} distinct buckets",
+            min_length,
+            self.length
+        );
+        self.min_length = min_length;
+        self.length_buckets = buckets.max(1);
+        self
+    }
+
+    /// `true` when samples are generated with more than one length.
+    pub fn is_variable_length(&self) -> bool {
+        self.min_length < self.length && self.length_buckets > 1
+    }
+
+    /// The distinct sample lengths this spec generates, ascending.
+    pub fn bucket_lengths(&self) -> Vec<usize> {
+        if !self.is_variable_length() {
+            return vec![self.length];
+        }
+        let b = self.length_buckets;
+        (0..b).map(|i| self.min_length + (self.length - self.min_length) * i / (b - 1)).collect()
+    }
+
+    /// Draws a sample length: `length` for fixed-length specs, otherwise a uniformly
+    /// random bucket from [`DatasetSpec::bucket_lengths`].
+    pub fn sample_length(&self, rng: &mut impl Rng) -> usize {
+        if !self.is_variable_length() {
+            return self.length;
+        }
+        let buckets = self.bucket_lengths();
+        buckets[rng.gen_range(0..buckets.len())]
     }
 }
 
@@ -214,6 +282,53 @@ mod tests {
         assert_eq!(DatasetKind::WisdmUni.name(), "WISDM*");
         assert_eq!(DatasetKind::MULTIVARIATE.len(), 5);
         assert_eq!(DatasetKind::UNIVARIATE.len(), 3);
+    }
+
+    #[test]
+    fn variable_length_buckets_span_the_range() {
+        let spec = DatasetKind::Hhar.reduced_spec(10, 2, 120).with_variable_length(60, 3);
+        assert!(spec.is_variable_length());
+        assert_eq!(spec.bucket_lengths(), vec![60, 90, 120]);
+        // Fixed specs report a single bucket.
+        let fixed = DatasetKind::Hhar.reduced_spec(10, 2, 120);
+        assert!(!fixed.is_variable_length());
+        assert_eq!(fixed.bucket_lengths(), vec![120]);
+    }
+
+    #[test]
+    fn sample_length_draws_only_bucket_values() {
+        use rand::SeedableRng;
+        let spec = DatasetKind::Wisdm.reduced_spec(10, 2, 100).with_variable_length(40, 4);
+        let buckets = spec.bucket_lengths();
+        let mut rng = rita_tensor::SeedableRng64::seed_from_u64(0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            let l = spec.sample_length(&mut rng);
+            assert!(buckets.contains(&l), "length {l} not in buckets {buckets:?}");
+            seen.insert(l);
+        }
+        assert!(seen.len() > 1, "variable-length spec should produce mixed lengths");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two length buckets")]
+    fn variable_length_rejects_single_bucket() {
+        let _ = DatasetKind::Hhar.reduced_spec(10, 2, 120).with_variable_length(60, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small for 5 distinct buckets")]
+    fn variable_length_rejects_more_buckets_than_the_span_supports() {
+        // Span 118..120 can hold at most 3 distinct lengths; 5 buckets would silently
+        // duplicate values and skew the uniform length draw.
+        let _ = DatasetKind::Hhar.reduced_spec(10, 2, 120).with_variable_length(118, 5);
+    }
+
+    #[test]
+    fn bucket_lengths_are_distinct_whenever_accepted() {
+        // Minimal span (buckets - 1): the evenly spaced values are exactly consecutive.
+        let spec = DatasetKind::Hhar.reduced_spec(10, 2, 120).with_variable_length(117, 4);
+        assert_eq!(spec.bucket_lengths(), vec![117, 118, 119, 120]);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Integration tests of the unified adaptive training engine (§5.2 wired end-to-end):
+//! variable-length datasets train through the single shared loop, with per-length-bucket
+//! batch sizes chosen by the learned `B = f(L, N)` predictor.
+
+use std::collections::BTreeSet;
+
+use rand::SeedableRng;
+use rita::core::attention::AttentionKind;
+use rita::core::model::RitaConfig;
+use rita::core::scheduler::{usable_budget, BatchSizePredictor};
+use rita::core::tasks::{
+    pretrain, AdaptiveBatchConfig, BatchSizePolicy, Classifier, Imputer, TrainConfig,
+};
+use rita::data::{DatasetKind, TimeseriesDataset};
+use rita::tensor::SeedableRng64;
+
+fn rng(seed: u64) -> SeedableRng64 {
+    SeedableRng64::seed_from_u64(seed)
+}
+
+fn adaptive() -> AdaptiveBatchConfig {
+    // A deliberately small budget so predicted batch sizes land in a range where the
+    // length dependence is visible.
+    AdaptiveBatchConfig { budget_bytes: 8 * 1024 * 1024, max_batch: 64, ..Default::default() }
+}
+
+#[test]
+fn variable_length_training_uses_predictor_chosen_bucket_batches() {
+    let mut r = rng(0);
+    let data = TimeseriesDataset::generate_variable(DatasetKind::Hhar, 24, 0, 60, 120, 3, &mut r);
+    assert!(data.is_variable_length());
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 120,
+        d_model: 16,
+        n_layers: 2,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 8, adaptive: true },
+        ..Default::default()
+    };
+    let mut clf = Classifier::new(config, 5, &mut r);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_policy: BatchSizePolicy::Adaptive(adaptive()),
+        lr: 1e-3,
+        ..Default::default()
+    };
+    let report = clf.train(&data, &cfg, &mut r);
+    assert_eq!(report.epochs.len(), 3);
+    assert!(report.final_loss().is_finite());
+
+    // Every distinct sample length got a batch-size decision.
+    let distinct: BTreeSet<usize> = data.lengths().into_iter().collect();
+    assert!(distinct.len() > 1);
+    for &len in &distinct {
+        assert!(
+            report.decisions.iter().any(|d| d.length == len),
+            "no batch-size decision for length {len}"
+        );
+        assert!(report.latest_batch_size_for(len).is_some());
+    }
+
+    // The engine-reported B is exactly the predictor's clamped output: rebuild the same
+    // predictor from the same memory model and adaptive knobs and compare.
+    let a = adaptive();
+    let memory = clf.model.memory_model();
+    let predictor = BatchSizePredictor::train_with(
+        &memory,
+        config.max_len,
+        a.budget_bytes,
+        a.budget_fraction,
+        a.max_batch,
+        a.samples_per_axis,
+        a.max_segments,
+    );
+    let limit = usable_budget(a.budget_bytes, a.budget_fraction);
+    for d in &report.decisions {
+        assert_eq!(
+            d.batch_size,
+            predictor.predict(d.length, d.groups),
+            "engine batch size diverged from the predictor at L={} N={}",
+            d.length,
+            d.groups
+        );
+        assert!(d.batch_size >= 1 && d.batch_size <= a.max_batch);
+        assert!(
+            memory.bytes_for(d.batch_size, d.length, d.groups) <= limit,
+            "decision blows the memory budget: {d:?}"
+        );
+    }
+
+    // The plan is based on the scheduler's persistent target (initial_groups = 8 here),
+    // clamped per bucket to the window count — never on whichever batch ran last. All
+    // three buckets have more than 8 windows, so N = 8 everywhere at epoch 0.
+    let first_epoch: Vec<_> = report.decisions.iter().filter(|d| d.epoch == 0).collect();
+    assert_eq!(first_epoch.len(), distinct.len());
+    for d in &first_epoch {
+        assert_eq!(d.groups, 8, "plan must use the scheduler target clamped to windows");
+    }
+    // Later re-predictions (if the scheduler merged groups) can only shrink N.
+    let repredicted: Vec<_> = report.decisions.iter().filter(|d| d.epoch > 0).collect();
+    assert!(repredicted.iter().all(|d| d.groups <= 8));
+
+    // The evaluation path handles variable-length data too.
+    let acc = clf.evaluate(&data, 8, &mut r);
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn fixed_policy_records_no_decisions_and_respects_the_override() {
+    let mut r = rng(1);
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 12, 0, 60, &mut r);
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 60,
+        d_model: 16,
+        n_layers: 1,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Vanilla,
+        ..Default::default()
+    };
+    let mut clf = Classifier::new(config, 5, &mut r);
+    let cfg = TrainConfig { epochs: 1, batch_size: 5, lr: 1e-3, ..Default::default() };
+    let report = clf.train(&data, &cfg, &mut r);
+    assert!(report.decisions.is_empty(), "fixed policy must not consult the predictor");
+    assert!(report.final_loss().is_finite());
+}
+
+#[test]
+fn pretrain_and_finetune_run_on_variable_length_data_with_adaptive_batches() {
+    let mut r = rng(2);
+    let unlabeled =
+        TimeseriesDataset::generate_variable(DatasetKind::Hhar, 12, 0, 40, 80, 2, &mut r);
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 80,
+        d_model: 16,
+        n_layers: 1,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 6, adaptive: true },
+        ..Default::default()
+    };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_policy: BatchSizePolicy::Adaptive(adaptive()),
+        lr: 1e-3,
+        ..Default::default()
+    };
+    let outcome = pretrain(config, &unlabeled, &cfg, &mut r);
+    assert!(outcome.report.final_loss().is_finite());
+    assert!(!outcome.report.decisions.is_empty(), "pretraining skipped the adaptive engine");
+
+    // Fine-tune the pretrained backbone on the same mixed-length data through the same
+    // engine (imputer and classifier share it).
+    let labeled = TimeseriesDataset::generate_variable(DatasetKind::Hhar, 10, 0, 40, 80, 2, &mut r);
+    let mut imp = Imputer::from_model(outcome.model, &mut r);
+    let mse = imp.evaluate(&labeled, 4, 0.2, &mut r);
+    assert!(mse.is_finite() && mse >= 0.0);
+}

@@ -168,6 +168,7 @@ fn batch_size_predictor_integrates_with_model_configs() {
         ff_hidden: 256,
         channels: 21,
         window: 5,
+        stride: 5,
         bytes_per_element: 4,
     };
     let predictor = BatchSizePredictor::train(&memory, 10_000, 16 * 1024 * 1024 * 1024, 5, 3);
