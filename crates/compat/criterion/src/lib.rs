@@ -131,7 +131,40 @@ impl Bencher {
             fmt_duration(*max),
             self.samples.len()
         );
+        RECORDS.lock().expect("bench record registry").push(BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            samples: self.samples.len(),
+        });
     }
+}
+
+/// One recorded benchmark measurement (per-iteration statistics).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group name (the `benchmark_group` argument).
+    pub group: String,
+    /// Benchmark name within the group (for parameterised benches, `"function/param"`).
+    pub name: String,
+    /// Mean per-iteration duration in nanoseconds.
+    pub mean_ns: u128,
+    /// Minimum per-iteration duration in nanoseconds.
+    pub min_ns: u128,
+    /// Number of timed samples behind the statistics.
+    pub samples: usize,
+}
+
+static RECORDS: std::sync::Mutex<Vec<BenchRecord>> = std::sync::Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far (in execution order).
+///
+/// Real criterion persists results under `target/criterion/`; this offline stand-in
+/// instead hands the numbers back to the bench binary so it can emit machine-readable
+/// summaries (e.g. the attention bench's `BENCH_attention.json`).
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("bench record registry"))
 }
 
 fn fmt_duration(d: Duration) -> String {

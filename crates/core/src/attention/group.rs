@@ -55,8 +55,13 @@ pub struct GroupAttentionConfig {
     /// sparse segment-sum pipeline. The dense formulation costs `O(N·n·d)` per
     /// `(batch, head)` in the two constant products and materialises `(b, h, N, n)`
     /// buffers; it is kept purely as the exactness oracle the property tests compare
-    /// the sparse default against.
+    /// the sparse default against. Implies the unfused score/softmax chain.
     pub dense_matrices: bool,
+    /// Compute the group softmax through the explicit `Q·Rᵀ → weighted softmax → ·Ṽ`
+    /// chain instead of the fused streaming kernel (which folds the `count_k` weights
+    /// into its online-softmax denominator and never materialises the `(b, h, n, N)`
+    /// score matrix). Kept as the exactness oracle, mirroring `dense_matrices`.
+    pub unfused: bool,
 }
 
 impl Default for GroupAttentionConfig {
@@ -69,6 +74,7 @@ impl Default for GroupAttentionConfig {
             kmeans_iters: 2,
             momentum_alpha: 0.5,
             dense_matrices: false,
+            unfused: false,
         }
     }
 }
@@ -226,8 +232,6 @@ impl Attention for GroupAttention {
         for g in &groupings {
             counts_flat.extend(g.counts.iter().map(|&c| c as f32));
         }
-        let counts =
-            NdArray::from_vec(counts_flat.clone(), &[b, h, 1, n_groups]).expect("counts batch");
 
         // 2. Representative keys R = S · K and aggregated values Ṽ = M · V, both
         //    (batch, heads, N, dh). The default sparse pipeline realises them as one
@@ -263,20 +267,31 @@ impl Attention for GroupAttention {
             (representatives, v.segment_sum(segments, n_groups))
         };
 
-        // 3. Compressed score matrix  P̃ = Q · Rᵀ / √d_k   (batch, heads, n, N).
-        let scores = q.matmul_nt(&representatives).scale(1.0 / (dh as f32).sqrt());
-
-        // 4. Group softmax (Eq. 3), computed stably by subtracting the detached row max —
-        //    the shift cancels between numerator and denominator, so the result (and its
-        //    gradient) is exactly the unshifted group softmax.
-        let row_max = scores.to_array().max_axis(3, true).expect("row max");
-        let shifted = scores.sub(&Var::constant(row_max));
-        let exp = shifted.exp();
-        let denom = exp.mul(&Var::constant(counts)).sum_axis(3);
-        let attention = exp.div(&denom);
-
-        // 5. Final product of the embedding aggregation: O = Ã · Ṽ.
-        let output = attention.matmul(&aggregated_values);
+        // 3–5. Score matrix P̃ = Q · Rᵀ / √d_k, group softmax (Eq. 3), and the final
+        //    embedding-aggregation product O = Ã · Ṽ. The default is the fused
+        //    streaming kernel: the `count_k` weights are folded into its online-softmax
+        //    denominator, so the `(b, h, n, N)` score matrix is never materialised and
+        //    the backward recomputes per-tile scores. The oracle paths keep the explicit
+        //    chain, computed stably by subtracting the detached row max — the shift
+        //    cancels between numerator and denominator, so the result (and its gradient)
+        //    is exactly the unshifted group softmax.
+        let scale = 1.0 / (dh as f32).sqrt();
+        let output = if self.config.dense_matrices || self.config.unfused {
+            let counts =
+                NdArray::from_vec(counts_flat, &[b, h, 1, n_groups]).expect("counts batch");
+            // The 1/√d is folded into the score product (one kernel pass, no scaled
+            // temporary).
+            let scores = q.matmul_nt_scaled(&representatives, scale);
+            let row_max = scores.to_array().max_axis(3, true).expect("row max");
+            let shifted = scores.sub(&Var::constant(row_max));
+            let exp = shifted.exp();
+            let denom = exp.mul(&Var::constant(counts)).sum_axis(3);
+            let attention = exp.div(&denom);
+            attention.matmul(&aggregated_values)
+        } else {
+            let weights = NdArray::from_vec(counts_flat, &[b, h, n_groups]).expect("counts batch");
+            q.fused_group_attention(&representatives, &aggregated_values, scale, weights)
+        };
 
         // 6. Adaptive scheduling for the next iteration.
         self.stats.current_groups = n_groups;

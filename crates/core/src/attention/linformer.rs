@@ -62,7 +62,8 @@ impl Attention for LinformerAttention {
         let f = self.f_proj.slice_axis(1, 0, n);
         let k_proj = e.matmul(k); // (B,H,proj,dh) via broadcast of the 2-D projection
         let v_proj = f.matmul(v);
-        let scores = q.matmul_nt(&k_proj).scale(1.0 / dk.sqrt());
+        // 1/√d folded into the score product — no scaled (b, h, n, proj) temporary.
+        let scores = q.matmul_nt_scaled(&k_proj, 1.0 / dk.sqrt());
         scores.softmax_last().matmul(&v_proj)
     }
 

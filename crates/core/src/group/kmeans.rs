@@ -145,15 +145,17 @@ fn kmeans_impl(x: &NdArray, num_groups: usize, iters: usize, use_matmul: bool) -
     for _ in 0..iters.max(1) {
         // --- assignment step ---
         if use_matmul {
-            // dist²(i, j) = |x_i|² + |c_j|² − 2 x_i·c_j ; the cross term is one matmul.
+            // dist²(i, j) = |x_i|² + |c_j|² − 2 x_i·c_j ; the cross term is one matmul
+            // through the blocked packed kernel, with the −2 factor folded into its
+            // packing pass instead of a per-element multiply here.
             let c_sq = row_sq_norms(&centers);
-            let cross = x.matmul_nt(&centers).expect("kmeans cross term"); // (n, k)
+            let cross = x.matmul_nt_scaled(&centers, -2.0).expect("kmeans cross term"); // (n, k)
             let cross_data = cross.as_slice();
             for i in 0..n {
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
                 for j in 0..k {
-                    let dist = x_sq[i] + c_sq[j] - 2.0 * cross_data[i * k + j];
+                    let dist = x_sq[i] + c_sq[j] + cross_data[i * k + j];
                     if dist < best_d {
                         best_d = dist;
                         best = j;

@@ -41,6 +41,7 @@
 pub mod gradcheck;
 pub mod layers;
 pub mod loss;
+mod ops_attention;
 mod ops_basic;
 mod ops_matrix;
 mod ops_segment;

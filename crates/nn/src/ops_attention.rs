@@ -1,0 +1,211 @@
+//! The fused streaming-attention autograd op.
+//!
+//! Wraps [`rita_tensor::fused_attention`]: the forward runs the tiled online-softmax
+//! kernel (no `(b, h, n, m)` score tensor is ever materialised), and the recorded
+//! backward calls [`rita_tensor::fused_attention_backward`], which **recomputes** each
+//! score tile from `q`/`k` using the saved per-row log-sum-exp instead of storing the
+//! probability matrix. The only residuals kept alive by the graph are the output and the
+//! `(b, h, n)` log-sum-exp — activation memory for attention drops from `O(n·m)` to
+//! `O(n)` per head.
+
+use crate::var::Var;
+use rita_tensor::{fused_attention, fused_attention_backward, NdArray};
+
+impl Var {
+    /// Fused scaled-dot-product attention: `softmax(scale · self · kᵀ) · v` with `self`
+    /// as the queries, computed tile by tile (flash-attention style) so the `n × n`
+    /// score matrix never exists. Shapes: `self` `(b, h, n, d)`, `k` `(b, h, m, d)`,
+    /// `v` `(b, h, m, d_v)`.
+    pub fn fused_attention(&self, k: &Var, v: &Var, scale: f32) -> Var {
+        self.fused_attention_impl(k, v, scale, None)
+    }
+
+    /// Fused **group** attention (§4.2 of the RITA paper): like
+    /// [`Var::fused_attention`], but each key's exponential is weighted by `weights`
+    /// (the group member counts, shape `(b, h, m)`) in the softmax denominator, while
+    /// the numerator streams the unweighted exponentials against the aggregated values.
+    /// The counts come from a discrete clustering, so no gradient flows through them.
+    pub fn fused_group_attention(&self, k: &Var, v: &Var, scale: f32, weights: NdArray) -> Var {
+        self.fused_attention_impl(k, v, scale, Some(weights))
+    }
+
+    fn fused_attention_impl(&self, k: &Var, v: &Var, scale: f32, weights: Option<NdArray>) -> Var {
+        let result =
+            fused_attention(&self.value(), &k.value(), &v.value(), scale, weights.as_ref())
+                .expect("fused_attention: incompatible shapes");
+        // The backward residuals: output (for Dᵢ = gᵢ·outᵢ) and per-row log-sum-exp (to
+        // restore probabilities per tile). Cloning an NdArray shares storage, so this
+        // keeps no extra buffers alive.
+        let out_saved = result.out.clone();
+        let lse = result.lse;
+        Var::from_op(
+            result.out,
+            vec![self.clone(), k.clone(), v.clone()],
+            Box::new(move |g, parents| {
+                let (dq, dk, dv) = fused_attention_backward(
+                    &parents[0].value(),
+                    &parents[1].value(),
+                    &parents[2].value(),
+                    weights.as_ref(),
+                    scale,
+                    &out_saved,
+                    &lse,
+                    g,
+                )
+                .expect("fused_attention backward");
+                vec![dq, dk, dv]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+    use rand::SeedableRng;
+    use rita_tensor::{allclose, NdArray, SeedableRng64};
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    /// The unfused chain the fused op must match: `softmax(scale·q·kᵀ)·v` for the plain
+    /// case, and the explicit count-weighted group softmax otherwise.
+    fn unfused(q: &Var, k: &Var, v: &Var, scale: f32, weights: Option<&NdArray>) -> Var {
+        let scores = q.matmul_nt_scaled(k, scale);
+        match weights {
+            None => scores.softmax_last().matmul(v),
+            Some(w) => {
+                let shape = scores.shape();
+                let (b, h, m) = (shape[0], shape[1], shape[3]);
+                let counts = Var::constant(w.reshape(&[b, h, 1, m]).unwrap());
+                let row_max = scores.to_array().max_axis(3, true).expect("row max");
+                let exp = scores.sub(&Var::constant(row_max)).exp();
+                let denom = exp.mul(&counts).sum_axis(3);
+                exp.div(&denom).matmul(v)
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused_forward_and_gradients() {
+        for &(b, h, n, m, d, weighted) in &[
+            (1usize, 1usize, 6usize, 6usize, 4usize, false),
+            (2, 2, 9, 9, 3, false),
+            (1, 2, 11, 4, 5, true),
+            (2, 1, 7, 3, 1, true),
+        ] {
+            let mut r = rng(23 + (n * m * d) as u64);
+            let q0 = NdArray::randn(&[b, h, n, d], 0.8, &mut r);
+            let k0 = NdArray::randn(&[b, h, m, d], 0.8, &mut r);
+            let v0 = NdArray::randn(&[b, h, m, d], 0.8, &mut r);
+            let w = weighted.then(|| {
+                NdArray::from_vec(
+                    (0..b * h * m).map(|i| 1.0 + (i % 4) as f32).collect(),
+                    &[b, h, m],
+                )
+                .unwrap()
+            });
+            let scale = 1.0 / (d as f32).sqrt();
+
+            let (qf, kf, vf) = (
+                Var::parameter(q0.clone()),
+                Var::parameter(k0.clone()),
+                Var::parameter(v0.clone()),
+            );
+            let fused = match &w {
+                Some(w) => qf.fused_group_attention(&kf, &vf, scale, w.clone()),
+                None => qf.fused_attention(&kf, &vf, scale),
+            };
+            fused.sum_all().backward();
+
+            let (qu, ku, vu) =
+                (Var::parameter(q0.clone()), Var::parameter(k0.clone()), Var::parameter(v0));
+            let reference = unfused(&qu, &ku, &vu, scale, w.as_ref());
+            reference.sum_all().backward();
+
+            assert!(
+                allclose(fused.value().as_slice(), reference.value().as_slice(), 1e-4, 1e-4),
+                "forward mismatch (b={b}, h={h}, n={n}, m={m}, d={d}, weighted={weighted})"
+            );
+            for (name, fp, up) in [("q", &qf, &qu), ("k", &kf, &ku), ("v", &vf, &vu)] {
+                let gf = fp.grad().expect("fused grad");
+                let gu = up.grad().expect("unfused grad");
+                assert!(
+                    allclose(gf.as_slice(), gu.as_slice(), 1e-4, 1e-4),
+                    "{name} gradient mismatch (n={n}, m={m}, d={d}, weighted={weighted})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_consumes_strided_parents() {
+        // Head-split-style permuted views as direct parents: gradients must come back in
+        // the views' logical shapes and match the materialized run.
+        let (b, h, n, d) = (1usize, 2usize, 8usize, 3usize);
+        let mut r = rng(77);
+        let base = NdArray::randn(&[b, n, h, d], 1.0, &mut r);
+        let q = Var::parameter(base.clone());
+        let k = Var::parameter(NdArray::randn(&[b, n, h, d], 1.0, &mut r));
+        let v = Var::parameter(NdArray::randn(&[b, n, h, d], 1.0, &mut r));
+        let (qs, ks, vs) =
+            (q.permute(&[0, 2, 1, 3]), k.permute(&[0, 2, 1, 3]), v.permute(&[0, 2, 1, 3]));
+        let out = qs.fused_attention(&ks, &vs, 0.5);
+        assert_eq!(out.shape(), vec![b, h, n, d]);
+        out.sum_all().backward();
+
+        let (qm, km, vm) = (
+            Var::parameter(q.to_array().permute(&[0, 2, 1, 3]).unwrap().materialize()),
+            Var::parameter(k.to_array().permute(&[0, 2, 1, 3]).unwrap().materialize()),
+            Var::parameter(v.to_array().permute(&[0, 2, 1, 3]).unwrap().materialize()),
+        );
+        qm.fused_attention(&km, &vm, 0.5).sum_all().backward();
+        // Compare the view-parent gradients (logical (b, n, h, d)) against the
+        // materialized ones permuted back.
+        for (p, pm) in [(&q, &qm), (&k, &km), (&v, &vm)] {
+            let got = p.grad().unwrap();
+            let expect = pm.grad().unwrap().permute(&[0, 2, 1, 3]).unwrap().materialize();
+            assert!(allclose(got.as_slice(), expect.as_slice(), 1e-5, 1e-5));
+        }
+    }
+
+    #[test]
+    fn gradcheck_fused_attention_recompute_backward() {
+        // Finite-difference check of the recomputation backward through each input in
+        // turn, plain and weighted.
+        let (b, h, n, m, d) = (1usize, 1usize, 4usize, 3usize, 2usize);
+        let mut r = rng(91);
+        let q0 = NdArray::randn(&[b, h, n, d], 0.6, &mut r);
+        let k0 = NdArray::randn(&[b, h, m, d], 0.6, &mut r);
+        let v0 = NdArray::randn(&[b, h, m, d], 0.6, &mut r);
+        let w = NdArray::from_vec(vec![1.0, 3.0, 2.0], &[b, h, m]).unwrap();
+        let scale = 1.0 / (d as f32).sqrt();
+        for weights in [None, Some(&w)] {
+            let attn = |q: &Var, k: &Var, v: &Var| match weights {
+                Some(w) => q.fused_group_attention(k, v, scale, w.clone()),
+                None => q.fused_attention(k, v, scale),
+            };
+            let (k1, v1) = (Var::constant(k0.clone()), Var::constant(v0.clone()));
+            let rq = gradcheck(|x| attn(x, &k1, &v1).sum_all(), &q0, 1e-2);
+            assert!(rq.passes(1e-2, 1e-2), "q gradcheck: {rq:?}");
+            let (q1, v2) = (Var::constant(q0.clone()), Var::constant(v0.clone()));
+            let rk = gradcheck(|x| attn(&q1, x, &v2).sum_all(), &k0, 1e-2);
+            assert!(rk.passes(1e-2, 1e-2), "k gradcheck: {rk:?}");
+            let (q2, k2) = (Var::constant(q0.clone()), Var::constant(k0.clone()));
+            let rv = gradcheck(|x| attn(&q2, &k2, x).sum_all(), &v0, 1e-2);
+            assert!(rv.passes(1e-2, 1e-2), "v gradcheck: {rv:?}");
+        }
+    }
+
+    #[test]
+    fn no_grad_skips_graph_construction() {
+        let mut r = rng(5);
+        let q = Var::parameter(NdArray::randn(&[1, 1, 4, 2], 1.0, &mut r));
+        let k = Var::parameter(NdArray::randn(&[1, 1, 4, 2], 1.0, &mut r));
+        let v = Var::parameter(NdArray::randn(&[1, 1, 4, 2], 1.0, &mut r));
+        let out = crate::no_grad(|| q.fused_attention(&k, &v, 0.7));
+        assert!(!out.requires_grad());
+    }
+}

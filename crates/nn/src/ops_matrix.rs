@@ -34,7 +34,40 @@ impl Var {
 
     /// `self · otherᵀ` over the last two dimensions (attention's `Q·Kᵀ`).
     pub fn matmul_nt(&self, other: &Var) -> Var {
-        self.matmul(&other.transpose_last2())
+        self.matmul_nt_scaled(other, 1.0)
+    }
+
+    /// `alpha · self · otherᵀ` in one kernel pass — attention's scaled score product
+    /// `Q · Kᵀ / √d` without the scaled `(…, n, n)` temporary that a separate
+    /// [`Var::scale`] would materialise. The backward applies the same fused scaling to
+    /// both parent gradients.
+    pub fn matmul_nt_scaled(&self, other: &Var, alpha: f32) -> Var {
+        let value = self
+            .value()
+            .matmul_nt_scaled(&other.value(), alpha)
+            .expect("matmul_nt_scaled: incompatible shapes");
+        let (sa, sb) = (self.shape(), other.shape());
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                // y = alpha · A · Bᵀ ⇒ dA = alpha · g · B, dB = alpha · gᵀ · A — both
+                // through the scaled kernel, so the backward allocates no scaled copies
+                // either.
+                let da = g.matmul_scaled(&b, alpha).expect("matmul_nt_scaled backward");
+                let db = g
+                    .transpose_last2()
+                    .expect("matmul_nt_scaled backward")
+                    .matmul_scaled(&a, alpha)
+                    .expect("matmul_nt_scaled backward");
+                vec![
+                    da.reduce_to_shape(&sa).expect("matmul_nt_scaled backward reduce"),
+                    db.reduce_to_shape(&sb).expect("matmul_nt_scaled backward reduce"),
+                ]
+            }),
+        )
     }
 
     /// Unfolds a `(batch, channels, length)` signal into `(batch, n_windows, channels * width)`

@@ -37,6 +37,8 @@
 mod array;
 mod broadcast;
 mod error;
+mod fused;
+mod gemm;
 mod matmul;
 mod parallel;
 mod random;
@@ -46,6 +48,7 @@ mod shape;
 
 pub use array::NdArray;
 pub use error::TensorError;
+pub use fused::{fused_attention, fused_attention_backward, FusedAttention};
 pub use parallel::{scoped_chunks_mut, with_worker_threads, worker_budget};
 pub use random::{rng_from_seed, SeedableRng64};
 

@@ -1,129 +1,63 @@
-//! Matrix multiplication kernels: pitched row-/column-major 2-D GEMM variants, a batched
-//! driver that parallelises across the batch×heads dimension, and transpose-free handling
-//! of the `Q · Kᵀ` attention pattern.
+//! Matrix multiplication: a batched driver over the blocked, packed GEMM engine in
+//! [`crate::gemm`], with transpose-free handling of the `Q · Kᵀ` attention pattern and
+//! an `alpha`-scaled variant that folds attention's `1/√d` into the product.
 //!
 //! Operands may be arbitrary strided views. The batch dimensions are walked through the
-//! operands' own strides (so sliced or broadcast batches are zero-copy); the trailing two
-//! dimensions are consumed directly when they are row-major (`stride[-1] == 1`) or
-//! column-major (`stride[-2] == 1`) — which covers every transpose produced by
-//! [`NdArray::transpose_last2`] — and only fully general layouts are compacted first.
-
-// Pitched GEMM kernels take (slice, pitch) pairs per operand plus the three problem
-// sizes; packing them into structs would only obscure the hot loops.
-#![allow(clippy::too_many_arguments)]
+//! operands' own strides (so sliced or broadcast batches are zero-copy); the trailing
+//! two dimensions are consumed through their `(row, column)` strides directly — the
+//! packing step of the blocked engine normalises every layout (row-major, transposed,
+//! broadcast, fully general), so no operand is ever compacted wholesale.
 
 use crate::broadcast::effective_strides;
+use crate::gemm::gemm_strided;
 use crate::parallel::{scoped_chunks_mut, worker_budget};
 use crate::{NdArray, Result, TensorError};
 
 /// Minimum number of output elements before the kernels fan work out to threads.
 const PARALLEL_THRESHOLD: usize = 64 * 64;
 
-/// Minimum reduction length before the transpose-free `gemm_nt` kernel pays off; below
-/// this the transposed rhs is compacted once and the streaming `gemm_rr` kernel used.
-const NT_MIN_K: usize = 64;
-
-/// Layout of one (pitched) matrix operand.
+/// Layout of one matrix operand: the element strides of its trailing two dimensions.
+/// `Row`/`Col` classify the cache-friendly cases (used by the packing fast paths and the
+/// row-advance of the parallel row split); `General` covers everything else — it packs
+/// like the others instead of forcing a compaction.
 #[derive(Clone, Copy, Debug)]
 enum MatLayout {
     /// Element `(i, p)` lives at `i * pitch + p`.
     Row(usize),
     /// Element `(i, p)` lives at `p * pitch + i` (a transposed row-major matrix).
     Col(usize),
+    /// Element `(i, p)` lives at `i * rs + p * cs`.
+    General(usize, usize),
 }
 
-/// Classifies the trailing two dimensions of a view, or `None` when neither trailing
-/// stride is 1 (requires compaction).
-fn mat_layout(shape: &[usize], strides: &[usize]) -> Option<MatLayout> {
+impl MatLayout {
+    /// `(row_stride, col_stride)` of the operand.
+    fn strides(self) -> (usize, usize) {
+        match self {
+            MatLayout::Row(p) => (p, 1),
+            MatLayout::Col(p) => (1, p),
+            MatLayout::General(rs, cs) => (rs, cs),
+        }
+    }
+}
+
+/// Classifies the trailing two dimensions of a view.
+fn mat_layout(shape: &[usize], strides: &[usize]) -> MatLayout {
     let nd = shape.len();
     let (r, c) = (shape[nd - 2], shape[nd - 1]);
     let (sr, sc) = (strides[nd - 2], strides[nd - 1]);
     if sc == 1 || c <= 1 {
-        Some(MatLayout::Row(sr))
+        MatLayout::Row(sr)
     } else if sr == 1 || r <= 1 {
-        Some(MatLayout::Col(sc))
+        MatLayout::Col(sc)
     } else {
-        None
+        MatLayout::General(sr, sc)
     }
 }
 
-/// Inner kernel, row-major × row-major: `out[m×n] += a · b`.
-///
-/// Uses the classic i-k-j loop order so the innermost loop streams both `b` and `out`
-/// contiguously; the loop body is branch-free so the compiler auto-vectorises it on dense
-/// inputs (an earlier `a_ip == 0.0 { continue; }` skip defeated vectorisation and has
-/// been dropped).
-fn gemm_rr(
-    a: &[f32],
-    ap: usize,
-    b: &[f32],
-    bp: usize,
-    out: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    for i in 0..m {
-        let a_row = &a[i * ap..i * ap + k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            let b_row = &b[p * bp..p * bp + n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
-}
-
-/// Inner kernel, row-major × transposed: `out[m×n] += a · btᵀ` where `bt` holds `bᵀ`
-/// row-major (`bt[j]` is column `j` of `b`). This is the copy-free `Q · Kᵀ` path: the
-/// inner loop is a dot product of two contiguous rows.
-fn gemm_nt(
-    a: &[f32],
-    ap: usize,
-    bt: &[f32],
-    btp: usize,
-    out: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    for i in 0..m {
-        let a_row = &a[i * ap..i * ap + k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &bt[j * btp..j * btp + k];
-            *o += a_row.iter().zip(b_row.iter()).map(|(&x, &y)| x * y).sum::<f32>();
-        }
-    }
-}
-
-/// Inner kernel, transposed × row-major: `out[m×n] += atᵀ · b` where `at` holds `aᵀ`
-/// row-major (`at[p]` is column `p` of the logical lhs). p-i-j order streams `b` rows and
-/// `out` rows contiguously (the backward-pass `Aᵀ · g` pattern, now transpose-free).
-fn gemm_tn(
-    at: &[f32],
-    atp: usize,
-    b: &[f32],
-    bp: usize,
-    out: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    for p in 0..k {
-        let a_col = &at[p * atp..p * atp + m];
-        let b_row = &b[p * bp..p * bp + n];
-        for (i, &a_ip) in a_col.iter().enumerate() {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
-}
-
-/// One 2-D product with layout dispatch. `a`/`b` are already offset to the matrix start.
+/// One 2-D product: `out += alpha · a · b`. `a`/`b` are already offset to the matrix
+/// start; the blocked engine consumes both layouts through their strides.
+#[allow(clippy::too_many_arguments)]
 fn matmul_2d(
     a: &[f32],
     la: MatLayout,
@@ -133,23 +67,17 @@ fn matmul_2d(
     m: usize,
     k: usize,
     n: usize,
+    alpha: f32,
 ) {
-    match (la, lb) {
-        (MatLayout::Row(ap), MatLayout::Row(bp)) => gemm_rr(a, ap, b, bp, out, m, k, n),
-        (MatLayout::Row(ap), MatLayout::Col(bp)) => gemm_nt(a, ap, b, bp, out, m, k, n),
-        (MatLayout::Col(ap), MatLayout::Row(bp)) => gemm_tn(a, ap, b, bp, out, m, k, n),
-        (MatLayout::Col(_), MatLayout::Col(_)) => {
-            unreachable!("col×col is normalised away before dispatch")
-        }
-    }
+    let (ars, acs) = la.strides();
+    let (brs, bcs) = lb.strides();
+    gemm_strided(a, ars, acs, b, brs, bcs, out, m, k, n, alpha);
 }
 
 /// Advances the lhs slice to its `row0`-th output row (layout-dependent).
 fn lhs_rows_from(layout: MatLayout, a: &[f32], row0: usize) -> &[f32] {
-    match layout {
-        MatLayout::Row(p) => &a[row0 * p..],
-        MatLayout::Col(_) => &a[row0..],
-    }
+    let (rs, _) = layout.strides();
+    &a[row0 * rs..]
 }
 
 impl NdArray {
@@ -160,11 +88,18 @@ impl NdArray {
     ///   batch dimensions broadcast against each other (a 2-D operand broadcasts over all
     ///   batches).
     ///
-    /// Strided views are consumed without compaction whenever a trailing stride is 1
-    /// (covers transposes, head splits and sliced batches); batched products are
-    /// parallelised across the batch dimension, single large 2-D products across output
-    /// rows.
+    /// Strided views are consumed without compaction — the blocked kernels pack cache-
+    /// sized panels from any layout (covers transposes, head splits, sliced and broadcast
+    /// batches). Batched products are parallelised across the batch dimension, single
+    /// large 2-D products across output rows.
     pub fn matmul(&self, other: &NdArray) -> Result<NdArray> {
+        self.matmul_scaled(other, 1.0)
+    }
+
+    /// `alpha · self · other` — the scale is folded into the kernel's packing pass, so
+    /// it costs no extra traversal of the output (attention's `1/√d` on the score
+    /// product rides along for free instead of materialising a scaled copy).
+    pub fn matmul_scaled(&self, other: &NdArray, alpha: f32) -> Result<NdArray> {
         if self.ndim() < 2 || other.ndim() < 2 {
             return Err(TensorError::MatmulMismatch {
                 lhs: self.shape.clone(),
@@ -185,59 +120,27 @@ impl NdArray {
         let batch: usize = batch_shape.iter().product::<usize>().max(1);
         let lbn: usize = lbatch.iter().product::<usize>().max(1);
         let rbn: usize = rbatch.iter().product::<usize>().max(1);
-        if lbn != batch && lbn != 1 {
-            return Err(TensorError::MatmulMismatch {
-                lhs: self.shape.clone(),
-                rhs: other.shape.clone(),
-            });
-        }
-        if rbn != batch && rbn != 1 {
+        if (lbn != batch && lbn != 1) || (rbn != batch && rbn != 1) {
             return Err(TensorError::MatmulMismatch {
                 lhs: self.shape.clone(),
                 rhs: other.shape.clone(),
             });
         }
 
-        // Normalise operands: compact any matrix whose trailing dims are fully general,
-        // and break the col×col combination by compacting the rhs.
-        let lhs_holder;
-        let lhs: &NdArray = if mat_layout(&self.shape, &self.strides).is_some() {
-            self
-        } else {
-            lhs_holder = self.materialize();
-            &lhs_holder
-        };
-        let la = mat_layout(&lhs.shape, &lhs.strides).expect("lhs normalised");
-        let rhs_holder;
-        let rhs: &NdArray = match mat_layout(&other.shape, &other.strides) {
-            // Break the unsupported col×col combination by compacting the rhs. Also
-            // compact a transposed rhs when the reduction dimension is short: gemm_nt's
-            // per-output horizontal reduction only beats a one-time transpose copy once
-            // the dot products are long enough to amortise it (attention's Q·Kᵀ with a
-            // small head_dim is exactly this case).
-            Some(MatLayout::Col(_)) if matches!(la, MatLayout::Col(_)) || lk < NT_MIN_K => {
-                rhs_holder = other.materialize();
-                &rhs_holder
-            }
-            Some(_) => other,
-            None => {
-                rhs_holder = other.materialize();
-                &rhs_holder
-            }
-        };
-        let lb = mat_layout(&rhs.shape, &rhs.strides).expect("rhs normalised");
+        let la = mat_layout(&self.shape, &self.strides);
+        let lb = mat_layout(&other.shape, &other.strides);
 
         // Per-batch storage offsets, walked through each operand's own (broadcast-aligned)
         // batch strides — sliced and broadcast batch dims cost nothing here.
-        let l_offsets = batch_offsets(lhs, &batch_shape);
-        let r_offsets = batch_offsets(rhs, &batch_shape);
+        let l_offsets = batch_offsets(self, &batch_shape);
+        let r_offsets = batch_offsets(other, &batch_shape);
 
         let mut out_shape = batch_shape.clone();
         out_shape.push(lm);
         out_shape.push(rn);
         let mut out = vec![0.0f32; batch * lm * rn];
-        let ldata: &[f32] = &lhs.storage;
-        let rdata: &[f32] = &rhs.storage;
+        let ldata: &[f32] = &self.storage;
+        let rdata: &[f32] = &other.storage;
 
         let threads = worker_budget();
         let big = batch * lm * rn >= PARALLEL_THRESHOLD;
@@ -257,6 +160,7 @@ impl NdArray {
                         lm,
                         lk,
                         rn,
+                        alpha,
                     );
                 }
             });
@@ -271,7 +175,7 @@ impl NdArray {
                 let out_b = &mut out[bidx * lm * rn..(bidx + 1) * lm * rn];
                 scoped_chunks_mut(out_b, rn, rows_per, |row0, chunk| {
                     let a_chunk = lhs_rows_from(la, a, row0);
-                    matmul_2d(a_chunk, la, b, lb, chunk, chunk.len() / rn, lk, rn);
+                    matmul_2d(a_chunk, la, b, lb, chunk, chunk.len() / rn, lk, rn, alpha);
                 });
             }
         } else {
@@ -286,6 +190,7 @@ impl NdArray {
                     lm,
                     lk,
                     rn,
+                    alpha,
                 );
             }
         }
@@ -294,20 +199,22 @@ impl NdArray {
 
     /// `self · otherᵀ` where the transpose applies to the last two dims of `other`.
     ///
-    /// The transpose itself is a zero-copy stride swap. Whether the kernel then consumes
-    /// it directly depends on the reduction length: for `k >= NT_MIN_K` the
-    /// row-dot-product kernel (`gemm_nt`) runs on the view with no data movement; for
-    /// shorter reductions (e.g. attention's `Q · Kᵀ` with a small head_dim) the
-    /// transposed operand is compacted once because the streaming `gemm_rr` kernel beats
-    /// short per-output dot products even including the copy.
+    /// The transpose is a zero-copy stride swap; the blocked kernel packs the transposed
+    /// operand's panels directly from the view (no compaction at any reduction length).
     pub fn matmul_nt(&self, other: &NdArray) -> Result<NdArray> {
+        self.matmul_nt_scaled(other, 1.0)
+    }
+
+    /// `alpha · self · otherᵀ` — attention's scaled score product `Q · Kᵀ / √d` in one
+    /// kernel pass, with no scaled temporary (see [`NdArray::matmul_scaled`]).
+    pub fn matmul_nt_scaled(&self, other: &NdArray, alpha: f32) -> Result<NdArray> {
         if self.ndim() < 2 || other.ndim() < 2 {
             return Err(TensorError::MatmulMismatch {
                 lhs: self.shape.clone(),
                 rhs: other.shape.clone(),
             });
         }
-        self.matmul(&other.transpose_last2()?)
+        self.matmul_scaled(&other.transpose_last2()?, alpha)
     }
 
     /// Dot product of two equally sized arrays, treated as flat vectors.
@@ -389,6 +296,27 @@ mod tests {
     }
 
     #[test]
+    fn matmul_scaled_matches_scale_of_matmul() {
+        let a = NdArray::arange(0.0, 0.03, 7 * 9).reshape(&[7, 9]).unwrap();
+        let b = NdArray::arange(1.0, -0.01, 9 * 5).reshape(&[9, 5]).unwrap();
+        for &alpha in &[0.5f32, -2.0, 0.125] {
+            let fused = a.matmul_scaled(&b, alpha).unwrap();
+            let reference = a.matmul(&b).unwrap().scale(alpha);
+            assert!(allclose(fused.as_slice(), reference.as_slice(), 1e-5, 1e-5));
+        }
+    }
+
+    #[test]
+    fn matmul_nt_scaled_matches_explicit_chain() {
+        let q = NdArray::arange(0.0, 0.1, 2 * 6 * 4).reshape(&[2, 6, 4]).unwrap();
+        let k = NdArray::arange(0.5, 0.2, 2 * 5 * 4).reshape(&[2, 5, 4]).unwrap();
+        let alpha = 1.0 / 2.0f32;
+        let fused = q.matmul_nt_scaled(&k, alpha).unwrap();
+        let reference = q.matmul(&k.transpose_last2().unwrap().materialize()).unwrap().scale(alpha);
+        assert!(allclose(fused.as_slice(), reference.as_slice(), 1e-5, 1e-5));
+    }
+
+    #[test]
     fn batched_matmul_and_broadcast() {
         // (2, 2, 3) x (2, 3, 2)
         let a = NdArray::arange(0.0, 1.0, 12).reshape(&[2, 2, 3]).unwrap();
@@ -421,7 +349,7 @@ mod tests {
 
     #[test]
     fn transposed_lhs_view_matches_materialized() {
-        // Exercises the gemm_tn (col-major lhs) kernel against the compacted reference.
+        // Exercises the packed column-major lhs path against the compacted reference.
         let a = NdArray::arange(0.0, 0.2, 12).reshape(&[4, 3]).unwrap();
         let b = NdArray::arange(-1.0, 0.15, 20).reshape(&[4, 5]).unwrap();
         let at = a.transpose_last2().unwrap(); // (3, 4) view
@@ -464,6 +392,18 @@ mod tests {
     }
 
     #[test]
+    fn fully_general_layout_packs_without_compaction() {
+        // A permuted 3-D view whose trailing two dims both have non-unit strides — the
+        // old kernels compacted this; the packed engine must consume it in place.
+        let a = NdArray::arange(0.0, 0.01, 24).reshape(&[2, 3, 4]).unwrap();
+        let p = a.permute(&[2, 0, 1]).unwrap(); // (4, 2, 3), trailing strides (12, 4)
+        let w = NdArray::arange(0.5, -0.03, 9).reshape(&[3, 3]).unwrap();
+        let via_view = p.matmul(&w).unwrap();
+        let via_copy = p.materialize().matmul(&w).unwrap();
+        assert!(allclose(via_view.as_slice(), via_copy.as_slice(), 1e-5, 1e-5));
+    }
+
+    #[test]
     fn large_matmul_parallel_path_matches_serial() {
         // Exceeds PARALLEL_THRESHOLD to exercise the threaded code path.
         let m = 80;
@@ -491,6 +431,18 @@ mod tests {
             let got = c.index_axis0(bi).unwrap();
             assert!(allclose(got.as_slice(), expect.as_slice(), 1e-3, 1e-4), "batch {bi}");
         }
+    }
+
+    #[test]
+    fn odd_sizes_cross_every_micro_tile_edge() {
+        // m, k, n chosen to leave partial MR-row and NR-column panels plus a short
+        // trailing k-block; compares against the O(n³) reference.
+        let (m, k, n) = (13usize, 21usize, 27usize);
+        let a = NdArray::arange(-0.4, 0.017, m * k).reshape(&[m, k]).unwrap();
+        let b = NdArray::arange(0.9, -0.013, k * n).reshape(&[k, n]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = naive_matmul(&a, &b);
+        assert!(allclose(c.as_slice(), expect.as_slice(), 1e-4, 1e-4));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! oversubscribing the machine.
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 /// Upper bound on worker threads for any single fan-out (thread start-up dominates
 /// beyond this on one kernel invocation).
@@ -14,14 +15,20 @@ thread_local! {
     static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
+/// Machine parallelism, read once. `available_parallelism` is a syscall on Linux
+/// (`sched_getaffinity`), and `worker_budget` is consulted on every kernel invocation —
+/// including the per-block calls issued inside fan-outs — so the answer is cached for
+/// the process lifetime rather than re-queried each time.
+fn machine_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1))
+}
+
 /// Number of worker threads a kernel may fan out to from this thread:
-/// `available_parallelism`, capped at 16 and at any [`with_worker_threads`] override.
+/// `available_parallelism` (cached in a `OnceLock`), capped at 16 and at any
+/// [`with_worker_threads`] override.
 pub fn worker_budget() -> usize {
-    std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(MAX_THREADS)
-        .min(THREAD_CAP.with(|c| c.get()))
+    machine_parallelism().min(MAX_THREADS).min(THREAD_CAP.with(|c| c.get()))
 }
 
 /// Runs `f` with the worker budget on this thread capped at `cap` threads.

@@ -1,0 +1,180 @@
+//! Property sweeps for the fused streaming attention kernels.
+//!
+//! Both attention paths default to the fused online-softmax kernel; the unfused chains
+//! survive behind `VanillaAttention::unfused` / `GroupAttentionConfig::unfused` as
+//! exactness oracles. For every configuration — including shapes that are not multiples
+//! of the kernel's tile sizes, `d_h = 1`, and strided head-split inputs — the fused
+//! output and all three input gradients must match the oracle within 1e-4 (the fused
+//! kernel uses a polynomial `exp` with ≈ 4e-6 relative error, and tiles its sums in a
+//! different association order).
+
+use rand::SeedableRng;
+use rita::core::attention::{
+    split_heads, Attention, GroupAttention, GroupAttentionConfig, VanillaAttention,
+};
+use rita::nn::Var;
+use rita::tensor::{allclose, NdArray, SeedableRng64};
+
+fn rng(seed: u64) -> SeedableRng64 {
+    SeedableRng64::seed_from_u64(seed)
+}
+
+/// Runs one vanilla forward + backward, returning the output and q/k/v gradients.
+fn run_vanilla(q: &NdArray, k: &NdArray, v: &NdArray, unfused: bool) -> (NdArray, [NdArray; 3]) {
+    let (qv, kv, vv) =
+        (Var::parameter(q.clone()), Var::parameter(k.clone()), Var::parameter(v.clone()));
+    let mut attn = if unfused { VanillaAttention::unfused() } else { VanillaAttention::new() };
+    let out = attn.forward(&qv, &kv, &vv);
+    out.sum_all().backward();
+    (out.to_array(), [qv.grad().unwrap(), kv.grad().unwrap(), vv.grad().unwrap()])
+}
+
+/// Runs one group forward + backward with a fixed group count.
+fn run_group(
+    q: &NdArray,
+    k: &NdArray,
+    v: &NdArray,
+    groups: usize,
+    unfused: bool,
+    dense: bool,
+) -> (NdArray, [NdArray; 3]) {
+    let (qv, kv, vv) =
+        (Var::parameter(q.clone()), Var::parameter(k.clone()), Var::parameter(v.clone()));
+    let mut attn = GroupAttention::new(GroupAttentionConfig {
+        initial_groups: groups,
+        adaptive: false,
+        kmeans_iters: 4,
+        unfused,
+        dense_matrices: dense,
+        ..Default::default()
+    });
+    let out = attn.forward(&qv, &kv, &vv);
+    out.sum_all().backward();
+    (out.to_array(), [qv.grad().unwrap(), kv.grad().unwrap(), vv.grad().unwrap()])
+}
+
+fn assert_close(label: &str, fused: &NdArray, oracle: &NdArray) {
+    assert!(
+        allclose(fused.as_slice(), oracle.as_slice(), 1e-4, 1e-4),
+        "{label}: fused and unfused disagree"
+    );
+}
+
+/// Vanilla fused == unfused for outputs and gradients across odd shapes: sequence
+/// lengths off every tile boundary (Q_BLOCK = 32, K_BLOCK = 128) and head dims down
+/// to 1.
+#[test]
+fn vanilla_fused_matches_unfused_across_shapes() {
+    for &(b, h, n, dh, seed) in &[
+        (1usize, 1usize, 1usize, 4usize, 1u64),
+        (1, 1, 5, 1, 2),
+        (2, 2, 33, 3, 3),
+        (1, 2, 64, 8, 4),
+        (1, 1, 129, 2, 5),
+        (1, 1, 160, 5, 6),
+    ] {
+        let mut r = rng(seed);
+        let q = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+        let k = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+        let v = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+        let (out_f, grads_f) = run_vanilla(&q, &k, &v, false);
+        let (out_u, grads_u) = run_vanilla(&q, &k, &v, true);
+        assert_close(&format!("out (b={b}, h={h}, n={n}, dh={dh})"), &out_f, &out_u);
+        for (name, (gf, gu)) in ["dq", "dk", "dv"].iter().zip(grads_f.iter().zip(&grads_u)) {
+            assert_close(&format!("{name} (b={b}, h={h}, n={n}, dh={dh})"), gf, gu);
+        }
+    }
+}
+
+/// The fused kernel consumes the strided views produced by `split_heads` directly; the
+/// whole head-split → attention → gradient pipeline must match the unfused chain.
+#[test]
+fn vanilla_fused_matches_unfused_through_split_heads() {
+    let (b, n, d_model, heads) = (2usize, 21usize, 12usize, 3usize);
+    let mut r = rng(17);
+    let q3 = NdArray::randn(&[b, n, d_model], 1.0, &mut r);
+    let k3 = NdArray::randn(&[b, n, d_model], 1.0, &mut r);
+    let v3 = NdArray::randn(&[b, n, d_model], 1.0, &mut r);
+    let run = |unfused: bool| {
+        let (qv, kv, vv) =
+            (Var::parameter(q3.clone()), Var::parameter(k3.clone()), Var::parameter(v3.clone()));
+        let mut attn = if unfused { VanillaAttention::unfused() } else { VanillaAttention::new() };
+        let out = attn.forward(
+            &split_heads(&qv, heads),
+            &split_heads(&kv, heads),
+            &split_heads(&vv, heads),
+        );
+        out.sum_all().backward();
+        (out.to_array(), [qv.grad().unwrap(), kv.grad().unwrap(), vv.grad().unwrap()])
+    };
+    let (out_f, grads_f) = run(false);
+    let (out_u, grads_u) = run(true);
+    assert_close("split-heads out", &out_f, &out_u);
+    for (name, (gf, gu)) in ["dq", "dk", "dv"].iter().zip(grads_f.iter().zip(&grads_u)) {
+        assert_close(&format!("split-heads {name}"), gf, gu);
+    }
+}
+
+/// Group fused == group unfused (same sparse segment-sum grouping, explicit weighted
+/// softmax) for outputs and gradients, including N = 1, n below/above the key-tile
+/// size, and dh = 1.
+#[test]
+fn group_fused_matches_unfused_across_shapes() {
+    for &(b, h, n, dh, groups, seed) in &[
+        (1usize, 1usize, 8usize, 4usize, 1usize, 21u64),
+        (1, 1, 12, 1, 3, 22),
+        (2, 2, 30, 6, 5, 23),
+        (1, 2, 50, 3, 7, 24),
+        (1, 1, 140, 4, 9, 25),
+    ] {
+        let mut r = rng(seed);
+        let q = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+        let k = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+        let v = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+        let (out_f, grads_f) = run_group(&q, &k, &v, groups, false, false);
+        let (out_u, grads_u) = run_group(&q, &k, &v, groups, true, false);
+        let label = format!("(b={b}, h={h}, n={n}, dh={dh}, N={groups})");
+        assert_close(&format!("group out {label}"), &out_f, &out_u);
+        for (name, (gf, gu)) in ["dq", "dk", "dv"].iter().zip(grads_f.iter().zip(&grads_u)) {
+            assert_close(&format!("group {name} {label}"), gf, gu);
+        }
+    }
+}
+
+/// Three-way agreement on one configuration: fused sparse (default), unfused sparse,
+/// and the dense-matrix oracle from PR 2 must all tell the same story.
+#[test]
+fn group_fused_sparse_and_dense_all_agree() {
+    let (b, h, n, dh, groups) = (2usize, 2usize, 24usize, 4usize, 4usize);
+    let mut r = rng(31);
+    let q = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+    let k = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+    let v = NdArray::randn(&[b, h, n, dh], 1.0, &mut r);
+    let (out_fused, grads_fused) = run_group(&q, &k, &v, groups, false, false);
+    let (out_unfused, grads_unfused) = run_group(&q, &k, &v, groups, true, false);
+    let (out_dense, grads_dense) = run_group(&q, &k, &v, groups, true, true);
+    assert_close("fused vs unfused", &out_fused, &out_unfused);
+    assert_close("fused vs dense", &out_fused, &out_dense);
+    for (name, (gf, (gu, gd))) in ["dq", "dk", "dv"]
+        .iter()
+        .zip(grads_fused.iter().zip(grads_unfused.iter().zip(&grads_dense)))
+    {
+        assert_close(&format!("{name} fused vs unfused"), gf, gu);
+        assert_close(&format!("{name} fused vs dense"), gf, gd);
+    }
+}
+
+/// The fused vanilla path must still satisfy the softmax sanity property: uniform keys
+/// average the values exactly.
+#[test]
+fn fused_vanilla_uniform_keys_average_values() {
+    let q = NdArray::ones(&[1, 1, 3, 2]);
+    let k = NdArray::ones(&[1, 1, 4, 2]);
+    let v = NdArray::from_vec(vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 6.0, 4.0], &[1, 1, 4, 2]).unwrap();
+    let mut attn = VanillaAttention::new();
+    let o = attn.forward(&Var::constant(q), &Var::constant(k), &Var::constant(v)).to_array();
+    for row in 0..3 {
+        assert!((o.get(&[0, 0, row, 0]).unwrap() - 3.0).abs() < 1e-4);
+        assert!((o.get(&[0, 0, row, 1]).unwrap() - 1.0).abs() < 1e-4);
+    }
+}
