@@ -20,7 +20,7 @@ use rita_data::TimeseriesDataset;
 use rita_nn::layers::{BatchNorm1d, Dropout, FeedForward, Linear};
 use rita_nn::loss::{accuracy, cross_entropy_logits, masked_mse};
 use rita_nn::optim::{clip_grad_norm, AdamW, Optimizer};
-use rita_nn::{no_grad, Module, Var};
+use rita_nn::{no_grad, BufferVisitor, BufferVisitorMut, Module, ParamVisitor, Var};
 use rita_tensor::NdArray;
 
 use rita_core::tasks::{timed, EpochMetrics, TrainConfig, TrainReport};
@@ -101,15 +101,25 @@ impl TstLayer {
         self.bn2.forward(&x.add(&ff_out), training)
     }
 
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = Vec::new();
-        for lin in [&self.q, &self.k, &self.v, &self.out] {
-            p.extend(lin.parameters());
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        for (name, lin) in [("q", &self.q), ("k", &self.k), ("v", &self.v), ("out", &self.out)] {
+            v.scope(name, |v| lin.visit_params(v));
         }
-        p.extend(self.bn1.parameters());
-        p.extend(self.bn2.parameters());
-        p.extend(self.ff.parameters());
-        p
+        v.scope("bn1", |v| self.bn1.visit_params(v));
+        v.scope("bn2", |v| self.bn2.visit_params(v));
+        v.scope("ff", |v| self.ff.visit_params(v));
+    }
+
+    // Batch-norm running statistics are the buffers that make an evaluated TST model
+    // reproducible; forward them so the generic checkpoint recipe sees them.
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.scope("bn1", |v| self.bn1.visit_buffers(v));
+        v.scope("bn2", |v| self.bn2.visit_buffers(v));
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.scope("bn1", |v| self.bn1.visit_buffers_mut(v));
+        v.scope("bn2", |v| self.bn2.visit_buffers_mut(v));
     }
 }
 
@@ -150,12 +160,23 @@ impl TstModel {
 }
 
 impl Module for TstModel {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.embed.parameters();
-        for l in &self.layers {
-            p.extend(l.parameters());
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("embed", |v| self.embed.visit_params(v));
+        for (i, l) in self.layers.iter().enumerate() {
+            v.scope_indexed("layers", i, |v| l.visit_params(v));
         }
-        p
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        for (i, l) in self.layers.iter().enumerate() {
+            v.scope_indexed("layers", i, |v| l.visit_buffers(v));
+        }
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            v.scope_indexed("layers", i, |v| l.visit_buffers_mut(v));
+        }
     }
 }
 
@@ -222,7 +243,7 @@ impl TstClassifier {
                     cross_entropy_logits(&self.logits(&batch.inputs, true, rng), &batch.labels);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
-                    clip_grad_norm(opt.parameters(), cfg.grad_clip);
+                    clip_grad_norm(&opt.parameters(), cfg.grad_clip);
                 }
                 opt.step();
                 sum += loss.item();
@@ -271,10 +292,17 @@ impl TstClassifier {
 }
 
 impl Module for TstClassifier {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.model.parameters();
-        p.extend(self.head.parameters());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("model", |v| self.model.visit_params(v));
+        v.scope("head", |v| self.head.visit_params(v));
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.scope("model", |v| self.model.visit_buffers(v));
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.scope("model", |v| self.model.visit_buffers_mut(v));
     }
 }
 
@@ -317,7 +345,7 @@ impl TstImputer {
                 let loss = masked_mse(&recon, &batch.targets, &batch.mask);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
-                    clip_grad_norm(opt.parameters(), cfg.grad_clip);
+                    clip_grad_norm(&opt.parameters(), cfg.grad_clip);
                 }
                 opt.step();
                 sum += loss.item();
@@ -365,10 +393,17 @@ impl TstImputer {
 }
 
 impl Module for TstImputer {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.model.parameters();
-        p.extend(self.decoder.parameters());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("model", |v| self.model.visit_params(v));
+        v.scope("decoder", |v| self.decoder.visit_params(v));
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.scope("model", |v| self.model.visit_buffers(v));
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.scope("model", |v| self.model.visit_buffers_mut(v));
     }
 }
 
@@ -378,6 +413,23 @@ mod tests {
     use rand::SeedableRng;
     use rita_data::DatasetKind;
     use rita_tensor::SeedableRng64;
+
+    /// The batch-norm running statistics must be visible to the generic checkpoint
+    /// recipe (`named_buffers`), or a serialized TST model would silently evaluate
+    /// with freshly-initialized statistics after a restore.
+    #[test]
+    fn batch_norm_running_stats_are_named_buffers() {
+        let mut rng = SeedableRng64::seed_from_u64(0);
+        let clf = TstClassifier::new(TstConfig::tiny(3, 20), 20, 2, &mut rng);
+        let buffers = clf.named_buffers();
+        // 2 layers x 2 batch norms x 2 running stats.
+        assert_eq!(buffers.len(), 8, "{buffers:?}");
+        assert!(
+            buffers.iter().any(|(p, _)| p.as_str() == "model.layers.0.bn1.running_mean"),
+            "{buffers:?}"
+        );
+        assert!(buffers.iter().all(|(p, _)| p.as_str().contains("running_")));
+    }
 
     fn rng(seed: u64) -> SeedableRng64 {
         SeedableRng64::seed_from_u64(seed)

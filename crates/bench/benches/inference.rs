@@ -1,0 +1,117 @@
+//! Inference-throughput benchmark: the `no_grad` autograd forward (the only serving
+//! path before `rita-infer` existed) against the tape-free engine, on a fused
+//! group-attention classifier, swept over batch size × head count.
+//!
+//! The tape-free path runs the same kernels with no per-op `Var` allocation and
+//! arena-recycled activation buffers, so its advantage is largest at small batches
+//! where per-op overhead dominates the kernel time — exactly the regime a
+//! low-latency serving tier lives in.
+//!
+//! Besides the human-readable table (with requests/s), every measurement goes to
+//! `BENCH_inference.json` (`BENCH_inference.quick.json` under `RITA_QUICK=1`, as CI
+//! runs it), mirroring the attention bench's machine-readable emitter.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rita_core::attention::AttentionKind;
+use rita_core::checkpoint::Checkpoint;
+use rita_core::model::RitaConfig;
+use rita_core::tasks::Classifier;
+use rita_infer::InferModel;
+use rita_nn::no_grad;
+use rita_tensor::{NdArray, SeedableRng64};
+
+fn quick() -> bool {
+    std::env::var("RITA_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A small serving-shaped classifier: fused group attention, frozen schedule.
+fn classifier(heads: usize, rng: &mut SeedableRng64) -> Classifier {
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 120,
+        d_model: 32,
+        n_heads: heads,
+        n_layers: 2,
+        ff_hidden: 64,
+        dropout: 0.0,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 8, adaptive: false },
+        ..Default::default()
+    };
+    Classifier::new(config, 5, rng)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let batches: &[usize] = if quick() { &[1, 4] } else { &[1, 4, 16] };
+    let head_counts: &[usize] = if quick() { &[2] } else { &[2, 4] };
+    for &heads in head_counts {
+        let mut rng = SeedableRng64::seed_from_u64(7);
+        let mut clf = classifier(heads, &mut rng);
+        let infer = InferModel::from_checkpoint(&Checkpoint::of_classifier(&clf, None))
+            .expect("load checkpoint into the tape-free engine");
+        let group_name = format!("inference_forward_h{heads}");
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(if quick() { 3 } else { 10 });
+        for &b in batches {
+            let x = NdArray::randn(&[b, 3, 120], 1.0, &mut rng);
+            // Sanity: both paths agree bit-for-bit before we time them.
+            let reference = no_grad(|| clf.logits(&x, false, &mut rng).to_array());
+            assert_eq!(
+                reference.as_slice(),
+                infer.logits(&x).as_slice(),
+                "tape-free forward diverged from the no_grad Var forward"
+            );
+            group.bench_with_input(BenchmarkId::new("var_no_grad", b), &b, |bch, _| {
+                bch.iter(|| no_grad(|| clf.logits(&x, false, &mut rng).to_array()));
+            });
+            group.bench_with_input(BenchmarkId::new("tape_free", b), &b, |bch, _| {
+                bch.iter(|| infer.logits(&x));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_inference);
+
+/// Serialises the recorded measurements to `BENCH_inference.json` (same hand-rolled
+/// writer as the attention bench; quick-mode runs write a sibling file so CI smoke
+/// runs never truncate the committed full-mode rows).
+fn write_json(records: &[criterion::BenchRecord]) -> std::io::Result<()> {
+    use std::io::Write;
+    let default_name = if quick() { "BENCH_inference.quick.json" } else { "BENCH_inference.json" };
+    let path = std::env::var("RITA_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR")));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"inference_forward\",")?;
+    writeln!(f, "  \"quick\": {},", quick())?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, r) in records.iter().enumerate() {
+        let (variant, b) = r.name.split_once('/').unwrap_or((r.name.as_str(), "0"));
+        let batch: f64 = b.parse().unwrap_or(0.0);
+        let mean_ns = r.mean_ns as f64;
+        let requests_per_s = if mean_ns > 0.0 { batch * 1e9 / mean_ns } else { 0.0 };
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"config\": \"{}\", \"variant\": \"{}\", \"batch\": {}, \
+             \"mean_ns\": {}, \"min_ns\": {}, \"requests_per_s\": {:.1}, \
+             \"samples\": {}}}{}",
+            r.group, variant, b, r.mean_ns, r.min_ns, requests_per_s, r.samples, comma
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    println!("\nwrote {} ({} results)", path, records.len());
+    Ok(())
+}
+
+fn main() {
+    benches();
+    let records = criterion::take_records();
+    if let Err(e) = write_json(&records) {
+        eprintln!("failed to write BENCH_inference.json: {e}");
+        std::process::exit(1);
+    }
+}

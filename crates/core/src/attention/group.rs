@@ -24,16 +24,11 @@
 //! exactness oracle.
 
 use super::Attention;
-use crate::group::{kmeans_matmul, Grouping};
+use crate::group::{group_key_blocks, Grouping};
 use crate::scheduler::error_bound::{distance_threshold, key_ball_radius};
 use crate::scheduler::merge::{mergeable_count, momentum_update};
 use rita_nn::Var;
 use rita_tensor::NdArray;
-
-/// Minimum total distance-matrix work (`Σ blocks · n · N · d`) before the k-means
-/// fan-out pays for thread start-up; below this every block runs serially (the same
-/// role as the batched matmul's `PARALLEL_THRESHOLD`).
-const GROUPING_PARALLEL_THRESHOLD: usize = 64 * 64 * 16;
 
 /// Configuration of a group-attention module.
 #[derive(Debug, Clone, Copy)]
@@ -132,60 +127,11 @@ impl GroupAttention {
         self.n_groups = n as f32;
     }
 
-    /// Runs the k-means grouping for every `(batch, head)` pair, picking the worker
-    /// count from the machine budget and the total distance-matrix work.
+    /// Runs the k-means grouping for every `(batch, head)` pair through the shared
+    /// grouping entry point ([`crate::group::group_key_blocks`]), which the tape-free
+    /// inference engine also uses — identical clusterings by construction.
     fn group_all(&self, keys: &NdArray, n_groups: usize) -> Vec<Grouping> {
-        let shape = keys.shape();
-        let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
-        let work = b * h * n * n_groups * dh;
-        let threads = if work < GROUPING_PARALLEL_THRESHOLD {
-            1
-        } else {
-            rita_tensor::worker_budget().min(b * h)
-        };
-        Self::group_blocks(keys, n_groups, self.config.kmeans_iters, threads)
-    }
-
-    /// Clusters every `(batch, head)` block of `keys` with `threads` workers (1 =
-    /// serial).
-    ///
-    /// Each block is an O(1) strided sub-view of the (possibly head-split) key tensor
-    /// (k-means reads its rows in place), and the blocks are independent, so they fan
-    /// out across the shared scoped-chunk pool — the same batch×heads axis the batched
-    /// matmul parallelises over. Workers cap their inner matmuls at their share of the
-    /// machine budget so the two fan-outs never multiply into oversubscription.
-    fn group_blocks(
-        keys: &NdArray,
-        n_groups: usize,
-        iters: usize,
-        threads: usize,
-    ) -> Vec<Grouping> {
-        let (b, h) = (keys.shape()[0], keys.shape()[1]);
-        let blocks: Vec<NdArray> = (0..b * h)
-            .map(|idx| {
-                keys.index_axis(0, idx / h)
-                    .and_then(|kb| kb.index_axis(0, idx % h))
-                    .expect("key block view")
-            })
-            .collect();
-        if threads <= 1 {
-            return blocks.iter().map(|block| kmeans_matmul(block, n_groups, iters)).collect();
-        }
-        let mut results: Vec<Option<Grouping>> = (0..blocks.len()).map(|_| None).collect();
-        let per = blocks.len().div_ceil(threads);
-        // Each worker gets its share of the machine budget for the matmuls inside
-        // k-means (serial when the block fan-out already saturates the pool, more when
-        // there are fewer blocks than cores), so the two fan-outs never multiply into
-        // oversubscription but idle cores are still used.
-        let inner = rita_tensor::worker_budget().div_ceil(threads).max(1);
-        rita_tensor::scoped_chunks_mut(&mut results, 1, per, |start, chunk| {
-            rita_tensor::with_worker_threads(inner, || {
-                for (slot, block) in chunk.iter_mut().zip(&blocks[start..]) {
-                    *slot = Some(kmeans_matmul(block, n_groups, iters));
-                }
-            });
-        });
-        results.into_iter().map(|g| g.expect("worker filled every slot")).collect()
+        group_key_blocks(keys, n_groups, self.config.kmeans_iters)
     }
 
     /// Runs the adaptive scheduler (§5.1) after a forward pass.
@@ -315,6 +261,10 @@ impl Attention for GroupAttention {
 
     fn set_group_count(&mut self, n: usize) {
         self.set_groups(n);
+    }
+
+    fn restore_scheduled_target(&mut self, target: f32) {
+        self.n_groups = target.max(self.config.min_groups as f32).max(1.0);
     }
 }
 
@@ -502,11 +452,12 @@ mod tests {
     /// clusterings block for block. k-means is deterministic, so equality is exact.
     #[test]
     fn parallel_grouping_matches_serial() {
+        use crate::group::group_key_blocks_threaded;
         let (b, h, n, dh, groups) = (2, 3, 24, 4, 4);
         let keys = duplicated_keys(b, h, n, dh, groups, 51);
-        let serial = GroupAttention::group_blocks(&keys, groups, 4, 1);
+        let serial = group_key_blocks_threaded(&keys, groups, 4, 1);
         for threads in [2usize, 4, 6] {
-            let parallel = GroupAttention::group_blocks(&keys, groups, 4, threads);
+            let parallel = group_key_blocks_threaded(&keys, groups, 4, threads);
             assert_eq!(parallel.len(), serial.len());
             for (block, (p, s)) in parallel.iter().zip(&serial).enumerate() {
                 assert_eq!(p.assignments, s.assignments, "block {block}, {threads} threads");

@@ -9,7 +9,7 @@
 
 use super::Attention;
 use rand::Rng;
-use rita_nn::{Module, Var};
+use rita_nn::{Module, ParamVisitor, Var};
 use rita_tensor::NdArray;
 
 /// Low-rank projected attention.
@@ -67,8 +67,9 @@ impl Attention for LinformerAttention {
         scores.softmax_last().matmul(&v_proj)
     }
 
-    fn parameters(&self) -> Vec<Var> {
-        vec![self.e_proj.clone(), self.f_proj.clone()]
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.leaf("e_proj", &self.e_proj);
+        v.leaf("f_proj", &self.f_proj);
     }
 
     fn name(&self) -> &'static str {
@@ -77,8 +78,8 @@ impl Attention for LinformerAttention {
 }
 
 impl Module for LinformerAttention {
-    fn parameters(&self) -> Vec<Var> {
-        Attention::parameters(self)
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        Attention::visit_params(self, v);
     }
 }
 

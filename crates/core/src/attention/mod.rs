@@ -11,7 +11,7 @@ pub mod linformer;
 pub mod performer;
 pub mod vanilla;
 
-use rita_nn::Var;
+use rita_nn::{BufferVisitor, BufferVisitorMut, ParamPath, ParamVisitor, Var};
 
 pub use group::{GroupAttention, GroupAttentionConfig, GroupAttentionStats};
 pub use linformer::LinformerAttention;
@@ -67,10 +67,25 @@ pub trait Attention {
     /// `(batch, heads, windows, head_dim)`; the output has the same shape as `v`.
     fn forward(&mut self, q: &Var, k: &Var, v: &Var) -> Var;
 
-    /// Trainable parameters owned by the mechanism itself (most have none; Linformer has
-    /// its projection matrices).
+    /// Visits the mechanism's own trainable parameters by name (most have none;
+    /// Linformer reports its projection matrices). Part of the named module tree that
+    /// checkpoints and optimisers key off.
+    fn visit_params(&self, _visitor: &mut ParamVisitor<'_>) {}
+
+    /// Visits non-trainable state a checkpoint must persist (Performer's random-feature
+    /// matrix). Default: none.
+    fn visit_buffers(&self, _visitor: &mut BufferVisitor<'_>) {}
+
+    /// Mutable counterpart of [`Attention::visit_buffers`], used on checkpoint restore.
+    fn visit_buffers_mut(&mut self, _visitor: &mut BufferVisitorMut<'_>) {}
+
+    /// Trainable parameters owned by the mechanism itself, derived from
+    /// [`Attention::visit_params`].
     fn parameters(&self) -> Vec<Var> {
-        Vec::new()
+        let mut out = Vec::new();
+        let mut f = |_: &ParamPath, var: &Var| out.push(var.clone());
+        self.visit_params(&mut ParamVisitor::new(&mut f));
+        out
     }
 
     /// Mechanism name for reporting.
@@ -93,6 +108,12 @@ pub trait Attention {
     /// Overrides the group count (no-op for non-group mechanisms). Used by the
     /// fixed-N ablation (Table 4).
     fn set_group_count(&mut self, _n: usize) {}
+
+    /// Restores the scheduler's persistent real-valued group-count target from a
+    /// checkpoint (no-op for non-group mechanisms). Unlike
+    /// [`Attention::set_group_count`], this sets the exact fractional state the momentum
+    /// update left behind, so resumed training continues step-for-step.
+    fn restore_scheduled_target(&mut self, _target: f32) {}
 }
 
 /// Builds the configured attention mechanism for one encoder layer.

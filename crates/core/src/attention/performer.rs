@@ -7,7 +7,7 @@
 
 use super::Attention;
 use rand::Rng;
-use rita_nn::Var;
+use rita_nn::{BufferVisitor, BufferVisitorMut, Var};
 use rita_tensor::NdArray;
 
 /// FAVOR+ attention with a fixed random-feature matrix.
@@ -61,6 +61,17 @@ impl Attention for PerformerAttention {
 
     fn name(&self) -> &'static str {
         "Performer"
+    }
+
+    // ω is drawn once at construction and never trained, but the approximation it
+    // defines *is* the model: a checkpointed Performer only reproduces its outputs in a
+    // fresh process if ω rides along as a buffer.
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.leaf("omega", &self.omega);
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.leaf("omega", &mut self.omega);
     }
 }
 

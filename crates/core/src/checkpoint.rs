@@ -1,0 +1,868 @@
+//! Versioned binary checkpoints: save a trained model (and optionally its optimiser and
+//! scheduler state) to a single file, load it in a fresh process, and resume.
+//!
+//! ## Format (version 1)
+//!
+//! Hand-rolled little-endian binary — the workspace is offline, so no serde. All
+//! multi-byte integers are `u32`/`u64` LE, floats are IEEE-754 `f32` LE bit patterns
+//! (tensors round-trip **bit-exactly**).
+//!
+//! ```text
+//! magic    8 bytes  b"RITACKPT"
+//! version  u32      currently 1
+//! task     u8       0 = backbone, 1 = classifier, 2 = imputer
+//! classes  u32      number of classes (classifier only; 0 otherwise)
+//! config            channels, max_len, window, stride, d_model, n_heads, n_layers,
+//!                   ff_hidden (u32 each), dropout (f32), attention tag (u8) + payload:
+//!                     0 vanilla | 1 group (ε f32, initial_groups u32, adaptive u8)
+//!                     | 2 performer (features u32) | 3 linformer (proj_dim u32)
+//! sched    u32 n    then n × (present u8, target f32): the per-layer persistent §5.1
+//!                   group-count targets, so a restart resumes the exact schedule
+//! tensors  u32 n    then n × (path_len u32, path utf-8, ndim u32, dims u32…, data f32…)
+//!                   — every named parameter followed by every named buffer, in
+//!                   visitor order
+//! optim    u8       0 = absent; 1 = steps u64, lr β₁ β₂ ε wd (f32 each), u32 n,
+//!                   then n × (path, ndim, dims, first-moment f32…, second-moment f32…)
+//! ```
+//!
+//! ## Version policy
+//!
+//! The version is bumped whenever the byte layout changes incompatibly; readers reject
+//! unknown versions with [`CheckpointError::UnsupportedVersion`] instead of guessing.
+//! Adding new trailing sections is a version bump too — v1 readers must be able to
+//! assume they consumed the whole buffer.
+//!
+//! ## Failure behaviour
+//!
+//! Loading never panics on malformed input: truncated files, corrupted counts and
+//! wrong-version files all surface as descriptive [`CheckpointError`]s. Restoring into a
+//! model validates both directions — every parameter must be present with the right
+//! shape, and unknown leftover tensors are an error (they indicate an architecture
+//! mismatch).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::Path;
+
+use crate::attention::AttentionKind;
+use crate::model::{RitaConfig, RitaModel};
+use crate::tasks::{Classifier, Imputer};
+use rand::Rng;
+use rita_nn::optim::{AdamW, AdamWState};
+use rita_nn::{BufferVisitorMut, Module, ParamPath};
+use rita_tensor::NdArray;
+
+const MAGIC: &[u8; 8] = b"RITACKPT";
+const VERSION: u32 = 1;
+
+/// Hard caps the reader enforces before trusting length fields from the file, so a
+/// corrupted count cannot drive a huge allocation.
+const MAX_TENSORS: u32 = 1 << 20;
+const MAX_PATH_LEN: u32 = 4096;
+const MAX_NDIM: u32 = 8;
+
+/// Which task head a checkpoint carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A bare RITA backbone (no head).
+    Backbone,
+    /// Backbone + linear classification head.
+    Classifier {
+        /// Number of output classes.
+        num_classes: usize,
+    },
+    /// Backbone + reconstruction decoder (imputation / forecasting).
+    Imputer,
+}
+
+/// Errors produced while writing, reading or restoring a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is not understood by this reader.
+    UnsupportedVersion(u32),
+    /// The file ended before a declared section was complete.
+    Truncated(String),
+    /// A structural invariant of the format was violated.
+    Corrupted(String),
+    /// A parameter or buffer of the model has no tensor in the checkpoint.
+    MissingTensor(String),
+    /// A tensor's shape disagrees with the model parameter it should fill.
+    ShapeMismatch {
+        /// Parameter path.
+        path: String,
+        /// Shape the model expects.
+        expected: Vec<usize>,
+        /// Shape stored in the checkpoint.
+        found: Vec<usize>,
+    },
+    /// The checkpoint holds tensors the model has no home for (architecture drift).
+    UnexpectedTensors(Vec<String>),
+    /// The checkpoint's task kind does not match the requested restore.
+    TaskMismatch {
+        /// Task stored in the checkpoint.
+        found: &'static str,
+        /// Task the caller asked to restore.
+        requested: &'static str,
+    },
+    /// The checkpoint carries no optimizer section.
+    NoOptimizerState,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadMagic => {
+                write!(f, "not a RITA checkpoint (bad magic; expected {MAGIC:?})")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this reader understands {VERSION})")
+            }
+            CheckpointError::Truncated(what) => {
+                write!(f, "checkpoint truncated while reading {what}")
+            }
+            CheckpointError::Corrupted(what) => write!(f, "checkpoint corrupted: {what}"),
+            CheckpointError::MissingTensor(path) => {
+                write!(f, "checkpoint has no tensor for parameter '{path}'")
+            }
+            CheckpointError::ShapeMismatch { path, expected, found } => write!(
+                f,
+                "checkpoint tensor '{path}' has shape {found:?} but the model expects {expected:?}"
+            ),
+            CheckpointError::UnexpectedTensors(paths) => {
+                write!(f, "checkpoint holds tensors the model does not: {paths:?}")
+            }
+            CheckpointError::TaskMismatch { found, requested } => {
+                write!(f, "checkpoint stores a {found} but a {requested} restore was requested")
+            }
+            CheckpointError::NoOptimizerState => {
+                write!(f, "checkpoint carries no optimizer state (saved without an optimizer)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// An in-memory checkpoint: everything needed to reconstruct a servable model (and
+/// optionally resume its training) in a fresh process.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Which task head the tensors describe.
+    pub task: TaskKind,
+    /// Architecture of the backbone.
+    pub config: RitaConfig,
+    /// Per-encoder-layer persistent scheduler group-count targets (`None` for
+    /// non-group layers).
+    pub scheduler: Vec<Option<f32>>,
+    /// Named tensors: every parameter, then every buffer, in visitor order.
+    pub tensors: Vec<(String, NdArray)>,
+    /// AdamW moment state keyed by parameter path, when saved for resumption.
+    pub optimizer: Option<AdamWState>,
+}
+
+/// Collects a module's parameters and buffers into the checkpoint tensor list.
+fn collect_tensors(module: &impl Module) -> Vec<(String, NdArray)> {
+    let mut tensors: Vec<(String, NdArray)> = module
+        .named_parameters()
+        .into_iter()
+        .map(|(path, var)| (path.to_string(), var.to_array()))
+        .collect();
+    tensors.extend(
+        module.named_buffers().into_iter().map(|(path, buf)| (path.to_string(), buf.clone())),
+    );
+    tensors
+}
+
+impl Checkpoint {
+    /// Captures a bare backbone.
+    pub fn of_backbone(model: &RitaModel) -> Self {
+        Self {
+            task: TaskKind::Backbone,
+            config: model.config,
+            scheduler: model.scheduler_state(),
+            tensors: collect_tensors(model),
+            optimizer: None,
+        }
+    }
+
+    /// Captures a classifier, optionally with its optimiser for later resumption.
+    pub fn of_classifier(clf: &Classifier, optimizer: Option<&AdamW>) -> Self {
+        Self {
+            task: TaskKind::Classifier { num_classes: clf.num_classes },
+            config: clf.model.config,
+            scheduler: clf.model.scheduler_state(),
+            tensors: collect_tensors(clf),
+            optimizer: optimizer.map(AdamW::state),
+        }
+    }
+
+    /// Captures an imputer, optionally with its optimiser for later resumption.
+    pub fn of_imputer(imp: &Imputer, optimizer: Option<&AdamW>) -> Self {
+        Self {
+            task: TaskKind::Imputer,
+            config: imp.model.config,
+            scheduler: imp.model.scheduler_state(),
+            tensors: collect_tensors(imp),
+            optimizer: optimizer.map(AdamW::state),
+        }
+    }
+
+    /// Rebuilds a classifier from this checkpoint: constructs the architecture from the
+    /// stored config, then overwrites every parameter and buffer bit-exactly and
+    /// restores the scheduler state.
+    pub fn restore_classifier(&self, rng: &mut impl Rng) -> Result<Classifier, CheckpointError> {
+        let TaskKind::Classifier { num_classes } = self.task else {
+            return Err(CheckpointError::TaskMismatch {
+                found: self.task_name(),
+                requested: "classifier",
+            });
+        };
+        let mut clf = Classifier::new(self.config, num_classes, rng);
+        self.restore_module(&mut clf)?;
+        clf.model.restore_scheduler_state(&self.scheduler);
+        Ok(clf)
+    }
+
+    /// Rebuilds an imputer from this checkpoint (see
+    /// [`Checkpoint::restore_classifier`]).
+    pub fn restore_imputer(&self, rng: &mut impl Rng) -> Result<Imputer, CheckpointError> {
+        if self.task != TaskKind::Imputer {
+            return Err(CheckpointError::TaskMismatch {
+                found: self.task_name(),
+                requested: "imputer",
+            });
+        }
+        let mut imp = Imputer::new(self.config, rng);
+        self.restore_module(&mut imp)?;
+        imp.model.restore_scheduler_state(&self.scheduler);
+        Ok(imp)
+    }
+
+    /// Rebuilds a bare backbone from this checkpoint.
+    pub fn restore_backbone(&self, rng: &mut impl Rng) -> Result<RitaModel, CheckpointError> {
+        if self.task != TaskKind::Backbone {
+            return Err(CheckpointError::TaskMismatch {
+                found: self.task_name(),
+                requested: "backbone",
+            });
+        }
+        let mut model = RitaModel::new(self.config, rng);
+        self.restore_module(&mut model)?;
+        model.restore_scheduler_state(&self.scheduler);
+        Ok(model)
+    }
+
+    /// Reattaches the stored AdamW state to a freshly restored module, so training
+    /// resumes step-for-step (moments, step count, and hyper-parameters round-trip).
+    pub fn restore_optimizer(
+        &self,
+        module: &(impl Module + ?Sized),
+    ) -> Result<AdamW, CheckpointError> {
+        let state = self.optimizer.as_ref().ok_or(CheckpointError::NoOptimizerState)?;
+        let mut opt = AdamW::for_module(module, state.lr, state.weight_decay);
+        opt.load_state(state).map_err(CheckpointError::Corrupted)?;
+        Ok(opt)
+    }
+
+    fn task_name(&self) -> &'static str {
+        match self.task {
+            TaskKind::Backbone => "backbone",
+            TaskKind::Classifier { .. } => "classifier",
+            TaskKind::Imputer => "imputer",
+        }
+    }
+
+    /// Overwrites every parameter and buffer of `module` from the stored tensors.
+    /// Errors when a tensor is missing, has the wrong shape, or is left over.
+    fn restore_module(&self, module: &mut (impl Module + ?Sized)) -> Result<(), CheckpointError> {
+        let by_path: HashMap<&str, &NdArray> =
+            self.tensors.iter().map(|(p, t)| (p.as_str(), t)).collect();
+        if by_path.len() != self.tensors.len() {
+            return Err(CheckpointError::Corrupted("duplicate tensor paths".into()));
+        }
+        let mut used: HashSet<&str> = HashSet::with_capacity(by_path.len());
+
+        for (path, var) in module.named_parameters() {
+            let Some(tensor) = by_path.get(path.as_str()).copied() else {
+                return Err(CheckpointError::MissingTensor(path.to_string()));
+            };
+            if tensor.shape() != var.shape() {
+                return Err(CheckpointError::ShapeMismatch {
+                    path: path.to_string(),
+                    expected: var.shape(),
+                    found: tensor.shape().to_vec(),
+                });
+            }
+            var.set_value(tensor.clone());
+            used.insert(by_path.get_key_value(path.as_str()).expect("present").0);
+        }
+
+        let mut buffer_error: Option<CheckpointError> = None;
+        let mut visit = |path: &ParamPath, buf: &mut NdArray| {
+            if buffer_error.is_some() {
+                return;
+            }
+            let Some(tensor) = by_path.get(path.as_str()).copied() else {
+                buffer_error = Some(CheckpointError::MissingTensor(path.to_string()));
+                return;
+            };
+            if tensor.shape() != buf.shape() {
+                buffer_error = Some(CheckpointError::ShapeMismatch {
+                    path: path.to_string(),
+                    expected: buf.shape().to_vec(),
+                    found: tensor.shape().to_vec(),
+                });
+                return;
+            }
+            *buf = tensor.clone();
+            used.insert(by_path.get_key_value(path.as_str()).expect("present").0);
+        };
+        module.visit_buffers_mut(&mut BufferVisitorMut::new(&mut visit));
+        if let Some(e) = buffer_error {
+            return Err(e);
+        }
+
+        let leftover: Vec<String> = self
+            .tensors
+            .iter()
+            .filter(|(p, _)| !used.contains(p.as_str()))
+            .map(|(p, _)| p.clone())
+            .collect();
+        if !leftover.is_empty() {
+            return Err(CheckpointError::UnexpectedTensors(leftover));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ serialization
+
+    /// Serialises to the version-1 byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        match self.task {
+            TaskKind::Backbone => {
+                w.u8(0);
+                w.u32(0);
+            }
+            TaskKind::Classifier { num_classes } => {
+                w.u8(1);
+                w.u32(num_classes as u32);
+            }
+            TaskKind::Imputer => {
+                w.u8(2);
+                w.u32(0);
+            }
+        }
+        let c = &self.config;
+        for dim in [
+            c.channels,
+            c.max_len,
+            c.window,
+            c.stride,
+            c.d_model,
+            c.n_heads,
+            c.n_layers,
+            c.ff_hidden,
+        ] {
+            w.u32(dim as u32);
+        }
+        w.f32(c.dropout);
+        match c.attention {
+            AttentionKind::Vanilla => w.u8(0),
+            AttentionKind::Group { epsilon, initial_groups, adaptive } => {
+                w.u8(1);
+                w.f32(epsilon);
+                w.u32(initial_groups as u32);
+                w.u8(adaptive as u8);
+            }
+            AttentionKind::Performer { features } => {
+                w.u8(2);
+                w.u32(features as u32);
+            }
+            AttentionKind::Linformer { proj_dim } => {
+                w.u8(3);
+                w.u32(proj_dim as u32);
+            }
+        }
+        w.u32(self.scheduler.len() as u32);
+        for target in &self.scheduler {
+            match target {
+                Some(t) => {
+                    w.u8(1);
+                    w.f32(*t);
+                }
+                None => {
+                    w.u8(0);
+                    w.f32(0.0);
+                }
+            }
+        }
+        w.u32(self.tensors.len() as u32);
+        for (path, tensor) in &self.tensors {
+            w.str(path);
+            w.tensor(tensor);
+        }
+        match &self.optimizer {
+            None => w.u8(0),
+            Some(state) => {
+                w.u8(1);
+                w.u64(state.steps as u64);
+                for x in [state.lr, state.beta1, state.beta2, state.eps, state.weight_decay] {
+                    w.f32(x);
+                }
+                w.u32(state.moments.len() as u32);
+                for (path, m, v) in &state.moments {
+                    w.str(path.as_str());
+                    w.u32(m.shape().len() as u32);
+                    for &d in m.shape() {
+                        w.u32(d as u32);
+                    }
+                    w.f32_slice(&m.materialize().into_vec());
+                    w.f32_slice(&v.materialize().into_vec());
+                }
+            }
+        }
+        w.0
+    }
+
+    /// Parses the version-1 byte format. Never panics on malformed input.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader { buf, pos: 0 };
+        let magic = r.bytes(8, "magic")?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let task_tag = r.u8("task tag")?;
+        let num_classes = r.u32("num_classes")? as usize;
+        let task = match task_tag {
+            0 => TaskKind::Backbone,
+            1 => {
+                if num_classes < 2 {
+                    return Err(CheckpointError::Corrupted(format!(
+                        "classifier checkpoint with {num_classes} classes"
+                    )));
+                }
+                TaskKind::Classifier { num_classes }
+            }
+            2 => TaskKind::Imputer,
+            t => return Err(CheckpointError::Corrupted(format!("unknown task tag {t}"))),
+        };
+        let mut dims = [0usize; 8];
+        for (i, name) in [
+            "channels",
+            "max_len",
+            "window",
+            "stride",
+            "d_model",
+            "n_heads",
+            "n_layers",
+            "ff_hidden",
+        ]
+        .iter()
+        .enumerate()
+        {
+            dims[i] = r.u32(name)? as usize;
+        }
+        let dropout = r.f32("dropout")?;
+        let attention = match r.u8("attention tag")? {
+            0 => AttentionKind::Vanilla,
+            1 => {
+                let epsilon = r.f32("group epsilon")?;
+                let initial_groups = r.u32("group initial_groups")? as usize;
+                let adaptive = r.u8("group adaptive")? != 0;
+                AttentionKind::Group { epsilon, initial_groups, adaptive }
+            }
+            2 => AttentionKind::Performer { features: r.u32("performer features")? as usize },
+            3 => AttentionKind::Linformer { proj_dim: r.u32("linformer proj_dim")? as usize },
+            t => return Err(CheckpointError::Corrupted(format!("unknown attention tag {t}"))),
+        };
+        let config = RitaConfig {
+            channels: dims[0],
+            max_len: dims[1],
+            window: dims[2],
+            stride: dims[3],
+            d_model: dims[4],
+            n_heads: dims[5],
+            n_layers: dims[6],
+            ff_hidden: dims[7],
+            dropout,
+            attention,
+        };
+        if config.channels == 0
+            || config.window == 0
+            || config.stride == 0
+            || config.max_len < config.window
+            || config.n_layers == 0
+            || config.n_heads == 0
+            || !config.d_model.is_multiple_of(config.n_heads.max(1))
+            || !(0.0..1.0).contains(&config.dropout)
+        {
+            return Err(CheckpointError::Corrupted(format!("invalid model config {config:?}")));
+        }
+
+        let sched_len = r.u32("scheduler count")?;
+        if sched_len != config.n_layers as u32 {
+            return Err(CheckpointError::Corrupted(format!(
+                "scheduler section has {sched_len} entries for {} layers",
+                config.n_layers
+            )));
+        }
+        let mut scheduler = Vec::with_capacity(sched_len as usize);
+        for _ in 0..sched_len {
+            let present = r.u8("scheduler flag")?;
+            let target = r.f32("scheduler target")?;
+            if present != 0 && !(target.is_finite() && target >= 1.0) {
+                return Err(CheckpointError::Corrupted(format!(
+                    "scheduler target {target} out of range"
+                )));
+            }
+            scheduler.push((present != 0).then_some(target));
+        }
+
+        let n_tensors = r.u32("tensor count")?;
+        if n_tensors > MAX_TENSORS {
+            return Err(CheckpointError::Corrupted(format!("{n_tensors} tensors declared")));
+        }
+        let mut tensors = Vec::with_capacity(n_tensors as usize);
+        for _ in 0..n_tensors {
+            let path = r.str("tensor path")?;
+            let tensor = r.tensor(&path)?;
+            tensors.push((path, tensor));
+        }
+
+        let optimizer = match r.u8("optimizer flag")? {
+            0 => None,
+            1 => {
+                let steps = r.u64("optimizer steps")? as usize;
+                let lr = r.f32("optimizer lr")?;
+                let beta1 = r.f32("optimizer beta1")?;
+                let beta2 = r.f32("optimizer beta2")?;
+                let eps = r.f32("optimizer eps")?;
+                let weight_decay = r.f32("optimizer weight_decay")?;
+                let n = r.u32("optimizer moment count")?;
+                if n > MAX_TENSORS {
+                    return Err(CheckpointError::Corrupted(format!("{n} moments declared")));
+                }
+                let mut moments = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let path = r.str("moment path")?;
+                    let shape = r.shape(&path)?;
+                    let len: usize = shape.iter().product();
+                    let m = r.tensor_data(len, &shape, &path)?;
+                    let v = r.tensor_data(len, &shape, &path)?;
+                    moments.push((ParamPath::new(path), m, v));
+                }
+                Some(AdamWState { steps, lr, beta1, beta2, eps, weight_decay, moments })
+            }
+            t => return Err(CheckpointError::Corrupted(format!("unknown optimizer flag {t}"))),
+        };
+
+        if r.pos != buf.len() {
+            return Err(CheckpointError::Corrupted(format!(
+                "{} trailing bytes after the last section",
+                buf.len() - r.pos
+            )));
+        }
+
+        Ok(Self { task, config, scheduler, tensors, optimizer })
+    }
+
+    /// Writes the checkpoint to `path` (atomically: a temp file renamed into place, so a
+    /// crash mid-write never leaves a half-written checkpoint behind).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        // Per-call unique temp name in the same directory (rename stays atomic):
+        // sibling checkpoints sharing a stem, or concurrent saves of the same file,
+        // must not collide on one temp path.
+        let tmp = path.with_extension(format!(
+            "ckpt.tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, self.to_bytes())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------- byte plumbing
+
+#[derive(Default)]
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.0.extend_from_slice(b);
+    }
+
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn f32(&mut self, x: f32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    fn f32_slice(&mut self, xs: &[f32]) {
+        self.0.reserve(xs.len() * 4);
+        for &x in xs {
+            self.f32(x);
+        }
+    }
+
+    fn tensor(&mut self, t: &NdArray) {
+        self.u32(t.shape().len() as u32);
+        for &d in t.shape() {
+            self.u32(d as u32);
+        }
+        self.f32_slice(&t.materialize().into_vec());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&[u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated(what.to_string()));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, CheckpointError> {
+        let b = self.bytes(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let len = self.u32(what)?;
+        if len > MAX_PATH_LEN {
+            return Err(CheckpointError::Corrupted(format!("{what} of {len} bytes")));
+        }
+        let bytes = self.bytes(len as usize, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Corrupted(format!("{what} is not valid utf-8")))
+    }
+
+    fn shape(&mut self, path: &str) -> Result<Vec<usize>, CheckpointError> {
+        let ndim = self.u32("tensor rank")?;
+        if ndim > MAX_NDIM {
+            return Err(CheckpointError::Corrupted(format!("tensor '{path}' has rank {ndim}")));
+        }
+        let mut shape = Vec::with_capacity(ndim as usize);
+        let mut len: u64 = 1;
+        for _ in 0..ndim {
+            let d = self.u32("tensor dim")? as u64;
+            len = len.saturating_mul(d.max(1));
+            shape.push(d as usize);
+        }
+        // Bound the element count by what the remaining buffer could possibly hold,
+        // before any allocation trusts it.
+        if len > (self.buf.len() as u64) / 4 + 1 {
+            return Err(CheckpointError::Truncated(format!("tensor '{path}' data")));
+        }
+        Ok(shape)
+    }
+
+    fn tensor_data(
+        &mut self,
+        len: usize,
+        shape: &[usize],
+        path: &str,
+    ) -> Result<NdArray, CheckpointError> {
+        let raw = self.bytes(len * 4, &format!("tensor '{path}' data"))?;
+        let mut data = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        NdArray::from_vec(data, shape)
+            .map_err(|e| CheckpointError::Corrupted(format!("tensor '{path}': {e}")))
+    }
+
+    fn tensor(&mut self, path: &str) -> Result<NdArray, CheckpointError> {
+        let shape = self.shape(path)?;
+        let len: usize = shape.iter().product();
+        self.tensor_data(len, &shape, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionKind;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn rng(seed: u64) -> SeedableRng64 {
+        SeedableRng64::seed_from_u64(seed)
+    }
+
+    fn classifier(kind: AttentionKind, seed: u64) -> Classifier {
+        Classifier::new(RitaConfig::tiny(3, 40, kind), 4, &mut rng(seed))
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_everything() {
+        let clf = classifier(AttentionKind::default_group(), 0);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let restored = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored.task, TaskKind::Classifier { num_classes: 4 });
+        assert_eq!(restored.scheduler, ckpt.scheduler);
+        assert_eq!(restored.tensors.len(), ckpt.tensors.len());
+        for ((pa, ta), (pb, tb)) in ckpt.tensors.iter().zip(&restored.tensors) {
+            assert_eq!(pa, pb);
+            assert_eq!(ta.shape(), tb.shape());
+            assert_eq!(ta.as_slice(), tb.as_slice(), "bit-exact tensor roundtrip for {pa}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_task_mismatch() {
+        let clf = classifier(AttentionKind::Vanilla, 1);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let err = ckpt.restore_imputer(&mut rng(2)).err().unwrap();
+        assert!(matches!(err, CheckpointError::TaskMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let clf = classifier(AttentionKind::Vanilla, 3);
+        let mut bytes = Checkpoint::of_classifier(&clf, None).to_bytes();
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(Checkpoint::from_bytes(&wrong), Err(CheckpointError::BadMagic)));
+        // Bump the version field.
+        bytes[8] = 99;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+        let clf = classifier(AttentionKind::default_group(), 4);
+        let bytes = Checkpoint::of_classifier(&clf, None).to_bytes();
+        // Every strict prefix must fail cleanly (never panic, never succeed).
+        for cut in [0, 4, 7, 8, 11, 12, 20, 40, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            let err = Checkpoint::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes parsed successfully");
+        }
+    }
+
+    #[test]
+    fn corrupted_counts_fail_cleanly() {
+        let clf = classifier(AttentionKind::Vanilla, 5);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let bytes = ckpt.to_bytes();
+        // The tensor-count u32 sits right after the fixed header + scheduler section.
+        // Corrupt it to a huge value: the reader must refuse without allocating.
+        let sched_bytes = 4 + ckpt.scheduler.len() * 5;
+        let count_at = 8 + 4 + 1 + 4 + 8 * 4 + 4 + 1 + sched_bytes;
+        let mut corrupt = bytes.clone();
+        corrupt[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Checkpoint::from_bytes(&corrupt).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupted(_) | CheckpointError::Truncated(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_and_atomic_save() {
+        let clf = classifier(AttentionKind::Performer { features: 8 }, 6);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let dir = std::env::temp_dir().join("rita-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clf.ckpt");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.tensors.len(), ckpt.tensors.len());
+        // Performer's ω must be among the buffers.
+        assert!(loaded.tensors.iter().any(|(p, _)| p.ends_with("attention.omega")));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_and_unexpected_tensors_are_reported() {
+        let clf = classifier(AttentionKind::Vanilla, 7);
+        let mut ckpt = Checkpoint::of_classifier(&clf, None);
+        let removed = ckpt.tensors.remove(0);
+        let err = ckpt.restore_classifier(&mut rng(8)).err().unwrap();
+        assert!(matches!(err, CheckpointError::MissingTensor(_)), "{err}");
+
+        let mut extra = Checkpoint::of_classifier(&clf, None);
+        extra.tensors.push(("ghost.weight".into(), removed.1));
+        let err = extra.restore_classifier(&mut rng(9)).err().unwrap();
+        assert!(matches!(err, CheckpointError::UnexpectedTensors(_)), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let clf = classifier(AttentionKind::Vanilla, 10);
+        let mut ckpt = Checkpoint::of_classifier(&clf, None);
+        ckpt.tensors[0].1 = NdArray::zeros(&[1, 1]);
+        let err = ckpt.restore_classifier(&mut rng(11)).err().unwrap();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+    }
+}

@@ -37,11 +37,13 @@
 #![warn(clippy::all)]
 
 pub mod attention;
+pub mod checkpoint;
 pub mod group;
 pub mod model;
 pub mod scheduler;
 pub mod tasks;
 
 pub use attention::{Attention, AttentionKind, GroupAttention, GroupAttentionConfig};
+pub use checkpoint::{Checkpoint, CheckpointError, TaskKind};
 pub use model::{RitaConfig, RitaModel};
 pub use tasks::{Classifier, Imputer, TrainConfig, TrainReport};

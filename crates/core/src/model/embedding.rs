@@ -8,7 +8,7 @@
 
 use crate::model::config::RitaConfig;
 use rand::Rng;
-use rita_nn::{layers::Linear, Module, Var};
+use rita_nn::{layers::Linear, Module, ParamVisitor, Var};
 use rita_tensor::NdArray;
 
 /// Window embedding + positional encoding + `[CLS]` token.
@@ -87,15 +87,18 @@ impl TimeConvEmbed {
 }
 
 impl Module for TimeConvEmbed {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.conv.parameters();
-        p.push(self.cls.clone());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("conv", |v| self.conv.visit_params(v));
+        v.leaf("cls", &self.cls);
     }
 }
 
 /// Standard sinusoidal positional encoding table of shape `(len, d)`.
-fn sinusoidal_table(len: usize, d: usize) -> NdArray {
+///
+/// Public because the tape-free inference engine rebuilds the same table from the
+/// checkpointed config instead of persisting it (it is fully determined by
+/// `(len, d_model)`).
+pub fn sinusoidal_table(len: usize, d: usize) -> NdArray {
     let mut data = vec![0.0f32; len * d];
     for pos in 0..len {
         for i in 0..d {

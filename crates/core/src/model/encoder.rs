@@ -6,7 +6,7 @@ use crate::attention::{build_attention, merge_heads, split_heads, Attention, Gro
 use crate::model::config::RitaConfig;
 use rand::Rng;
 use rita_nn::layers::{Dropout, FeedForward, LayerNorm, Linear};
-use rita_nn::{Module, Var};
+use rita_nn::{BufferVisitor, BufferVisitorMut, Module, ParamVisitor, Var};
 
 /// One encoder layer: multi-head (pluggable) attention + feed-forward, each wrapped in a
 /// residual connection and layer normalisation (post-norm, as in the original
@@ -62,17 +62,23 @@ impl EncoderLayer {
 }
 
 impl Module for EncoderLayer {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = Vec::new();
-        p.extend(self.q_proj.parameters());
-        p.extend(self.k_proj.parameters());
-        p.extend(self.v_proj.parameters());
-        p.extend(self.out_proj.parameters());
-        p.extend(self.attention.parameters());
-        p.extend(self.norm1.parameters());
-        p.extend(self.norm2.parameters());
-        p.extend(self.ff.parameters());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("q_proj", |v| self.q_proj.visit_params(v));
+        v.scope("k_proj", |v| self.k_proj.visit_params(v));
+        v.scope("v_proj", |v| self.v_proj.visit_params(v));
+        v.scope("out_proj", |v| self.out_proj.visit_params(v));
+        v.scope("attention", |v| self.attention.visit_params(v));
+        v.scope("norm1", |v| self.norm1.visit_params(v));
+        v.scope("norm2", |v| self.norm2.visit_params(v));
+        v.scope("ff", |v| self.ff.visit_params(v));
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.scope("attention", |v| self.attention.visit_buffers(v));
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.scope("attention", |v| self.attention.visit_buffers_mut(v));
     }
 }
 
@@ -132,11 +138,41 @@ impl RitaEncoder {
             layer.attention.set_group_count(n);
         }
     }
+
+    /// Per-layer persistent scheduler targets, `None` for non-group layers — the
+    /// scheduler state a checkpoint persists.
+    pub fn scheduler_state(&self) -> Vec<Option<f32>> {
+        self.layers.iter().map(|l| l.attention.scheduled_group_target()).collect()
+    }
+
+    /// Restores per-layer scheduler targets captured by [`RitaEncoder::scheduler_state`].
+    /// Entries are matched by layer index; `None` entries are skipped.
+    pub fn restore_scheduler_state(&mut self, targets: &[Option<f32>]) {
+        for (layer, target) in self.layers.iter_mut().zip(targets) {
+            if let Some(t) = target {
+                layer.attention.restore_scheduled_target(*t);
+            }
+        }
+    }
 }
 
 impl Module for RitaEncoder {
-    fn parameters(&self) -> Vec<Var> {
-        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            v.scope_indexed("layers", i, |v| layer.visit_params(v));
+        }
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            v.scope_indexed("layers", i, |v| layer.visit_buffers(v));
+        }
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            v.scope_indexed("layers", i, |v| layer.visit_buffers_mut(v));
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use crate::model::embedding::TimeConvEmbed;
 use crate::model::encoder::RitaEncoder;
 use crate::scheduler::MemoryModel;
 use rand::Rng;
-use rita_nn::{Module, Var};
+use rita_nn::{BufferVisitor, BufferVisitorMut, Module, ParamVisitor, Var};
 use rita_tensor::NdArray;
 
 /// The backbone shared by every downstream task: it maps a batch of raw series
@@ -76,6 +76,18 @@ impl RitaModel {
         self.encoder.set_group_count(n);
     }
 
+    /// Per-layer persistent scheduler group-count targets (`None` for non-group
+    /// layers) — the §5.1 state a checkpoint persists so a restart resumes the exact
+    /// schedule.
+    pub fn scheduler_state(&self) -> Vec<Option<f32>> {
+        self.encoder.scheduler_state()
+    }
+
+    /// Restores scheduler targets captured by [`RitaModel::scheduler_state`].
+    pub fn restore_scheduler_state(&mut self, targets: &[Option<f32>]) {
+        self.encoder.restore_scheduler_state(targets);
+    }
+
     /// The memory-relevant shape of this model, for the §5.2 batch-size machinery.
     pub fn memory_model(&self) -> MemoryModel {
         MemoryModel {
@@ -92,10 +104,17 @@ impl RitaModel {
 }
 
 impl Module for RitaModel {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.embedding.parameters();
-        p.extend(self.encoder.parameters());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("embedding", |v| self.embedding.visit_params(v));
+        v.scope("encoder", |v| self.encoder.visit_params(v));
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.scope("encoder", |v| self.encoder.visit_buffers(v));
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.scope("encoder", |v| self.encoder.visit_buffers_mut(v));
     }
 }
 

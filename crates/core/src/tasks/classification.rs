@@ -8,7 +8,7 @@ use rita_data::batch::{batch_indices_by_length, make_batch};
 use rita_data::TimeseriesDataset;
 use rita_nn::layers::Linear;
 use rita_nn::loss::{accuracy, cross_entropy_logits};
-use rita_nn::{no_grad, Module, Var};
+use rita_nn::{no_grad, BufferVisitor, BufferVisitorMut, Module, ParamVisitor, Var};
 use rita_tensor::NdArray;
 
 /// A RITA backbone with a classification head.
@@ -112,10 +112,17 @@ impl TrainTask for Classifier {
 }
 
 impl Module for Classifier {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.model.parameters();
-        p.extend(self.head.parameters());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("model", |v| self.model.visit_params(v));
+        v.scope("head", |v| self.head.visit_params(v));
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.scope("model", |v| self.model.visit_buffers(v));
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.scope("model", |v| self.model.visit_buffers_mut(v));
     }
 }
 

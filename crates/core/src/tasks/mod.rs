@@ -14,6 +14,6 @@ pub use forecasting::{evaluate_forecast, persistence_forecast_mse, ForecastMetri
 pub use imputation::Imputer;
 pub use pretrain::{finetune_classifier, pretrain, train_from_scratch, PretrainOutcome};
 pub use trainer::{
-    timed, train_task, AdaptiveBatchConfig, BatchSizeDecision, BatchSizePolicy, EpochMetrics,
-    TrainConfig, TrainReport, TrainTask,
+    timed, train_task, train_task_resumable, AdaptiveBatchConfig, BatchSizeDecision,
+    BatchSizePolicy, EpochMetrics, TrainConfig, TrainReport, TrainTask,
 };

@@ -149,8 +149,26 @@ pub fn train_task<T: TrainTask + ?Sized, R: Rng>(
     config: &TrainConfig,
     rng: &mut R,
 ) -> TrainReport {
+    // Named construction: moment state keyed by parameter path (checkpointable), tied
+    // weights deduplicated by node identity so they are stepped once.
+    let mut opt = AdamW::for_module(task, config.lr, config.weight_decay);
+    train_task_resumable(task, data, config, &mut opt, rng)
+}
+
+/// [`train_task`] with a caller-owned optimiser, for checkpoint/resume workflows: pass a
+/// fresh `AdamW` (or one rebuilt via `Checkpoint::restore_optimizer`) and capture its
+/// state afterwards. Splitting one run into `train(k)` + save + load + `train(n − k)`
+/// reproduces the uninterrupted `train(n)` step-for-step, provided the caller carries
+/// the RNG stream across the boundary (RNG state is deliberately not part of a
+/// checkpoint).
+pub fn train_task_resumable<T: TrainTask + ?Sized, R: Rng>(
+    task: &mut T,
+    data: &TimeseriesDataset,
+    config: &TrainConfig,
+    opt: &mut AdamW,
+    rng: &mut R,
+) -> TrainReport {
     assert!(!data.is_empty(), "empty training set");
-    let mut opt = AdamW::new(task.parameters(), config.lr, config.weight_decay);
     let mut planner = BatchPlanner::new(task.backbone(), config);
     let lengths = data.lengths();
     let mut report = TrainReport::default();
@@ -167,7 +185,7 @@ pub fn train_task<T: TrainTask + ?Sized, R: Rng>(
                 let (loss, weight) = task.batch_loss_on(data, &idx, config, rng);
                 loss.backward();
                 if config.grad_clip > 0.0 {
-                    clip_grad_norm(opt.parameters(), config.grad_clip);
+                    clip_grad_norm(&opt.parameters(), config.grad_clip);
                 }
                 opt.step();
                 loss_sum += loss.item() * weight;

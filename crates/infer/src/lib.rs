@@ -1,0 +1,55 @@
+//! # rita-infer
+//!
+//! A tape-free inference engine for RITA checkpoints: the layer that turns the training
+//! stack into a *servable* system.
+//!
+//! Training runs through `rita-nn`'s autograd `Var` machinery; even under `no_grad`,
+//! every operation allocates a graph node and every output buffer comes fresh from the
+//! allocator. This crate executes the forward pass **directly on [`NdArray`]** — no
+//! `Var` allocation per op — and recycles intermediate activation buffers through the
+//! tensor crate's thread-local pool (see `rita_tensor::recycle`), so a long-lived
+//! serving session reaches a steady state where differently-shaped batches share one
+//! working set of buffers.
+//!
+//! ## Bit-identical by construction
+//!
+//! The engine calls the *same tensor kernels in the same order* as the `Var` forward
+//! pass (layer norm as sum → scale → sub → square → …, attention through the fused
+//! streaming kernel, grouping through `rita_core::group::group_key_blocks`). Pooled
+//! buffers are re-zeroed before reuse. The result is bit-identical to a `no_grad`
+//! `Var` forward — the property `tests/infer_parity.rs` pins at 0 ulp across every
+//! attention variant.
+//!
+//! ## Serving
+//!
+//! [`InferSession`] wraps a loaded model with request batching: concurrent requests of
+//! mixed lengths are grouped into rectangular length buckets (the same
+//! `batch_indices_by_length` the training engine uses) and answered in request order.
+//!
+//! ```no_run
+//! use rita_core::checkpoint::Checkpoint;
+//! use rita_infer::InferSession;
+//!
+//! let ckpt = Checkpoint::load("classifier.ckpt").unwrap();
+//! let session = InferSession::from_checkpoint(&ckpt).unwrap();
+//! # let requests: Vec<rita_tensor::NdArray> = vec![];
+//! let predictions = session.classify(&requests).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod model;
+mod session;
+
+pub use model::InferModel;
+pub use rita_tensor::{pool_reset, pool_stats, PoolStats};
+pub use session::{InferSession, Prediction, RequestError, SessionConfig};
+
+use rita_tensor::NdArray;
+
+/// Offers an intermediate activation back to the thread-local buffer pool (no-op when
+/// the storage is still aliased).
+pub(crate) fn reclaim(a: NdArray) {
+    let _ = rita_tensor::recycle(a);
+}

@@ -1,0 +1,226 @@
+//! The serving session: request batching over a loaded [`InferModel`].
+//!
+//! Concurrent requests arrive as individual `(channels, length)` series of possibly
+//! mixed lengths. The session groups them with the same length-bucketed batcher the
+//! training engine uses (`rita_data::batch::batch_indices_by_length`), stacks each
+//! bucket into one rectangular batch, runs the tape-free forward, and scatters the
+//! answers back into request order. Activation buffers are recycled through the
+//! thread-local arena between batches, so differently-shaped buckets share one working
+//! set.
+
+use rand::SeedableRng;
+use rita_core::checkpoint::{Checkpoint, CheckpointError};
+use rita_data::batch::{batch_indices_by_length, stack_samples};
+use rita_tensor::{NdArray, SeedableRng64};
+
+use crate::model::InferModel;
+
+/// Tunables of a serving session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Largest number of same-length requests answered in one stacked batch.
+    pub max_batch: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self { max_batch: 64 }
+    }
+}
+
+/// One class prediction for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted class index (argmax of the logits).
+    pub class: usize,
+}
+
+/// Why a request set was rejected before any compute ran.
+///
+/// Validation happens up front for the *whole* set: a malformed request never aborts a
+/// half-served batch, and the caller learns exactly which request to drop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request is not a rank-2 `(channels, length)` array.
+    BadRank {
+        /// Index of the offending request.
+        index: usize,
+        /// Its actual shape.
+        shape: Vec<usize>,
+    },
+    /// The request's channel count does not match the model's.
+    WrongChannels {
+        /// Index of the offending request.
+        index: usize,
+        /// Channels the request carries.
+        found: usize,
+        /// Channels the model expects.
+        expected: usize,
+    },
+    /// The series is shorter than one convolution window or longer than the model's
+    /// positional table supports.
+    BadLength {
+        /// Index of the offending request.
+        index: usize,
+        /// The request's length in timestamps.
+        length: usize,
+        /// Accepted length range (inclusive).
+        accepted: (usize, usize),
+    },
+    /// The loaded checkpoint has no head for the requested operation.
+    WrongHead {
+        /// The operation the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::BadRank { index, shape } => {
+                write!(f, "request {index} is not (channels, length): shape {shape:?}")
+            }
+            RequestError::WrongChannels { index, found, expected } => {
+                write!(f, "request {index} has {found} channels, model expects {expected}")
+            }
+            RequestError::BadLength { index, length, accepted } => write!(
+                f,
+                "request {index} has length {length}, model accepts {}..={}",
+                accepted.0, accepted.1
+            ),
+            RequestError::WrongHead { requested } => {
+                write!(f, "checkpoint has no head for '{requested}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A loaded model plus batching state — the object a server holds per worker thread.
+pub struct InferSession {
+    model: InferModel,
+    config: SessionConfig,
+}
+
+impl InferSession {
+    /// Wraps an already-loaded model.
+    pub fn new(model: InferModel) -> Self {
+        Self { model, config: SessionConfig::default() }
+    }
+
+    /// Loads a checkpoint and wraps it in a session.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
+        Ok(Self::new(InferModel::from_checkpoint(ckpt)?))
+    }
+
+    /// Replaces the session tunables.
+    pub fn with_config(mut self, config: SessionConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        self.config = config;
+        self
+    }
+
+    /// The loaded model.
+    pub fn model(&self) -> &InferModel {
+        &self.model
+    }
+
+    /// Validates every request up front: rank 2, matching channel count, length within
+    /// `[window, max_len]`. Nothing is computed when any request is malformed, so a bad
+    /// request can never abort a half-served batch.
+    fn validate(&self, requests: &[NdArray]) -> Result<(), RequestError> {
+        let config = self.model.config();
+        let accepted = (config.window, config.max_len);
+        for (index, r) in requests.iter().enumerate() {
+            let shape = r.shape();
+            if shape.len() != 2 {
+                return Err(RequestError::BadRank { index, shape: shape.to_vec() });
+            }
+            if shape[0] != config.channels {
+                return Err(RequestError::WrongChannels {
+                    index,
+                    found: shape[0],
+                    expected: config.channels,
+                });
+            }
+            if shape[1] < accepted.0 || shape[1] > accepted.1 {
+                return Err(RequestError::BadLength { index, length: shape[1], accepted });
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a set of concurrent classification requests (each `(channels, length)`,
+    /// lengths may differ) in request order. Requests are grouped into rectangular
+    /// length-bucketed batches of at most `max_batch` before the forward pass. The
+    /// whole set is validated first — a malformed request rejects the call without
+    /// running any compute.
+    pub fn classify(&self, requests: &[NdArray]) -> Result<Vec<Prediction>, RequestError> {
+        if self.model.num_classes().is_none() {
+            return Err(RequestError::WrongHead { requested: "classify" });
+        }
+        self.validate(requests)?;
+        let mut out = vec![Prediction { class: 0 }; requests.len()];
+        for (indices, logits) in self.bucketed(requests, |batch| self.model.logits(batch)) {
+            for (row, &req) in logits.argmax_last().iter().zip(&indices) {
+                out[req] = Prediction { class: *row };
+            }
+            crate::reclaim(logits);
+        }
+        Ok(out)
+    }
+
+    /// Class logits for a set of concurrent requests, in request order (one `(classes,)`
+    /// row per request).
+    pub fn classify_logits(&self, requests: &[NdArray]) -> Result<Vec<NdArray>, RequestError> {
+        if self.model.num_classes().is_none() {
+            return Err(RequestError::WrongHead { requested: "classify" });
+        }
+        self.validate(requests)?;
+        let mut out: Vec<Option<NdArray>> = vec![None; requests.len()];
+        for (indices, logits) in self.bucketed(requests, |batch| self.model.logits(batch)) {
+            for (i, &req) in indices.iter().enumerate() {
+                out[req] = Some(logits.index_axis(0, i).expect("logits row").materialize());
+            }
+            crate::reclaim(logits);
+        }
+        Ok(out.into_iter().map(|o| o.expect("every request answered")).collect())
+    }
+
+    /// Reconstructs a set of (masked) series in request order.
+    pub fn reconstruct(&self, requests: &[NdArray]) -> Result<Vec<NdArray>, RequestError> {
+        if !self.model.has_decoder() {
+            return Err(RequestError::WrongHead { requested: "reconstruct" });
+        }
+        self.validate(requests)?;
+        let mut out: Vec<Option<NdArray>> = vec![None; requests.len()];
+        for (indices, recon) in self.bucketed(requests, |batch| self.model.reconstruct(batch)) {
+            for (i, &req) in indices.iter().enumerate() {
+                out[req] = Some(recon.index_axis(0, i).expect("recon row").materialize());
+            }
+            crate::reclaim(recon);
+        }
+        Ok(out.into_iter().map(|o| o.expect("every request answered")).collect())
+    }
+
+    /// Runs `f` over length-bucketed stacked batches of `requests`, yielding each
+    /// bucket's request indices alongside the batch result.
+    fn bucketed<'a>(
+        &'a self,
+        requests: &'a [NdArray],
+        f: impl Fn(&NdArray) -> NdArray + 'a,
+    ) -> impl Iterator<Item = (Vec<usize>, NdArray)> + 'a {
+        let lengths: Vec<usize> = requests.iter().map(|r| r.shape()[1]).collect();
+        // Deterministic bucketing (shuffle off): the rng is never consulted.
+        let mut rng = SeedableRng64::seed_from_u64(0);
+        let batches = batch_indices_by_length(&lengths, |_| self.config.max_batch, false, &mut rng);
+        batches.into_iter().map(move |indices| {
+            let samples: Vec<NdArray> = indices.iter().map(|&i| requests[i].clone()).collect();
+            let batch = stack_samples(&samples);
+            let result = f(&batch);
+            crate::reclaim(batch);
+            (indices, result)
+        })
+    }
+}

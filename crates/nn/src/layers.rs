@@ -5,16 +5,7 @@ use crate::var::Var;
 use rand::Rng;
 use rita_tensor::NdArray;
 
-/// A trainable component that exposes its parameters to an optimiser.
-pub trait Module {
-    /// All trainable parameters of this module (and its children).
-    fn parameters(&self) -> Vec<Var>;
-
-    /// Total number of scalar parameters.
-    fn num_parameters(&self) -> usize {
-        self.parameters().iter().map(|p| p.len()).sum()
-    }
-}
+pub use crate::module::{BufferVisitor, BufferVisitorMut, Module, ParamPath, ParamVisitor};
 
 /// Fully connected layer `y = x · W + b` applied to the last dimension.
 #[derive(Clone)]
@@ -62,12 +53,11 @@ impl Linear {
 }
 
 impl Module for Linear {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = vec![self.weight.clone()];
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.leaf("weight", &self.weight);
         if let Some(b) = &self.bias {
-            p.push(b.clone());
+            v.leaf("bias", b);
         }
-        p
     }
 }
 
@@ -83,12 +73,16 @@ pub struct LayerNorm {
 }
 
 impl LayerNorm {
+    /// The epsilon `new` installs — the single value the tape-free inference mirror
+    /// must agree with (it is not checkpointed).
+    pub const DEFAULT_EPS: f32 = 1e-5;
+
     /// Creates a layer norm over a last dimension of size `d`.
     pub fn new(d: usize) -> Self {
         Self {
             gamma: Var::parameter(NdArray::ones(&[d])),
             beta: Var::parameter(NdArray::zeros(&[d])),
-            eps: 1e-5,
+            eps: Self::DEFAULT_EPS,
         }
     }
 
@@ -104,8 +98,9 @@ impl LayerNorm {
 }
 
 impl Module for LayerNorm {
-    fn parameters(&self) -> Vec<Var> {
-        vec![self.gamma.clone(), self.beta.clone()]
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.leaf("gamma", &self.gamma);
+        v.leaf("beta", &self.beta);
     }
 }
 
@@ -176,8 +171,19 @@ impl BatchNorm1d {
 }
 
 impl Module for BatchNorm1d {
-    fn parameters(&self) -> Vec<Var> {
-        vec![self.gamma.clone(), self.beta.clone()]
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.leaf("gamma", &self.gamma);
+        v.leaf("beta", &self.beta);
+    }
+
+    fn visit_buffers(&self, v: &mut BufferVisitor<'_>) {
+        v.leaf("running_mean", &self.running_mean);
+        v.leaf("running_var", &self.running_var);
+    }
+
+    fn visit_buffers_mut(&mut self, v: &mut BufferVisitorMut<'_>) {
+        v.leaf("running_mean", &mut self.running_mean);
+        v.leaf("running_var", &mut self.running_var);
     }
 }
 
@@ -237,10 +243,9 @@ impl FeedForward {
 }
 
 impl Module for FeedForward {
-    fn parameters(&self) -> Vec<Var> {
-        let mut p = self.fc1.parameters();
-        p.extend(self.fc2.parameters());
-        p
+    fn visit_params(&self, v: &mut ParamVisitor<'_>) {
+        v.scope("fc1", |v| self.fc1.visit_params(v));
+        v.scope("fc2", |v| self.fc2.visit_params(v));
     }
 }
 

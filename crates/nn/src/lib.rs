@@ -41,6 +41,7 @@
 pub mod gradcheck;
 pub mod layers;
 pub mod loss;
+pub mod module;
 mod ops_attention;
 mod ops_basic;
 mod ops_matrix;
@@ -48,5 +49,5 @@ mod ops_segment;
 pub mod optim;
 mod var;
 
-pub use layers::Module;
+pub use module::{BufferVisitor, BufferVisitorMut, Module, ParamPath, ParamVisitor};
 pub use var::{is_grad_enabled, no_grad, Var};

@@ -2,6 +2,7 @@
 //! and the window unfold/fold pair used by the time-aware convolution.
 
 use crate::var::Var;
+#[allow(unused_imports)] // doc links only
 use rita_tensor::NdArray;
 
 impl Var {
@@ -79,17 +80,16 @@ impl Var {
     pub fn unfold1d(&self, width: usize, stride: usize) -> Var {
         let shape = self.shape();
         assert_eq!(shape.len(), 3, "unfold1d expects (batch, channels, length), got {shape:?}");
-        let (b, c, l) = (shape[0], shape[1], shape[2]);
+        let (c, l) = (shape[1], shape[2]);
         assert!(
             width > 0 && stride > 0 && l >= width,
             "invalid unfold1d width/stride for length {l}"
         );
-        let n = (l - width) / stride + 1;
-        let value = unfold_forward(&self.value(), b, c, l, width, stride, n);
+        let value = self.value().unfold1d(width, stride).expect("unfold1d");
         Var::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g, _| vec![unfold_backward(g, b, c, l, width, stride, n)]),
+            Box::new(move |g, _| vec![g.fold1d(c, width, stride, l).expect("unfold1d backward")]),
         )
     }
 
@@ -102,76 +102,31 @@ impl Var {
     pub fn fold1d(&self, channels: usize, width: usize, stride: usize, length: usize) -> Var {
         let shape = self.shape();
         assert_eq!(shape.len(), 3, "fold1d expects (batch, n, channels*width), got {shape:?}");
-        let (b, n, cw) = (shape[0], shape[1], shape[2]);
+        let (_, n, cw) = (shape[0], shape[1], shape[2]);
         assert_eq!(cw, channels * width, "fold1d: last dim {cw} != channels*width");
         assert!((n - 1) * stride + width <= length, "fold1d: windows exceed target length");
-        let value = unfold_backward(&self.value(), b, channels, length, width, stride, n);
+        let value = self.value().fold1d(channels, width, stride, length).expect("fold1d");
         Var::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g, _| vec![unfold_forward(g, b, channels, length, width, stride, n)]),
+            Box::new(move |g, _| {
+                // The adjoint gathers exactly the `n` windows the forward scattered.
+                // When `length` leaves slack past the last window, unfolding the
+                // gradient yields *extra* trailing windows — keep only the first `n`
+                // or the leaf would receive a wrong-shaped gradient.
+                let u = g.unfold1d(width, stride).expect("fold1d backward");
+                let grad =
+                    if u.shape()[1] == n { u } else { u.slice_axis(1, 0, n).expect("fold slice") };
+                vec![grad]
+            }),
         )
     }
-}
-
-/// `(b, c, l)` → `(b, n, c*width)` window extraction.
-fn unfold_forward(
-    x: &NdArray,
-    b: usize,
-    c: usize,
-    l: usize,
-    width: usize,
-    stride: usize,
-    n: usize,
-) -> NdArray {
-    let x = x.materialize(); // inputs and gradients may be strided views
-    let xd = x.as_slice();
-    let mut out = vec![0.0f32; b * n * c * width];
-    for bi in 0..b {
-        for wi in 0..n {
-            let start = wi * stride;
-            for ci in 0..c {
-                let src = bi * c * l + ci * l + start;
-                let dst = ((bi * n + wi) * c + ci) * width;
-                out[dst..dst + width].copy_from_slice(&xd[src..src + width]);
-            }
-        }
-    }
-    NdArray::from_vec(out, &[b, n, c * width]).expect("unfold_forward shape")
-}
-
-/// `(b, n, c*width)` → `(b, c, l)` summation of (possibly overlapping) windows.
-fn unfold_backward(
-    g: &NdArray,
-    b: usize,
-    c: usize,
-    l: usize,
-    width: usize,
-    stride: usize,
-    n: usize,
-) -> NdArray {
-    let g = g.materialize(); // inputs and gradients may be strided views
-    let gd = g.as_slice();
-    let mut out = vec![0.0f32; b * c * l];
-    for bi in 0..b {
-        for wi in 0..n {
-            let start = wi * stride;
-            for ci in 0..c {
-                let dst = bi * c * l + ci * l + start;
-                let src = ((bi * n + wi) * c + ci) * width;
-                for k in 0..width {
-                    out[dst + k] += gd[src + k];
-                }
-            }
-        }
-    }
-    NdArray::from_vec(out, &[b, c, l]).expect("unfold_backward shape")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rita_tensor::allclose;
+    use rita_tensor::{allclose, NdArray};
 
     #[test]
     fn matmul_gradients_match_finite_difference() {
@@ -258,6 +213,21 @@ mod tests {
         // Gradient through the roundtrip is the identity.
         f.sum_all().backward();
         assert!(x.grad().unwrap().as_slice().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+
+    /// Regression: with slack between the last window and `length` (here one window of
+    /// width 2 folded into length 5), the backward used to unfold the full-length
+    /// gradient into *more* windows than the input had, accumulating a wrong-shaped
+    /// gradient silently in release builds.
+    #[test]
+    fn fold_backward_with_length_slack_keeps_input_window_count() {
+        let w = Var::parameter(NdArray::ones(&[1, 1, 2]));
+        let folded = w.fold1d(1, 2, 2, 5);
+        assert_eq!(folded.shape(), vec![1, 1, 5]);
+        folded.sum_all().backward();
+        let g = w.grad().unwrap();
+        assert_eq!(g.shape(), &[1, 1, 2], "gradient must match the parameter shape");
+        assert!(g.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-6));
     }
 
     #[test]

@@ -458,7 +458,7 @@ impl NdArray {
 
     /// Applies `f` to every element, returning a new (contiguous) array.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        let mut data = Vec::with_capacity(self.len());
+        let mut data = crate::pool::alloc_for_extend(self.len());
         if self.is_contiguous() {
             data.extend(self.storage[self.offset..self.offset + self.len()].iter().map(|&x| f(x)));
         } else {

@@ -61,12 +61,10 @@ impl NdArray {
     pub fn zip_with(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> Result<NdArray> {
         // Fast path: identical shapes, both contiguous.
         if self.shape == other.shape && self.is_contiguous() && other.is_contiguous() {
-            let data = self
-                .as_slice()
-                .iter()
-                .zip(other.as_slice().iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect::<Vec<_>>();
+            let mut data = crate::pool::alloc_for_extend(self.len());
+            data.extend(
+                self.as_slice().iter().zip(other.as_slice().iter()).map(|(&a, &b)| f(a, b)),
+            );
             return NdArray::from_vec(data, &self.shape);
         }
         // Fast path: rhs is a scalar.
@@ -85,12 +83,10 @@ impl NdArray {
         let n: usize = out_shape.iter().product();
         let ls = effective_strides(self, &out_shape);
         let rs = effective_strides(other, &out_shape);
-        let mut data = Vec::with_capacity(n);
+        let mut data = crate::pool::alloc_for_extend(n);
         let liter = OffsetIter::new(&out_shape, &ls, self.offset);
         let riter = OffsetIter::new(&out_shape, &rs, other.offset);
-        for (li, ri) in liter.zip(riter) {
-            data.push(f(self.storage[li], other.storage[ri]));
-        }
+        data.extend(liter.zip(riter).map(|(li, ri)| f(self.storage[li], other.storage[ri])));
         NdArray::from_vec(data, &out_shape)
     }
 

@@ -174,8 +174,8 @@ pub(crate) fn fused_attention_threaded(
     let wmat = weights.map(|w| w.materialize());
     let wdata: Option<&[f32]> = wmat.as_ref().map(|w| w.as_slice());
 
-    let mut out = vec![0.0f32; bh * n * dv];
-    let mut lse = vec![0.0f32; bh * n];
+    let mut out = crate::pool::alloc_zeroed(bh * n * dv);
+    let mut lse = crate::pool::alloc_zeroed(bh * n);
     let (qop, kop, vop) = (Op::new(q), Op::new(k), Op::new(v));
 
     if threads > 1 && (bh >= threads || (bh >= 2 && n <= Q_BLOCK)) {

@@ -138,7 +138,7 @@ impl NdArray {
         let mut out_shape = batch_shape.clone();
         out_shape.push(lm);
         out_shape.push(rn);
-        let mut out = vec![0.0f32; batch * lm * rn];
+        let mut out = crate::pool::alloc_zeroed(batch * lm * rn);
         let ldata: &[f32] = &self.storage;
         let rdata: &[f32] = &other.storage;
 

@@ -1,0 +1,198 @@
+//! Opt-in, thread-local recycling of output buffers — the substrate of the inference
+//! arena.
+//!
+//! Every sizeable kernel output in this crate (matmul products, fused-attention outputs)
+//! is allocated through [`alloc_zeroed`], which first consults a thread-local free list
+//! of returned buffers. The list is only ever filled by explicit [`recycle`] calls, so
+//! code that never recycles pays nothing beyond one empty-vec check per allocation and
+//! behaves exactly as before. A caller that *does* recycle (the `rita-infer` session
+//! arena) gets its buffers back on the next allocation of any fitting size — reuse is by
+//! capacity, not by shape, so differently-shaped batches share one working set.
+//!
+//! Recycled buffers are re-zeroed on reuse, so pooling never changes numerical results:
+//! a pooled allocation is bit-identical to a fresh `vec![0.0; len]`.
+//!
+//! The pool is deliberately bounded ([`MAX_POOLED_BUFFERS`], [`MAX_POOLED_LEN`]) and
+//! thread-local: kernels that fan work out to scoped threads allocate their outputs on
+//! the calling thread before spawning, so worker threads never touch the pool.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::NdArray;
+
+/// Maximum number of buffers the free list retains; further recycles are dropped.
+const MAX_POOLED_BUFFERS: usize = 64;
+/// Largest buffer (in `f32` elements, 64 MiB) the pool retains; bigger ones are dropped.
+const MAX_POOLED_LEN: usize = 1 << 24;
+
+thread_local! {
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static STATS: RefCell<PoolStats> = const { RefCell::new(PoolStats::new()) };
+}
+
+/// Counters describing the pool's behaviour on this thread (for tests and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from the free list.
+    pub reused: u64,
+    /// Allocations that fell through to the system allocator.
+    pub fresh: u64,
+    /// Buffers successfully returned by [`recycle`].
+    pub recycled: u64,
+    /// [`recycle`] calls that could not reclaim the storage (shared, oversized, or the
+    /// free list was full).
+    pub dropped: u64,
+}
+
+impl PoolStats {
+    const fn new() -> Self {
+        Self { reused: 0, fresh: 0, recycled: 0, dropped: 0 }
+    }
+}
+
+/// Pops the best-fitting pooled buffer with capacity ≥ `len` (smallest sufficient, so
+/// one giant buffer is not burned on a tiny allocation); `None` when the pool is empty
+/// or nothing fits.
+fn pop_fit(len: usize) -> Option<Vec<f32>> {
+    FREE.with(|f| {
+        let mut free = f.borrow_mut();
+        if free.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in free.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        best.map(|(i, _)| free.swap_remove(i))
+    })
+}
+
+/// Allocates a zero-filled buffer of `len` elements, reusing a recycled buffer with
+/// sufficient capacity when one is available. For **accumulator** outputs (matmul,
+/// fused attention) whose kernels add into the buffer.
+pub(crate) fn alloc_zeroed(len: usize) -> Vec<f32> {
+    match pop_fit(len) {
+        Some(mut buf) => {
+            STATS.with(|s| s.borrow_mut().reused += 1);
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        }
+        None => {
+            STATS.with(|s| s.borrow_mut().fresh += 1);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Allocates an **empty** buffer with capacity for `len` elements, reusing a recycled
+/// buffer when one fits. For full-overwrite outputs (elementwise maps, broadcasts) that
+/// fill by `push`/`extend` — no redundant zero pass.
+pub(crate) fn alloc_for_extend(len: usize) -> Vec<f32> {
+    match pop_fit(len) {
+        Some(mut buf) => {
+            STATS.with(|s| s.borrow_mut().reused += 1);
+            buf.clear();
+            buf
+        }
+        None => {
+            STATS.with(|s| s.borrow_mut().fresh += 1);
+            Vec::with_capacity(len)
+        }
+    }
+}
+
+/// Offers an array's storage back to this thread's pool.
+///
+/// Succeeds (returns `true`) only when the storage is uniquely owned — i.e. no other
+/// `NdArray` views alias it — small enough to retain, and the free list has room.
+/// Otherwise the array is dropped normally and `false` is returned, so recycling a
+/// still-aliased intermediate is always safe.
+pub fn recycle(a: NdArray) -> bool {
+    let ok = match Arc::try_unwrap(a.storage) {
+        Ok(buf) if buf.capacity() <= MAX_POOLED_LEN => FREE.with(|f| {
+            let mut free = f.borrow_mut();
+            if free.len() < MAX_POOLED_BUFFERS {
+                free.push(buf);
+                true
+            } else {
+                false
+            }
+        }),
+        _ => false,
+    };
+    STATS.with(|s| {
+        let mut s = s.borrow_mut();
+        if ok {
+            s.recycled += 1;
+        } else {
+            s.dropped += 1;
+        }
+    });
+    ok
+}
+
+/// Current pool counters for this thread.
+pub fn pool_stats() -> PoolStats {
+    STATS.with(|s| *s.borrow())
+}
+
+/// Resets the counters and drops every pooled buffer on this thread.
+pub fn pool_reset() {
+    FREE.with(|f| f.borrow_mut().clear());
+    STATS.with(|s| *s.borrow_mut() = PoolStats::new());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_without_recycling_is_always_fresh() {
+        pool_reset();
+        let a = alloc_zeroed(16);
+        assert_eq!(a, vec![0.0; 16]);
+        assert_eq!(pool_stats().reused, 0);
+        assert!(pool_stats().fresh >= 1);
+        pool_reset();
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_and_rezeroed() {
+        pool_reset();
+        let mut a = NdArray::from_vec(vec![1.0; 32], &[32]).unwrap();
+        a.as_mut_slice()[0] = 42.0;
+        assert!(recycle(a));
+        assert_eq!(pool_stats().recycled, 1);
+        // Smaller request reuses the same capacity and comes back zeroed.
+        let b = alloc_zeroed(20);
+        assert_eq!(b, vec![0.0; 20]);
+        assert_eq!(pool_stats().reused, 1);
+        pool_reset();
+    }
+
+    #[test]
+    fn shared_storage_is_not_recycled() {
+        pool_reset();
+        let a = NdArray::from_vec(vec![1.0; 8], &[8]).unwrap();
+        let alias = a.clone();
+        assert!(!recycle(a));
+        assert_eq!(pool_stats().recycled, 0);
+        assert_eq!(alias.as_slice()[0], 1.0);
+        pool_reset();
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_sufficient_buffer() {
+        pool_reset();
+        assert!(recycle(NdArray::from_vec(vec![0.0; 100], &[100]).unwrap()));
+        assert!(recycle(NdArray::from_vec(vec![0.0; 10], &[10]).unwrap()));
+        let b = alloc_zeroed(8);
+        assert!(b.capacity() < 100, "should have picked the 10-element buffer");
+        pool_reset();
+    }
+}

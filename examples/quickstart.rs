@@ -1,11 +1,14 @@
 //! Quickstart: train a RITA classifier with group attention on a small synthetic
-//! activity-recognition dataset and report validation accuracy.
+//! activity-recognition dataset, report validation accuracy, then save the model to a
+//! versioned checkpoint and reload it in a fresh classifier to show the persisted model
+//! reproduces the evaluation exactly.
 //!
 //! Run with: `cargo run --release --example quickstart`
 //! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
+use rita::core::checkpoint::Checkpoint;
 use rita::core::model::RitaConfig;
 use rita::core::tasks::{Classifier, TrainConfig};
 use rita::data::{DatasetKind, TimeseriesDataset};
@@ -50,4 +53,26 @@ fn main() {
     if let Some(groups) = classifier.model.mean_group_count() {
         println!("mean group count chosen by the adaptive scheduler: {groups:.1}");
     }
+
+    // 4. Persist the trained model and reload it in a fresh classifier: the checkpoint
+    //    carries every parameter bit-exactly plus the scheduler's persistent group
+    //    counts, so the reloaded model reproduces the evaluation metric exactly.
+    let ckpt_path = std::env::temp_dir().join("rita-quickstart.ckpt");
+    Checkpoint::of_classifier(&classifier, None).save(&ckpt_path).expect("save checkpoint");
+    let mut reloaded = Checkpoint::load(&ckpt_path)
+        .expect("load checkpoint")
+        .restore_classifier(&mut rng)
+        .expect("restore classifier");
+    let mut eval_rng = SeedableRng64::seed_from_u64(1);
+    let original = classifier.evaluate(&split.valid, 16, &mut eval_rng);
+    let mut eval_rng = SeedableRng64::seed_from_u64(1);
+    let restored = reloaded.evaluate(&split.valid, 16, &mut eval_rng);
+    println!(
+        "checkpoint round-trip: accuracy {:.2}% -> {:.2}% ({})",
+        original * 100.0,
+        restored * 100.0,
+        if original.to_bits() == restored.to_bits() { "bit-identical" } else { "MISMATCH" }
+    );
+    assert_eq!(original.to_bits(), restored.to_bits(), "reloaded model must match exactly");
+    let _ = std::fs::remove_file(&ckpt_path);
 }

@@ -1,0 +1,86 @@
+//! Serving demo: train a small classifier, save it to a checkpoint, then load the
+//! checkpoint into the **tape-free inference engine** (`rita-infer`) and answer batched
+//! classification requests of mixed lengths — the full train → persist → serve loop.
+//!
+//! Run with: `cargo run --release --example serve`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
+
+use rand::SeedableRng;
+use rita::core::attention::AttentionKind;
+use rita::core::checkpoint::Checkpoint;
+use rita::core::model::RitaConfig;
+use rita::core::tasks::{timed, Classifier, TrainConfig};
+use rita::data::{DatasetKind, TimeseriesDataset};
+use rita::infer::{pool_stats, InferSession};
+use rita::tensor::{NdArray, SeedableRng64};
+
+fn main() {
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, n_requests, epochs) = if quick { (16, 12, 1) } else { (80, 200, 3) };
+    let mut rng = SeedableRng64::seed_from_u64(0);
+
+    // 1. Train a classifier (group attention, adaptive scheduler) and persist it.
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, n_train, 0, 120, &mut rng);
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 120,
+        d_model: 32,
+        n_layers: 2,
+        ff_hidden: 64,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 8, adaptive: true },
+        ..Default::default()
+    };
+    let mut classifier = Classifier::new(config, 5, &mut rng);
+    let train_cfg = TrainConfig { epochs, batch_size: 8, lr: 1e-3, ..Default::default() };
+    let report = classifier.train(&data, &train_cfg, &mut rng);
+    println!("trained {} epochs, final loss {:.4}", report.epochs.len(), report.final_loss());
+
+    let ckpt_path = std::env::temp_dir().join("rita-serve.ckpt");
+    Checkpoint::of_classifier(&classifier, None).save(&ckpt_path).expect("save checkpoint");
+    let size = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
+    println!("checkpoint written: {} ({size} bytes)", ckpt_path.display());
+
+    // 2. "Fresh process": load the checkpoint into the tape-free serving session.
+    let ckpt = Checkpoint::load(&ckpt_path).expect("load checkpoint");
+    let session = InferSession::from_checkpoint(&ckpt).expect("load into inference engine");
+    println!(
+        "serving a {} checkpoint ({} classes)",
+        ckpt.config.attention.name(),
+        session.model().num_classes().unwrap_or(0)
+    );
+
+    // 3. Answer a stream of concurrent requests with mixed series lengths: the session
+    //    buckets them into rectangular batches, runs the tape-free forward, and returns
+    //    answers in request order, recycling activation buffers between batches.
+    let lengths = [60usize, 90, 120];
+    let requests: Vec<NdArray> = (0..n_requests)
+        .map(|i| {
+            let len = lengths[i % lengths.len()];
+            rita::data::generators::har(
+                rita::data::generators::HarFlavour::Hhar,
+                i % 5,
+                3,
+                len,
+                &mut rng,
+            )
+        })
+        .collect();
+    let (predictions, seconds) = timed(|| session.classify(&requests).expect("valid requests"));
+    let mut per_class = [0usize; 5];
+    for p in &predictions {
+        per_class[p.class.min(4)] += 1;
+    }
+    println!(
+        "answered {} mixed-length requests in {:.1} ms ({:.0} requests/s)",
+        requests.len(),
+        seconds * 1e3,
+        requests.len() as f64 / seconds.max(1e-9),
+    );
+    println!("class distribution of the answers: {per_class:?}");
+    let stats = pool_stats();
+    println!(
+        "arena: {} buffers recycled, {} allocations served from the pool, {} fresh",
+        stats.recycled, stats.reused, stats.fresh
+    );
+    let _ = std::fs::remove_file(&ckpt_path);
+}

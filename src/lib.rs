@@ -13,7 +13,8 @@
 //! | [`tensor`] ([`rita_tensor`]) | dense f32 arrays, broadcasting, batched matmul |
 //! | [`nn`] ([`rita_nn`]) | reverse-mode autograd, layers, losses, AdamW |
 //! | [`data`] ([`rita_data`]) | synthetic datasets, windowing, cloze masking, batching |
-//! | [`core`] ([`rita_core`]) | group attention, adaptive scheduler, RITA models & tasks |
+//! | [`core`] ([`rita_core`]) | group attention, adaptive scheduler, RITA models & tasks, checkpoints |
+//! | [`infer`] ([`rita_infer`]) | tape-free batched inference from checkpoints |
 //! | [`baselines`] ([`rita_baselines`]) | TST and GRAIL |
 //!
 //! ## Quickstart
@@ -51,5 +52,6 @@
 pub use rita_baselines as baselines;
 pub use rita_core as core;
 pub use rita_data as data;
+pub use rita_infer as infer;
 pub use rita_nn as nn;
 pub use rita_tensor as tensor;
