@@ -46,31 +46,51 @@ impl Default for MemoryModel {
 }
 
 impl MemoryModel {
-    /// Estimated bytes needed to train one batch of `batch_size` series of length
-    /// `series_len` when every group-attention layer uses `groups` groups.
+    /// Parameter elements of the configured model (weights only, no copies).
+    pub fn parameter_elements(&self) -> usize {
+        self.layers
+            * (self.d_model * self.d_model * 4
+                + self.d_model * self.ff_hidden * 2
+                + self.d_model * 4)
+            + self.channels * self.window * self.d_model
+    }
+
+    /// Activation elements one sample of length `series_len` materialises in a forward
+    /// pass when every group-attention layer uses `groups` groups.
     ///
-    /// The dominant terms are the per-layer activations that the backward pass retains:
-    /// the window embeddings (`n·d`), the group attention matrix (`n·N`), the aggregated
-    /// values (`N·d`) and the feed-forward activations (`n·ff`).
-    pub fn bytes_for(&self, batch_size: usize, series_len: usize, groups: usize) -> usize {
+    /// The dominant terms per layer are the window embeddings (`n·d`), the group
+    /// attention matrix (`n·N`), the aggregated values (`N·d`) and the feed-forward
+    /// activations (`n·ff`).
+    pub fn activation_elements(&self, series_len: usize, groups: usize) -> usize {
         let n = self.windows(series_len);
         let groups = groups.clamp(1, n);
         let per_sample_input = self.channels * series_len;
-        // Retained activations per layer (forward values kept for backward).
         let per_layer = n * self.d_model * 4          // Q, K, V, output projections
             + n * groups                               // compressed attention matrix
             + groups * self.d_model                    // aggregated values / representatives
             + n * self.ff_hidden                       // feed-forward hidden
             + n * self.d_model * 2; // residual + layer norm
-        let activations = per_sample_input + self.layers * per_layer + n * self.d_model;
-        let parameters = self.layers
-            * (self.d_model * self.d_model * 4
-                + self.d_model * self.ff_hidden * 2
-                + self.d_model * 4)
-            + self.channels * self.window * self.d_model;
+        per_sample_input + self.layers * per_layer + n * self.d_model
+    }
+
+    /// Estimated bytes needed to train one batch of `batch_size` series of length
+    /// `series_len` when every group-attention layer uses `groups` groups.
+    pub fn bytes_for(&self, batch_size: usize, series_len: usize, groups: usize) -> usize {
         // Parameters + gradients + optimiser moments are batch-independent (×4);
         // activations grow linearly with the batch and are also kept for gradients (×2).
-        (parameters * 4 + batch_size * activations * 2) * self.bytes_per_element
+        (self.parameter_elements() * 4
+            + batch_size * self.activation_elements(series_len, groups) * 2)
+            * self.bytes_per_element
+    }
+
+    /// Estimated bytes a tape-free *serving* forward touches for one batch: parameters
+    /// are read once, activations are produced once, and nothing is retained for a
+    /// backward pass. This is the cost the latency budgeting of
+    /// [`super::latency`] charges per batch — on a memory-bandwidth-bound CPU
+    /// forward, time per batch is roughly proportional to it.
+    pub fn serve_bytes_for(&self, batch_size: usize, series_len: usize, groups: usize) -> usize {
+        (self.parameter_elements() + batch_size * self.activation_elements(series_len, groups))
+            * self.bytes_per_element
     }
 
     /// Windows per series of length `series_len` — the same `(len - window) / stride + 1`
@@ -186,6 +206,23 @@ mod tests {
         let small_n = m.max_batch_size(10_000, 16, budget, 0.9, 1 << 20);
         let large_n = m.max_batch_size(10_000, 1024, budget, 0.9, 1 << 20);
         assert!(small_n > large_n, "small_n {small_n} large_n {large_n}");
+    }
+
+    #[test]
+    fn serve_cost_is_forward_only_and_monotone() {
+        let m = MemoryModel::default();
+        // Serving charges neither gradient copies nor optimiser moments, so it is
+        // strictly cheaper than training the same batch.
+        assert!(m.serve_bytes_for(4, 1000, 64) < m.bytes_for(4, 1000, 64));
+        assert!(m.serve_bytes_for(2, 1000, 64) > m.serve_bytes_for(1, 1000, 64));
+        assert!(m.serve_bytes_for(1, 2000, 64) > m.serve_bytes_for(1, 1000, 64));
+        assert!(m.serve_bytes_for(1, 2000, 256) > m.serve_bytes_for(1, 2000, 32));
+        // The train/serve costs share one set of element counters.
+        assert_eq!(
+            m.bytes_for(3, 500, 16),
+            (m.parameter_elements() * 4 + 3 * m.activation_elements(500, 16) * 2)
+                * m.bytes_per_element
+        );
     }
 
     #[test]

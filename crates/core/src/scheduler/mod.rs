@@ -8,13 +8,17 @@
 //!   (Alg. 2). The cost model replaces the paper's CUDA peak-memory probe; see DESIGN.md.
 //! * [`fit`] — the learned batch-size predictor `B = f(L, N)`: least-squares fits over a
 //!   small function prior and the DP plane division (Alg. 3).
+//! * [`latency`] — the serve-time transfer of the predictor: the same `B = f(L, N)`
+//!   machinery spending a latency SLO's compute slice instead of training memory.
 
 pub mod error_bound;
 pub mod fit;
+pub mod latency;
 pub mod memory;
 pub mod merge;
 
 pub use error_bound::{distance_threshold, guaranteed_epsilon, key_ball_radius};
 pub use fit::{BatchPoint, BatchSizePredictor, FittedFn};
+pub use latency::LatencyBudget;
 pub use memory::{usable_budget, MemoryModel, DEFAULT_BUDGET_BYTES, DEFAULT_BUDGET_FRACTION};
 pub use merge::{can_absorb, mergeable_count, momentum_update};

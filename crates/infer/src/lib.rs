@@ -35,15 +35,43 @@
 //! # let requests: Vec<rita_tensor::NdArray> = vec![];
 //! let predictions = session.classify(&requests).unwrap();
 //! ```
+//!
+//! On top of the session sits the multi-tenant serving core: a [`ModelRegistry`] of
+//! versioned hot-swappable checkpoints and a continuous-batching [`Server`] with
+//! per-tenant admission control, SLO-aware batch closing, and a [`Metrics`] layer —
+//! see the [`server`](crate::Server) docs.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use rita_core::checkpoint::Checkpoint;
+//! use rita_infer::{ModelRegistry, Server, ServerConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.publish(&Checkpoint::load("classifier.ckpt").unwrap()).unwrap();
+//! let server = Server::start(registry, ServerConfig::default());
+//! # let request: rita_tensor::NdArray = todo!();
+//! let answer = server.classify("tenant-a", request).unwrap();
+//! println!("{}", server.metrics().snapshot().to_json());
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod metrics;
 mod model;
+mod registry;
+mod server;
 mod session;
 
+pub use metrics::{
+    Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, TenantMetrics, TenantSnapshot,
+};
 pub use model::InferModel;
+pub use registry::{ModelHandle, ModelRegistry};
 pub use rita_tensor::{pool_reset, pool_stats, PoolStats};
+pub use server::{
+    ServeError, ServedResponse, Server, ServerConfig, ShedReason, TenantPolicy, Ticket,
+};
 pub use session::{InferSession, Prediction, RequestError, SessionConfig};
 
 use rita_tensor::NdArray;

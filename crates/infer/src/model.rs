@@ -14,6 +14,7 @@ use rita_core::checkpoint::{Checkpoint, CheckpointError, TaskKind};
 use rita_core::group::group_key_blocks;
 use rita_core::model::embedding::sinusoidal_table;
 use rita_core::model::RitaConfig;
+use rita_core::scheduler::MemoryModel;
 use rita_tensor::{fused_attention, NdArray};
 
 /// `LayerNorm::new`'s epsilon (fixed at construction, not checkpointed) — read from the
@@ -487,6 +488,41 @@ impl InferModel {
     /// Which task head the checkpoint carried.
     pub fn task(&self) -> TaskKind {
         self.task
+    }
+
+    /// The memory-relevant shape of the loaded model — what serve-time batch budgeting
+    /// (`rita_core::scheduler::latency`) charges per batch.
+    pub fn memory_model(&self) -> MemoryModel {
+        MemoryModel {
+            d_model: self.config.d_model,
+            layers: self.config.n_layers,
+            heads: self.config.n_heads,
+            ff_hidden: self.config.ff_hidden,
+            channels: self.config.channels,
+            window: self.config.window,
+            stride: self.config.stride,
+            bytes_per_element: 4,
+        }
+    }
+
+    /// Mean frozen scheduler group target across the group-attention layers — the `N`
+    /// that serve-time `B = f(L, N)` predictions plug in. `None` when the checkpoint
+    /// uses a non-group attention mechanism (whose cost model saturates `N` at the
+    /// window count instead).
+    pub fn mean_groups(&self) -> Option<f32> {
+        let targets: Vec<f32> = self
+            .layers
+            .iter()
+            .filter_map(|l| match l.attn {
+                AttnW::Group { n_groups, .. } => Some(n_groups),
+                _ => None,
+            })
+            .collect();
+        if targets.is_empty() {
+            None
+        } else {
+            Some(targets.iter().sum::<f32>() / targets.len() as f32)
+        }
     }
 
     /// Number of classes, when the model carries a classification head.

@@ -1,0 +1,220 @@
+//! The model registry: versioned, atomically hot-swappable checkpoints for the
+//! serving tier.
+//!
+//! Publishing loads a checkpoint into an [`InferModel`] (which validates every tensor
+//! against the architecture before anything is exposed) and installs it as the current
+//! version under a monotonically increasing version id. Workers take a
+//! [`ModelHandle`] — an `Arc` snapshot of `(version, model)` — per *batch*, so a swap
+//! is atomic from a request's point of view: every batch runs start-to-finish on
+//! exactly one version, in-flight batches finish on the weights they started with, and
+//! the old model's memory is reclaimed by the last `Arc` drop once its final batch
+//! completes. The PR-1 tensor sharing makes the handle itself free: cloning the `Arc`
+//! shares every weight buffer zero-copy.
+//!
+//! Rollback is re-activation: every published version stays archived (weights are
+//! `Arc`-shared with the checkpoint they came from, so archiving is cheap), and
+//! [`ModelRegistry::rollback`] or [`ModelRegistry::activate`] repoints the current
+//! version without reloading anything.
+
+use std::sync::{Arc, RwLock};
+
+use rita_core::checkpoint::{Checkpoint, CheckpointError};
+
+use crate::model::InferModel;
+
+/// A snapshot of the registry's current model: the version id and the `Arc`-shared
+/// loaded weights. Holding a handle keeps that version's weights alive even across a
+/// concurrent swap — the registry never mutates a published model.
+#[derive(Clone)]
+pub struct ModelHandle {
+    /// Monotonic version id assigned at publish time.
+    pub version: u64,
+    /// The loaded, servable model.
+    pub model: Arc<InferModel>,
+}
+
+struct Published {
+    version: u64,
+    model: Arc<InferModel>,
+}
+
+struct RegistryInner {
+    /// Every published version, in publish order (version ids are its indices + 1).
+    history: Vec<Published>,
+    /// Index into `history` of the active version, `None` before the first publish.
+    current: Option<usize>,
+}
+
+/// A versioned store of servable models with atomic swap and rollback.
+pub struct ModelRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { inner: RwLock::new(RegistryInner { history: Vec::new(), current: None }) }
+    }
+
+    /// Loads `ckpt` into servable form and atomically installs it as the current
+    /// version, returning its version id. The load fully validates the checkpoint
+    /// (missing/leftover tensors, unknown formats) *before* the swap, so a bad
+    /// checkpoint can never become current; requests admitted before the swap finish
+    /// on the version they started with.
+    pub fn publish(&self, ckpt: &Checkpoint) -> Result<u64, CheckpointError> {
+        // Load outside the lock: checkpoint validation is the slow part, and readers
+        // should keep serving the old version meanwhile.
+        let model = Arc::new(InferModel::from_checkpoint(ckpt)?);
+        let mut inner = self.inner.write().expect("registry lock");
+        let version = inner.history.len() as u64 + 1;
+        inner.history.push(Published { version, model });
+        inner.current = Some(inner.history.len() - 1);
+        Ok(version)
+    }
+
+    /// The current model, if any version has been published.
+    pub fn current(&self) -> Option<ModelHandle> {
+        let inner = self.inner.read().expect("registry lock");
+        inner.current.map(|i| ModelHandle {
+            version: inner.history[i].version,
+            model: Arc::clone(&inner.history[i].model),
+        })
+    }
+
+    /// The active version id, if any.
+    pub fn current_version(&self) -> Option<u64> {
+        self.inner.read().expect("registry lock").current.map(|i| i as u64 + 1)
+    }
+
+    /// Every published version id, in publish order.
+    pub fn versions(&self) -> Vec<u64> {
+        self.inner.read().expect("registry lock").history.iter().map(|p| p.version).collect()
+    }
+
+    /// Re-activates an archived `version` (from a previous [`ModelRegistry::publish`]).
+    /// Returns `false` when no such version exists. The swap is atomic exactly like a
+    /// publish — in-flight batches finish on the version they snapshotted.
+    pub fn activate(&self, version: u64) -> bool {
+        let mut inner = self.inner.write().expect("registry lock");
+        if version == 0 || version as usize > inner.history.len() {
+            return false;
+        }
+        inner.current = Some(version as usize - 1);
+        true
+    }
+
+    /// Steps the current version back by one (publish-order, not activation-order).
+    /// Returns the version now active, or `None` when there is no earlier version to
+    /// roll back to (the current version stays unchanged).
+    pub fn rollback(&self) -> Option<u64> {
+        let mut inner = self.inner.write().expect("registry lock");
+        match inner.current {
+            Some(i) if i > 0 => {
+                inner.current = Some(i - 1);
+                Some(i as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// A specific archived version's handle, current or not.
+    pub fn get(&self, version: u64) -> Option<ModelHandle> {
+        let inner = self.inner.read().expect("registry lock");
+        if version == 0 || version as usize > inner.history.len() {
+            return None;
+        }
+        let p = &inner.history[version as usize - 1];
+        Some(ModelHandle { version: p.version, model: Arc::clone(&p.model) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rita_core::attention::AttentionKind;
+    use rita_core::model::RitaConfig;
+    use rita_core::tasks::Classifier;
+    use rita_tensor::SeedableRng64;
+
+    fn checkpoint(seed: u64) -> Checkpoint {
+        let mut rng = SeedableRng64::seed_from_u64(seed);
+        let config = RitaConfig {
+            channels: 2,
+            max_len: 40,
+            d_model: 16,
+            n_layers: 1,
+            ff_hidden: 32,
+            dropout: 0.0,
+            attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: false },
+            ..Default::default()
+        };
+        Checkpoint::of_classifier(&Classifier::new(config, 3, &mut rng), None)
+    }
+
+    #[test]
+    fn publish_assigns_monotonic_versions_and_swaps_current() {
+        let reg = ModelRegistry::new();
+        assert!(reg.current().is_none());
+        assert_eq!(reg.current_version(), None);
+        let v1 = reg.publish(&checkpoint(1)).unwrap();
+        let v2 = reg.publish(&checkpoint(2)).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(reg.current_version(), Some(2));
+        assert_eq!(reg.versions(), vec![1, 2]);
+        assert_eq!(reg.current().unwrap().version, 2);
+    }
+
+    #[test]
+    fn handles_outlive_swaps() {
+        let reg = ModelRegistry::new();
+        reg.publish(&checkpoint(1)).unwrap();
+        let held = reg.current().unwrap();
+        reg.publish(&checkpoint(2)).unwrap();
+        // The held handle still points at version 1's weights.
+        assert_eq!(held.version, 1);
+        assert_eq!(held.model.num_classes(), Some(3));
+        assert_eq!(reg.current().unwrap().version, 2);
+    }
+
+    #[test]
+    fn rollback_and_activate_repoint_without_reloading() {
+        let reg = ModelRegistry::new();
+        reg.publish(&checkpoint(1)).unwrap();
+        reg.publish(&checkpoint(2)).unwrap();
+        reg.publish(&checkpoint(3)).unwrap();
+        assert_eq!(reg.rollback(), Some(2));
+        assert_eq!(reg.current_version(), Some(2));
+        assert_eq!(reg.rollback(), Some(1));
+        assert_eq!(reg.rollback(), None, "nothing before version 1");
+        assert_eq!(reg.current_version(), Some(1));
+        assert!(reg.activate(3));
+        assert_eq!(reg.current_version(), Some(3));
+        assert!(!reg.activate(4));
+        assert!(!reg.activate(0));
+        // The re-activated handle is the *same* loaded model, not a reload.
+        let v3_via_get = reg.get(3).unwrap();
+        assert!(Arc::ptr_eq(&v3_via_get.model, &reg.current().unwrap().model));
+    }
+
+    #[test]
+    fn bad_checkpoints_never_become_current() {
+        let reg = ModelRegistry::new();
+        reg.publish(&checkpoint(1)).unwrap();
+        let before = reg.current().unwrap();
+        let mut broken = checkpoint(2);
+        // Drop a required tensor (a bias would be tolerated): the load must fail.
+        broken.tensors.retain(|(p, _)| p != "head.weight");
+        assert!(reg.publish(&broken).is_err());
+        let after = reg.current().unwrap();
+        assert_eq!(after.version, before.version);
+        assert!(Arc::ptr_eq(&after.model, &before.model));
+        assert_eq!(reg.versions(), vec![1]);
+    }
+}

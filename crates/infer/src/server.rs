@@ -1,0 +1,681 @@
+//! The continuous-batching multi-tenant serving core.
+//!
+//! [`Server`] turns `rita-infer` from a blocking library call into a service: requests
+//! from many tenants land in one MPSC queue, N worker threads drain it continuously,
+//! and every drained batch runs on an `Arc` snapshot of the [`ModelRegistry`]'s
+//! current checkpoint — hot-swap and rollback are atomic per batch, zero-copy per
+//! worker (PR-1 tensor sharing makes the snapshot free).
+//!
+//! ## Continuous batching under a latency SLO
+//!
+//! The batcher reuses the training engine's length-bucketed batcher
+//! (`batch_indices_by_length`) over the live queue: the oldest queued request anchors
+//! the next batch, and the batch's target size is the §5.2 predictor `B = f(L, N)` —
+//! the same model that spends a *memory* budget during training, here trained against
+//! the *latency* budget `slo × compute_fraction` through a calibrated byte throughput
+//! (see `rita_core::scheduler::latency`). A batch closes when it reaches its target,
+//! when the batching window (`linger`) expires, or **early** when the oldest request
+//! approaches its SLO deadline — a request never waits for batch-mates it cannot
+//! afford.
+//!
+//! ## Admission control
+//!
+//! Per-tenant token buckets (rate + burst) and queue-depth bounds shed load *at
+//! admission* with a typed [`ServeError::Overloaded`] instead of letting queues grow
+//! unbounded; requests with NaN/infinite values are rejected there too
+//! (`RequestError::NonFinite`), before they can poison a mixed-tenant batch.
+//!
+//! ## Worker-pool budget sharing
+//!
+//! Each worker caps its inner kernel parallelism at `worker_budget() / workers` via
+//! `with_worker_threads` (the PR-2 budget-sharing pattern), so N serving workers × M
+//! kernel threads never multiply past the machine budget.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rita_core::scheduler::{BatchSizePredictor, LatencyBudget, MemoryModel};
+use rita_data::batch::{batch_indices_by_length, stack_samples};
+use rita_tensor::{with_worker_threads, worker_budget, NdArray, SeedableRng64};
+
+use crate::metrics::{Metrics, TenantMetrics};
+use crate::model::InferModel;
+use crate::registry::{ModelHandle, ModelRegistry};
+use crate::session::{validate_request, RequestError};
+
+/// Admission policy for one tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantPolicy {
+    /// Sustained admission rate in requests/second (`None` = unlimited). Enforced by a
+    /// token bucket refilled continuously.
+    pub rate_per_sec: Option<f64>,
+    /// Bucket capacity: how many requests may burst above the sustained rate.
+    pub burst: f64,
+    /// Most requests this tenant may have queued at once; beyond it, submissions shed
+    /// with [`ShedReason::TenantQueueFull`].
+    pub max_queue_depth: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self { rate_per_sec: None, burst: 16.0, max_queue_depth: 256 }
+    }
+}
+
+/// Tunables of the serving core.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue. Each holds an `Arc` view of the current
+    /// model per batch and caps its kernel parallelism at its share of
+    /// `worker_budget()`.
+    pub workers: usize,
+    /// Hard cap on any batch, over and above the predictor's target.
+    pub max_batch: usize,
+    /// Per-request latency SLO: the deadline a request receives at admission.
+    pub slo: Duration,
+    /// Fraction of the SLO one batch's compute may spend; the batcher closes a batch
+    /// early once the oldest request's remaining slack shrinks to this slice.
+    pub compute_fraction: f32,
+    /// Longest a batch waits for same-length batch-mates before closing under target.
+    pub linger: Duration,
+    /// Global queue bound; beyond it submissions shed with [`ShedReason::QueueFull`].
+    pub max_queue_depth: usize,
+    /// Policy applied to tenants without an explicit [`Server::set_tenant_policy`].
+    pub default_policy: TenantPolicy,
+    /// Calibrated serving throughput in cost-model bytes/second. `None` measures it at
+    /// startup by timing a probe forward of the current model.
+    pub bytes_per_sec: Option<f64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 64,
+            slo: Duration::from_millis(250),
+            compute_fraction: LatencyBudget::DEFAULT_COMPUTE_FRACTION,
+            linger: Duration::from_millis(2),
+            max_queue_depth: 1024,
+            default_policy: TenantPolicy::default(),
+            bytes_per_sec: None,
+        }
+    }
+}
+
+/// Why admission control shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token bucket is empty (sustained rate exceeded).
+    RateLimited,
+    /// The tenant's queue slice is full.
+    TenantQueueFull,
+    /// The server's global queue is full.
+    QueueFull,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Shed by admission control — the typed rejection a client backs off on.
+    Overloaded {
+        /// The tenant whose request was shed.
+        tenant: String,
+        /// Which admission bound tripped.
+        reason: ShedReason,
+    },
+    /// Rejected by request validation (shape, length, non-finite values, wrong head).
+    Invalid(RequestError),
+    /// No checkpoint has been published to the registry yet.
+    NoModel,
+    /// The server is shutting down and no longer admits requests.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { tenant, reason } => {
+                let r = match reason {
+                    ShedReason::RateLimited => "rate limited",
+                    ShedReason::TenantQueueFull => "tenant queue full",
+                    ShedReason::QueueFull => "server queue full",
+                };
+                write!(f, "overloaded ({r}) for tenant '{tenant}'")
+            }
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServeError::NoModel => write!(f, "no model published"),
+            ServeError::ShutDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One served classification answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedResponse {
+    /// Predicted class (argmax of the logits).
+    pub class: usize,
+    /// The full logits row, bit-identical to the single-call `InferSession` path.
+    pub logits: Vec<f32>,
+    /// Registry version of the checkpoint that served this request — every request is
+    /// answered by exactly one version, even across a concurrent hot-swap.
+    pub model_version: u64,
+}
+
+/// A pending answer: `wait` blocks until the worker fills it.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served (or failed) and returns the outcome.
+    pub fn wait(self) -> Result<ServedResponse, ServeError> {
+        let mut done = self.slot.done.lock().expect("ticket lock");
+        loop {
+            match done.take() {
+                Some(result) => return result,
+                None => done = self.slot.cv.wait(done).expect("ticket lock"),
+            }
+        }
+    }
+
+    /// Non-blocking poll: the outcome if the request has been served, else `None`
+    /// (the ticket stays valid for a later [`Ticket::wait`]).
+    pub fn try_wait(&self) -> Option<Result<ServedResponse, ServeError>> {
+        self.slot.done.lock().expect("ticket lock").take()
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self.slot.done.lock().map(|d| d.is_some()).unwrap_or(false);
+        f.debug_struct("Ticket").field("ready", &ready).finish()
+    }
+}
+
+struct Slot {
+    done: Mutex<Option<Result<ServedResponse, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, result: Result<ServedResponse, ServeError>) {
+        *self.done.lock().expect("slot lock") = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// One queued request.
+struct Pending {
+    tenant: Arc<str>,
+    tenant_metrics: Arc<TenantMetrics>,
+    input: NdArray,
+    enqueued: Instant,
+    deadline: Instant,
+    slot: Arc<Slot>,
+}
+
+struct TenantState {
+    policy: TenantPolicy,
+    tokens: f64,
+    refilled: Instant,
+    queued: usize,
+    metrics: Arc<TenantMetrics>,
+}
+
+impl TenantState {
+    /// Refills the token bucket for elapsed time and tries to take one token.
+    fn admit_token(&mut self, now: Instant) -> bool {
+        let Some(rate) = self.policy.rate_per_sec else { return true };
+        let elapsed = now.saturating_duration_since(self.refilled).as_secs_f64();
+        self.refilled = now;
+        self.tokens = (self.tokens + elapsed * rate).min(self.policy.burst.max(1.0));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct QueueState {
+    pending: std::collections::VecDeque<Pending>,
+    tenants: HashMap<Arc<str>, TenantState>,
+}
+
+/// Per-model-version serve planner: the latency-budget predictor plus the cost model
+/// it consults, built once per version and shared by every worker.
+struct Planner {
+    predictor: BatchSizePredictor,
+    budget: LatencyBudget,
+    memory: MemoryModel,
+    /// Frozen mean scheduler group target (`None` for non-group checkpoints).
+    groups: Option<usize>,
+}
+
+impl Planner {
+    fn build(model: &InferModel, config: &ServerConfig, bytes_per_sec: f64) -> Self {
+        let memory = model.memory_model();
+        let budget = LatencyBudget {
+            slo: config.slo,
+            compute_fraction: config.compute_fraction,
+            bytes_per_sec,
+        };
+        let predictor =
+            budget.train_predictor(&memory, model.config().max_len.max(2), config.max_batch, 5, 3);
+        let groups = model.mean_groups().map(|g| g.round().max(1.0) as usize);
+        Self { predictor, budget, memory, groups }
+    }
+
+    /// The `N` plugged into `B = f(L, N)`: the checkpoint's frozen mean scheduler
+    /// target, or (for non-group attention) the window count — the cost model's
+    /// saturation point.
+    fn groups_for(&self, len: usize) -> usize {
+        self.groups.unwrap_or_else(|| self.memory.windows(len)).max(1)
+    }
+
+    /// Target batch size for a length bucket, under the latency budget and the hard cap.
+    fn target(&self, len: usize, max_batch: usize) -> usize {
+        self.predictor.predict(len, self.groups_for(len)).clamp(1, max_batch.max(1))
+    }
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    config: ServerConfig,
+    planners: Mutex<HashMap<u64, Arc<Planner>>>,
+    calibrated: Mutex<Option<f64>>,
+    shutdown: AtomicBool,
+    /// Kernel-thread share of each worker (`worker_budget() / workers`, at least 1).
+    kernel_cap: usize,
+}
+
+impl Shared {
+    /// The planner for a model version, building (and calibrating, once per server)
+    /// on first sight of the version.
+    fn planner_for(&self, handle: &ModelHandle) -> Arc<Planner> {
+        if let Some(p) = self.planners.lock().expect("planner lock").get(&handle.version) {
+            return Arc::clone(p);
+        }
+        let bytes_per_sec = self.bytes_per_sec(&handle.model);
+        let planner = Arc::new(Planner::build(&handle.model, &self.config, bytes_per_sec));
+        let mut planners = self.planners.lock().expect("planner lock");
+        Arc::clone(planners.entry(handle.version).or_insert(planner))
+    }
+
+    /// The configured byte throughput, or a one-time calibration: time a probe forward
+    /// and divide the cost model's byte estimate by the measured wall time.
+    fn bytes_per_sec(&self, model: &InferModel) -> f64 {
+        if let Some(b) = self.config.bytes_per_sec {
+            return b;
+        }
+        let mut calibrated = self.calibrated.lock().expect("calibration lock");
+        if let Some(b) = *calibrated {
+            return b;
+        }
+        let config = model.config();
+        let len = config.max_len.max(config.window);
+        let data: Vec<f32> = (0..config.channels * len).map(|i| (i as f32 * 0.37).sin()).collect();
+        let probe =
+            NdArray::from_vec(data, &[1, config.channels, len]).expect("probe shape matches data");
+        // Warm the arena/dispatch once, then time the faster of two runs (cold-start
+        // noise makes the budget too pessimistic otherwise).
+        let _ = model.logits(&probe);
+        let secs = (0..2)
+            .map(|_| {
+                let start = Instant::now();
+                let out = model.logits(&probe);
+                let elapsed = start.elapsed().as_secs_f64();
+                crate::reclaim(out);
+                elapsed
+            })
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
+        let n = model.mean_groups().map(|g| g.round().max(1.0) as usize).unwrap_or(usize::MAX);
+        let bytes = model.memory_model().serve_bytes_for(1, len, n) as f64;
+        let b = bytes / secs;
+        *calibrated = Some(b);
+        b
+    }
+}
+
+/// The serving core: an admission-controlled request queue over continuous-batching
+/// worker threads. See the module docs for the batching and SLO semantics.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `config.workers` worker threads over `registry`. The registry may still
+    /// be empty; submissions are rejected with [`ServeError::NoModel`] until the first
+    /// [`ModelRegistry::publish`].
+    pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> Server {
+        assert!(config.workers > 0, "a server needs at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        // Budget sharing (read on the spawning thread, before any worker caps apply):
+        // each worker may use its share of the kernel-thread budget, so the serving
+        // fan-out and the kernel fan-outs never multiply.
+        let kernel_cap = (worker_budget() / config.workers).max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { pending: Default::default(), tenants: HashMap::new() }),
+            work_cv: Condvar::new(),
+            registry,
+            metrics: Arc::new(Metrics::default()),
+            config,
+            planners: Mutex::new(HashMap::new()),
+            calibrated: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            kernel_cap,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rita-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// The server's model registry (publish/rollback while serving).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// The server's metrics (snapshot any time).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// Sets (or replaces) the admission policy of one tenant. Existing queued requests
+    /// are unaffected; the token bucket restarts full to `burst`.
+    pub fn set_tenant_policy(&self, tenant: &str, policy: TenantPolicy) {
+        let mut st = self.shared.state.lock().expect("server queue lock");
+        let metrics = self.shared.metrics.tenant(tenant);
+        let entry = st.tenants.entry(Arc::from(tenant)).or_insert_with(|| TenantState {
+            policy,
+            tokens: policy.burst.max(1.0),
+            refilled: Instant::now(),
+            queued: 0,
+            metrics,
+        });
+        entry.policy = policy;
+        entry.tokens = entry.tokens.min(policy.burst.max(1.0));
+    }
+
+    /// Submits one `(channels, length)` classification request for `tenant`. Returns a
+    /// [`Ticket`] immediately; the answer is produced by a worker batch. Rejections
+    /// (validation, rate limit, queue bounds) are synchronous and typed.
+    pub fn submit(&self, tenant: &str, input: NdArray) -> Result<Ticket, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShutDown);
+        }
+        let Some(handle) = self.shared.registry.current() else {
+            return Err(ServeError::NoModel);
+        };
+        if handle.model.num_classes().is_none() {
+            return Err(ServeError::Invalid(RequestError::WrongHead { requested: "classify" }));
+        }
+        let tenant_metrics = self.shared.metrics.tenant(tenant);
+        if let Err(e) = validate_request(handle.model.config(), 0, &input) {
+            tenant_metrics.invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(e));
+        }
+        let now = Instant::now();
+        let mut st = self.shared.state.lock().expect("server queue lock");
+        // Re-check under the lock: a request enqueued here is guaranteed to be drained
+        // by a worker (shutdown drains under this same lock), so a ticket can never be
+        // orphaned by a concurrent shutdown.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShutDown);
+        }
+        if st.pending.len() >= self.shared.config.max_queue_depth {
+            self.shared.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                tenant: tenant.to_string(),
+                reason: ShedReason::QueueFull,
+            });
+        }
+        let default_policy = self.shared.config.default_policy;
+        let key: Arc<str> = Arc::from(tenant);
+        let state = st.tenants.entry(Arc::clone(&key)).or_insert_with(|| TenantState {
+            policy: default_policy,
+            tokens: default_policy.burst.max(1.0),
+            refilled: now,
+            queued: 0,
+            metrics: Arc::clone(&tenant_metrics),
+        });
+        if state.queued >= state.policy.max_queue_depth {
+            state.metrics.shed_depth.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                tenant: tenant.to_string(),
+                reason: ShedReason::TenantQueueFull,
+            });
+        }
+        if !state.admit_token(now) {
+            state.metrics.shed_rate.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                tenant: tenant.to_string(),
+                reason: ShedReason::RateLimited,
+            });
+        }
+        state.queued += 1;
+        state.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() });
+        st.pending.push_back(Pending {
+            tenant: key,
+            tenant_metrics,
+            input,
+            enqueued: now,
+            deadline: now + self.shared.config.slo,
+            slot: Arc::clone(&slot),
+        });
+        self.shared.metrics.queue_depth.store(st.pending.len() as u64, Ordering::Relaxed);
+        drop(st);
+        self.shared.work_cv.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submit-and-wait convenience: the closed-loop client call.
+    pub fn classify(&self, tenant: &str, input: NdArray) -> Result<ServedResponse, ServeError> {
+        self.submit(tenant, input)?.wait()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("server queue lock").pending.len()
+    }
+
+    /// Stops admitting requests, drains the queue (every already-admitted request is
+    /// still served), and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// What a worker decided to run: one rectangular batch plus its model snapshot.
+struct ClosedBatch {
+    handle: ModelHandle,
+    requests: Vec<Pending>,
+    early_close: bool,
+}
+
+/// Drains the queue until shutdown: waits for work, closes batches under the SLO
+/// policy, and serves them on the current model snapshot.
+fn worker_loop(shared: &Shared) {
+    let mut last_version: Option<u64> = None;
+    while let Some(batch) = next_batch(shared) {
+        if last_version.is_some_and(|v| v != batch.handle.version) {
+            shared.metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        last_version = Some(batch.handle.version);
+        serve_batch(shared, batch);
+    }
+}
+
+/// Blocks until a batch can be closed (returning `None` on drained shutdown).
+///
+/// The close policy, evaluated under the queue lock against the *oldest* request:
+/// its length anchors the bucket, the §5.2 planner sets the bucket's target `B`, and
+/// the batch closes as soon as (a) `B` same-length requests are queued, (b) the
+/// `linger` window since the oldest enqueue expires, or (c) the oldest request's
+/// remaining SLO slack shrinks to the compute slice one batch needs — the early close
+/// that keeps tail latencies inside the SLO instead of waiting for batch-mates.
+fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
+    let mut st: MutexGuard<'_, QueueState> = shared.state.lock().expect("server queue lock");
+    loop {
+        if st.pending.is_empty() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            st = shared.work_cv.wait(st).expect("server queue lock");
+            continue;
+        }
+        let Some(handle) = shared.registry.current() else {
+            // Unreachable in practice (submissions require a model and the registry
+            // never unpublishes), but fail the request rather than wedging the queue.
+            let p = st.pending.pop_front().expect("non-empty queue");
+            note_dequeued(&mut st, &shared.metrics, &[&p]);
+            drop(st);
+            p.slot.fill(Err(ServeError::NoModel));
+            st = shared.state.lock().expect("server queue lock");
+            continue;
+        };
+        // planner_for never blocks on queue work (separate lock), but it can be slow
+        // once per version (calibration + predictor training); drop the queue lock so
+        // admissions keep flowing during it.
+        drop(st);
+        let planner = shared.planner_for(&handle);
+        st = shared.state.lock().expect("server queue lock");
+        if st.pending.is_empty() {
+            continue; // another worker drained the queue while we planned
+        }
+
+        let now = Instant::now();
+        let oldest = &st.pending[0];
+        let anchor_len = oldest.input.shape()[1];
+        let target = planner.target(anchor_len, shared.config.max_batch);
+        let matching = st.pending.iter().filter(|p| p.input.shape()[1] == anchor_len).count();
+        let fill_by = oldest.enqueued + shared.config.linger;
+        // Close early once the oldest request's slack can only just cover one batch's
+        // compute: estimated at the target size — the worst batch we might run.
+        let compute = planner.budget.estimated_compute(
+            &planner.memory,
+            target,
+            anchor_len,
+            planner.groups_for(anchor_len),
+        );
+        let close_by = oldest.deadline.checked_sub(compute).unwrap_or(oldest.enqueued);
+        let slo_pressed = now >= close_by;
+        let ready = matching >= target
+            || now >= fill_by
+            || slo_pressed
+            || shared.shutdown.load(Ordering::Acquire);
+        if !ready {
+            let wake_at = fill_by.min(close_by);
+            let timeout = wake_at.saturating_duration_since(now);
+            let (guard, _) = shared.work_cv.wait_timeout(st, timeout).expect("server queue lock");
+            st = guard;
+            continue;
+        }
+
+        // Close the batch through the training engine's length-bucketed batcher over
+        // the live queue (shuffle off: FIFO order within each length bucket is
+        // preserved, so same-length requests of one tenant are served in submission
+        // order). The chosen batch is the one holding the oldest request — index 0.
+        let lengths: Vec<usize> = st.pending.iter().map(|p| p.input.shape()[1]).collect();
+        let mut rng = SeedableRng64::seed_from_u64(0); // shuffle off: never consulted
+        let batches = batch_indices_by_length(
+            &lengths,
+            |len| planner.target(len, shared.config.max_batch),
+            false,
+            &mut rng,
+        );
+        let chosen =
+            batches.into_iter().find(|b| b.contains(&0)).expect("oldest request is in a batch");
+        let early_close = slo_pressed && chosen.len() < target;
+        // Extract in descending index order so earlier removals don't shift later ones.
+        let mut requests: Vec<Pending> = Vec::with_capacity(chosen.len());
+        for &i in chosen.iter().rev() {
+            requests.push(st.pending.remove(i).expect("chosen index in bounds"));
+        }
+        requests.reverse();
+        let refs: Vec<&Pending> = requests.iter().collect();
+        note_dequeued(&mut st, &shared.metrics, &refs);
+        if !st.pending.is_empty() {
+            // Leftover work: hand it to a sibling worker while we compute.
+            shared.work_cv.notify_one();
+        }
+        return Some(ClosedBatch { handle, requests, early_close });
+    }
+}
+
+/// Bookkeeping for requests leaving the queue: tenant queue slices and the depth gauge.
+fn note_dequeued(st: &mut QueueState, metrics: &Metrics, leaving: &[&Pending]) {
+    for p in leaving {
+        if let Some(t) = st.tenants.get_mut(&*p.tenant) {
+            t.queued = t.queued.saturating_sub(1);
+        }
+    }
+    metrics.queue_depth.store(st.pending.len() as u64, Ordering::Relaxed);
+}
+
+/// Runs one closed batch on its model snapshot and fills every ticket. Kernel
+/// parallelism is capped at this worker's share of the machine budget.
+fn serve_batch(shared: &Shared, batch: ClosedBatch) {
+    let ClosedBatch { handle, requests, early_close } = batch;
+    let closed_at = Instant::now();
+    let samples: Vec<NdArray> = requests.iter().map(|p| p.input.clone()).collect();
+    let stacked = stack_samples(&samples);
+    drop(samples);
+    let logits = with_worker_threads(shared.kernel_cap, || handle.model.logits(&stacked));
+    crate::reclaim(stacked);
+    let classes = logits.argmax_last();
+    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.batch_size.record(requests.len() as u64);
+    if early_close {
+        shared.metrics.early_closes.fetch_add(1, Ordering::Relaxed);
+    }
+    let done = Instant::now();
+    for (i, p) in requests.into_iter().enumerate() {
+        let row = logits.index_axis(0, i).expect("logits row").materialize();
+        shared.metrics.record_served(
+            &p.tenant_metrics,
+            done.saturating_duration_since(p.enqueued),
+            closed_at.saturating_duration_since(p.enqueued),
+        );
+        p.slot.fill(Ok(ServedResponse {
+            class: classes[i],
+            logits: row.as_slice().to_vec(),
+            model_version: handle.version,
+        }));
+    }
+    crate::reclaim(logits);
+}

@@ -67,6 +67,13 @@ pub enum RequestError {
         /// Accepted length range (inclusive).
         accepted: (usize, usize),
     },
+    /// The series carries a NaN or infinite value. Rejected at admission: a single NaN
+    /// propagates through every reduction in a stacked forward, poisoning the answers
+    /// of the *other* requests sharing the batch mid-flight.
+    NonFinite {
+        /// Index of the offending request.
+        index: usize,
+    },
     /// The loaded checkpoint has no head for the requested operation.
     WrongHead {
         /// The operation the caller asked for.
@@ -88,6 +95,9 @@ impl std::fmt::Display for RequestError {
                 "request {index} has length {length}, model accepts {}..={}",
                 accepted.0, accepted.1
             ),
+            RequestError::NonFinite { index } => {
+                write!(f, "request {index} carries a NaN or infinite value")
+            }
             RequestError::WrongHead { requested } => {
                 write!(f, "checkpoint has no head for '{requested}'")
             }
@@ -96,6 +106,43 @@ impl std::fmt::Display for RequestError {
 }
 
 impl std::error::Error for RequestError {}
+
+/// Validates one `(channels, length)` request against a model's architecture: rank 2,
+/// matching channel count, length within `[window, max_len]`, every value finite. The
+/// single checkpoint both the session's set validation and the server's per-request
+/// admission control go through — `index` only labels the error.
+pub(crate) fn validate_request(
+    config: &rita_core::model::RitaConfig,
+    index: usize,
+    r: &NdArray,
+) -> Result<(), RequestError> {
+    let shape = r.shape();
+    if shape.len() != 2 {
+        return Err(RequestError::BadRank { index, shape: shape.to_vec() });
+    }
+    if shape[0] != config.channels {
+        return Err(RequestError::WrongChannels {
+            index,
+            found: shape[0],
+            expected: config.channels,
+        });
+    }
+    let accepted = (config.window, config.max_len);
+    if shape[1] < accepted.0 || shape[1] > accepted.1 {
+        return Err(RequestError::BadLength { index, length: shape[1], accepted });
+    }
+    // One linear scan at admission beats one NaN silently spreading through the
+    // shared reductions (softmax, layer-norm means) of a stacked mixed-tenant batch.
+    let finite = if r.is_contiguous() {
+        r.as_slice().iter().all(|v| v.is_finite())
+    } else {
+        r.materialize().as_slice().iter().all(|v| v.is_finite())
+    };
+    if !finite {
+        return Err(RequestError::NonFinite { index });
+    }
+    Ok(())
+}
 
 /// A loaded model plus batching state — the object a server holds per worker thread.
 pub struct InferSession {
@@ -127,26 +174,11 @@ impl InferSession {
     }
 
     /// Validates every request up front: rank 2, matching channel count, length within
-    /// `[window, max_len]`. Nothing is computed when any request is malformed, so a bad
-    /// request can never abort a half-served batch.
+    /// `[window, max_len]`, all values finite. Nothing is computed when any request is
+    /// malformed, so a bad request can never abort (or poison) a half-served batch.
     fn validate(&self, requests: &[NdArray]) -> Result<(), RequestError> {
-        let config = self.model.config();
-        let accepted = (config.window, config.max_len);
         for (index, r) in requests.iter().enumerate() {
-            let shape = r.shape();
-            if shape.len() != 2 {
-                return Err(RequestError::BadRank { index, shape: shape.to_vec() });
-            }
-            if shape[0] != config.channels {
-                return Err(RequestError::WrongChannels {
-                    index,
-                    found: shape[0],
-                    expected: config.channels,
-                });
-            }
-            if shape[1] < accepted.0 || shape[1] > accepted.1 {
-                return Err(RequestError::BadLength { index, length: shape[1], accepted });
-            }
+            validate_request(self.model.config(), index, r)?;
         }
         Ok(())
     }

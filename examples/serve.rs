@@ -1,9 +1,13 @@
-//! Serving demo: train a small classifier, save it to a checkpoint, then load the
-//! checkpoint into the **tape-free inference engine** (`rita-infer`) and answer batched
-//! classification requests of mixed lengths — the full train → persist → serve loop.
+//! Serving demo: train a small classifier, persist it, then run the **continuous-
+//! batching serving core** over it — a versioned model registry, a multi-tenant
+//! `Server` with admission control and SLO-aware batching, a mid-traffic hot-swap to
+//! a retrained checkpoint (and a rollback), and a metrics snapshot at the end.
 //!
 //! Run with: `cargo run --release --example serve`
 //! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
@@ -11,12 +15,12 @@ use rita::core::checkpoint::Checkpoint;
 use rita::core::model::RitaConfig;
 use rita::core::tasks::{timed, Classifier, TrainConfig};
 use rita::data::{DatasetKind, TimeseriesDataset};
-use rita::infer::{pool_stats, InferSession};
+use rita::infer::{ModelRegistry, ServeError, Server, ServerConfig, TenantPolicy};
 use rita::tensor::{NdArray, SeedableRng64};
 
 fn main() {
     let quick = std::env::var_os("RITA_QUICK").is_some();
-    let (n_train, n_requests, epochs) = if quick { (16, 12, 1) } else { (80, 200, 3) };
+    let (n_train, n_requests, epochs) = if quick { (16, 48, 1) } else { (80, 400, 3) };
     let mut rng = SeedableRng64::seed_from_u64(0);
 
     // 1. Train a classifier (group attention, adaptive scheduler) and persist it.
@@ -40,18 +44,33 @@ fn main() {
     let size = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
     println!("checkpoint written: {} ({size} bytes)", ckpt_path.display());
 
-    // 2. "Fresh process": load the checkpoint into the tape-free serving session.
+    // 2. "Fresh process": publish the checkpoint into a registry and start the server.
     let ckpt = Checkpoint::load(&ckpt_path).expect("load checkpoint");
-    let session = InferSession::from_checkpoint(&ckpt).expect("load into inference engine");
+    let registry = Arc::new(ModelRegistry::new());
+    let v1 = registry.publish(&ckpt).expect("publish v1");
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            max_batch: 6,
+            slo: Duration::from_millis(50),
+            linger: Duration::from_micros(200),
+            ..Default::default()
+        },
+    );
     println!(
-        "serving a {} checkpoint ({} classes)",
+        "serving {} checkpoint version {v1} ({} tenants' traffic incoming)",
         ckpt.config.attention.name(),
-        session.model().num_classes().unwrap_or(0)
+        3
+    );
+    // One tenant is rate-limited hard so admission control has something to shed.
+    server.set_tenant_policy(
+        "metered",
+        TenantPolicy { rate_per_sec: Some(20.0), burst: 4.0, max_queue_depth: 32 },
     );
 
-    // 3. Answer a stream of concurrent requests with mixed series lengths: the session
-    //    buckets them into rectangular batches, runs the tape-free forward, and returns
-    //    answers in request order, recycling activation buffers between batches.
+    // 3. Multi-tenant mixed-length traffic from concurrent client threads, with a
+    //    hot-swap to a retrained checkpoint mid-stream and a rollback after it.
     let lengths = [60usize, 90, 120];
     let requests: Vec<NdArray> = (0..n_requests)
         .map(|i| {
@@ -65,22 +84,74 @@ fn main() {
             )
         })
         .collect();
-    let (predictions, seconds) = timed(|| session.classify(&requests).expect("valid requests"));
-    let mut per_class = [0usize; 5];
-    for p in &predictions {
-        per_class[p.class.min(4)] += 1;
-    }
+
+    let retrained_ckpt = {
+        // Brief fine-tune: the v2 weights the hot-swap publishes while traffic flows.
+        let mut rng = SeedableRng64::seed_from_u64(1);
+        let more = TrainConfig { epochs: 1, batch_size: 8, lr: 5e-4, ..Default::default() };
+        classifier.train(&data, &more, &mut rng);
+        Checkpoint::of_classifier(&classifier, None)
+    };
+
+    let (outcome, seconds) = timed(|| {
+        std::thread::scope(|s| {
+            let server = &server;
+            let requests = &requests;
+            let clients: Vec<_> = (0..3)
+                .map(|c| {
+                    s.spawn(move || {
+                        let tenant = ["tenant-a", "tenant-b", "metered"][c];
+                        let (mut served, mut shed, mut versions) = (0usize, 0usize, [0usize; 2]);
+                        // Contiguous chunk per client: every client walks the same
+                        // length cycle out of phase, so concurrent requests overlap in
+                        // length and the batcher gets buckets to fill.
+                        let chunk = requests.len().div_ceil(3);
+                        for r in requests.iter().skip(c * chunk).take(chunk) {
+                            match server.classify(tenant, r.clone()) {
+                                Ok(resp) => {
+                                    served += 1;
+                                    versions[(resp.model_version as usize - 1).min(1)] += 1;
+                                }
+                                Err(ServeError::Overloaded { .. }) => shed += 1,
+                                Err(e) => panic!("unexpected serve error: {e}"),
+                            }
+                        }
+                        (served, shed, versions)
+                    })
+                })
+                .collect();
+            // Mid-traffic: publish the retrained weights (atomic per batch), then roll
+            // back — in-flight batches always finish on the version they snapshotted.
+            std::thread::sleep(Duration::from_millis(if quick { 4 } else { 100 }));
+            let v2 = registry.publish(&retrained_ckpt).expect("publish v2");
+            std::thread::sleep(Duration::from_millis(if quick { 4 } else { 100 }));
+            let back = registry.rollback().expect("rollback to v1");
+            println!("hot-swapped to version {v2}, then rolled back to version {back}");
+            clients.into_iter().map(|c| c.join().expect("client")).collect::<Vec<_>>()
+        })
+    });
+
+    let served: usize = outcome.iter().map(|(s, _, _)| s).sum();
+    let shed: usize = outcome.iter().map(|(_, d, _)| d).sum();
+    let v1_served: usize = outcome.iter().map(|(_, _, v)| v[0]).sum();
+    let v2_served: usize = outcome.iter().map(|(_, _, v)| v[1]).sum();
     println!(
-        "answered {} mixed-length requests in {:.1} ms ({:.0} requests/s)",
-        requests.len(),
+        "served {served} requests in {:.1} ms ({:.0} requests/s): {v1_served} on v1, \
+         {v2_served} on v2, {shed} shed by admission control",
         seconds * 1e3,
-        requests.len() as f64 / seconds.max(1e-9),
+        served as f64 / seconds.max(1e-9),
     );
-    println!("class distribution of the answers: {per_class:?}");
-    let stats = pool_stats();
+
+    let snap = server.metrics().snapshot();
     println!(
-        "arena: {} buffers recycled, {} allocations served from the pool, {} fresh",
-        stats.recycled, stats.reused, stats.fresh
+        "batches: {} (mean size {:.1}, {} early closes), latency p50 {}us p99 {}us",
+        snap.batches,
+        snap.batch_size.mean,
+        snap.early_closes,
+        snap.latency_us.p50,
+        snap.latency_us.p99
     );
+    println!("metrics snapshot: {}", snap.to_json());
+    server.shutdown();
     let _ = std::fs::remove_file(&ckpt_path);
 }

@@ -1,0 +1,407 @@
+//! The serving-core contract: every answer the continuous-batching [`Server`] produces
+//! is bit-identical to a single-call [`InferSession`] on the same checkpoint, under
+//! forced multi-worker configurations, SLO-pressured early closes, admission-control
+//! shedding, and concurrent hot-swaps.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rita::core::attention::AttentionKind;
+use rita::core::checkpoint::Checkpoint;
+use rita::core::model::RitaConfig;
+use rita::core::tasks::Classifier;
+use rita::infer::{
+    InferModel, InferSession, ModelRegistry, RequestError, ServeError, Server, ServerConfig,
+    ShedReason, TenantPolicy,
+};
+use rita::tensor::{NdArray, SeedableRng64};
+
+fn test_config() -> RitaConfig {
+    RitaConfig {
+        channels: 2,
+        max_len: 64,
+        d_model: 16,
+        n_layers: 1,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: false },
+        ..Default::default()
+    }
+}
+
+fn checkpoint(seed: u64) -> Checkpoint {
+    let mut rng = SeedableRng64::seed_from_u64(seed);
+    Checkpoint::of_classifier(&Classifier::new(test_config(), 4, &mut rng), None)
+}
+
+fn registry_with(seed: u64) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&checkpoint(seed)).unwrap();
+    registry
+}
+
+fn mixed_requests(seed: u64, lengths: &[usize]) -> Vec<NdArray> {
+    let mut rng = SeedableRng64::seed_from_u64(seed);
+    lengths.iter().map(|&l| NdArray::randn(&[2, l], 1.0, &mut rng)).collect()
+}
+
+/// A fast-batching config: no calibration (explicit throughput), generous SLO, tiny
+/// linger so tests never wait on the batching window.
+fn fast_config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        max_batch: 8,
+        slo: Duration::from_secs(2),
+        linger: Duration::from_millis(1),
+        bytes_per_sec: Some(1e12),
+        ..Default::default()
+    }
+}
+
+/// The acceptance-criterion core, forced onto a given worker count: concurrent
+/// mixed-length, mixed-tenant traffic through the server must reproduce the
+/// single-call `InferSession` logits bit-for-bit, request by request.
+fn assert_bit_parity_with_workers(workers: usize) {
+    let ckpt = checkpoint(7);
+    let session = InferSession::from_checkpoint(&ckpt).unwrap();
+    let lengths = [24usize, 40, 64, 40, 24, 56, 64, 24, 40, 56, 64, 24, 40, 40, 56, 24];
+    let requests = mixed_requests(11, &lengths);
+    let expected: Vec<Vec<f32>> = requests
+        .iter()
+        .map(|r| {
+            let logits = session.classify_logits(std::slice::from_ref(r)).unwrap();
+            logits[0].as_slice().to_vec()
+        })
+        .collect();
+    let classes: Vec<usize> = requests
+        .iter()
+        .map(|r| session.classify(std::slice::from_ref(r)).unwrap()[0].class)
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&ckpt).unwrap();
+    let server = Server::start(registry, fast_config(workers));
+    // Several client threads per tenant, each replaying the request set: batches form
+    // from whatever mix is queued at close time, across tenants and lengths.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|client| {
+                let server = &server;
+                let requests = &requests;
+                let expected = &expected;
+                let classes = &classes;
+                s.spawn(move || {
+                    let tenant = if client % 2 == 0 { "tenant-a" } else { "tenant-b" };
+                    for (i, r) in requests.iter().enumerate() {
+                        let got = server.classify(tenant, r.clone()).unwrap();
+                        assert_eq!(
+                            got.logits.as_slice(),
+                            expected[i].as_slice(),
+                            "client {client} request {i}: served logits diverged from the \
+                             single-call session"
+                        );
+                        assert_eq!(got.class, classes[i], "client {client} request {i} class");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.served(), (3 * lengths.len()) as u64);
+    assert_eq!(snap.latency_us.count, (3 * lengths.len()) as u64);
+    assert!(snap.batches >= 1);
+    assert_eq!(snap.shed(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn two_workers_serve_bit_identical_to_single_call_session() {
+    assert_bit_parity_with_workers(2);
+}
+
+#[test]
+fn four_workers_serve_bit_identical_to_single_call_session() {
+    assert_bit_parity_with_workers(4);
+}
+
+#[test]
+fn slo_pressure_closes_batches_early() {
+    // A 10-second linger would hold a lone request half the test's life; the SLO slack
+    // must close the batch instead, well inside the deadline.
+    let config = ServerConfig {
+        workers: 1,
+        max_batch: 8,
+        slo: Duration::from_millis(100),
+        linger: Duration::from_secs(10),
+        bytes_per_sec: Some(1e12),
+        ..Default::default()
+    };
+    let server = Server::start(registry_with(3), config);
+    let request = mixed_requests(5, &[48]).pop().unwrap();
+    let start = Instant::now();
+    let got = server.classify("solo", request).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(got.model_version, 1);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "request waited {elapsed:?}: the SLO early close never fired"
+    );
+    let snap = server.metrics().snapshot();
+    assert!(snap.early_closes >= 1, "no early close recorded: {snap:?}");
+    server.shutdown();
+}
+
+#[test]
+fn same_tenant_same_length_requests_are_served_fifo() {
+    // One worker, batch size forced to 1: every batch is exactly the oldest queued
+    // request, so completions must follow submission order. The check is
+    // deadlock-free deterministic: when the *last* ticket resolves, every earlier
+    // ticket must already hold its answer.
+    let config = ServerConfig {
+        workers: 1,
+        max_batch: 1,
+        slo: Duration::from_secs(5),
+        linger: Duration::from_millis(1),
+        bytes_per_sec: Some(1e12),
+        ..Default::default()
+    };
+    let server = Server::start(registry_with(9), config);
+    for round in 0..3 {
+        let requests = mixed_requests(20 + round, &[32; 6]);
+        let mut tickets: Vec<_> =
+            requests.into_iter().map(|r| server.submit("fifo-tenant", r).unwrap()).collect();
+        let last = tickets.pop().unwrap();
+        last.wait().unwrap();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert!(
+                t.try_wait().is_some(),
+                "round {round}: request {i} unserved after a later submission completed"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_is_atomic_and_rollback_restores_old_answers() {
+    let ckpt_v1 = checkpoint(41);
+    let ckpt_v2 = checkpoint(42);
+    let session_v1 = InferSession::from_checkpoint(&ckpt_v1).unwrap();
+    let session_v2 = InferSession::from_checkpoint(&ckpt_v2).unwrap();
+    let requests = mixed_requests(50, &[40, 64, 24, 40]);
+    let expected: Vec<[Vec<f32>; 2]> = requests
+        .iter()
+        .map(|r| {
+            let one = session_v1.classify_logits(std::slice::from_ref(r)).unwrap();
+            let two = session_v2.classify_logits(std::slice::from_ref(r)).unwrap();
+            [one[0].as_slice().to_vec(), two[0].as_slice().to_vec()]
+        })
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&ckpt_v1).unwrap();
+    let server = Server::start(Arc::clone(&registry), fast_config(2));
+    // Every response must match the *exact* logits of the version it claims — a torn
+    // swap (half-old half-new weights) would match neither.
+    let check = |server: &Server, i: usize| -> u64 {
+        let got = server.classify("swapper", requests[i].clone()).unwrap();
+        let version = got.model_version;
+        assert!((1..=2).contains(&version), "unknown version {version}");
+        assert_eq!(
+            got.logits.as_slice(),
+            expected[i][(version - 1) as usize].as_slice(),
+            "request {i}: logits do not match the claimed version {version}"
+        );
+        version
+    };
+    let wait_for_version = |server: &Server, want: u64| {
+        // At most one in-flight batch can still run on the previously-snapshotted
+        // version; after it drains every new batch must see the swap.
+        for _ in 0..50 {
+            if check(server, 0) == want {
+                return;
+            }
+        }
+        panic!("version {want} never became visible");
+    };
+
+    for i in 0..requests.len() {
+        assert_eq!(check(&server, i), 1);
+    }
+    // Hot-swap under load: responses stay version-consistent while clients hammer.
+    std::thread::scope(|s| {
+        let server = &server;
+        let check = &check;
+        let n = requests.len();
+        let worker = s.spawn(move || {
+            for round in 0..30 {
+                check(server, round % n);
+            }
+        });
+        registry.publish(&ckpt_v2).unwrap();
+        worker.join().unwrap();
+    });
+    wait_for_version(&server, 2);
+    for i in 0..requests.len() {
+        assert_eq!(check(&server, i), 2);
+    }
+    // Rollback repoints to v1 without reloading; served answers flip back bit-exactly.
+    assert_eq!(registry.rollback(), Some(1));
+    wait_for_version(&server, 1);
+    for i in 0..requests.len() {
+        assert_eq!(check(&server, i), 1);
+    }
+    assert!(server.metrics().snapshot().model_swaps >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_sheds_with_typed_reasons() {
+    // Token bucket: burst of 1, no refill — the second immediate submission sheds.
+    let server = Server::start(registry_with(13), fast_config(1));
+    server.set_tenant_policy(
+        "metered",
+        TenantPolicy { rate_per_sec: Some(0.0), burst: 1.0, max_queue_depth: 64 },
+    );
+    let reqs = mixed_requests(60, &[32, 32, 32]);
+    let first = server.submit("metered", reqs[0].clone()).unwrap();
+    match server.submit("metered", reqs[1].clone()) {
+        Err(ServeError::Overloaded { tenant, reason }) => {
+            assert_eq!(tenant, "metered");
+            assert_eq!(reason, ShedReason::RateLimited);
+        }
+        other => panic!("expected rate-limit shed, got {other:?}"),
+    }
+    // An unmetered tenant is unaffected.
+    server.classify("open", reqs[2].clone()).unwrap();
+    first.wait().unwrap();
+
+    // Tenant queue slice of zero: shed before the global queue is even consulted.
+    server.set_tenant_policy(
+        "depthless",
+        TenantPolicy { rate_per_sec: None, burst: 1.0, max_queue_depth: 0 },
+    );
+    match server.submit("depthless", reqs[0].clone()) {
+        Err(ServeError::Overloaded { reason, .. }) => {
+            assert_eq!(reason, ShedReason::TenantQueueFull)
+        }
+        other => panic!("expected tenant-depth shed, got {other:?}"),
+    }
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.shed(), 2);
+    let metered = snap.tenants.iter().find(|(n, _)| n == "metered").unwrap();
+    assert_eq!((metered.1.accepted, metered.1.shed_rate), (1, 1));
+    server.shutdown();
+
+    // Global queue bound: a zero-depth server sheds everything as QueueFull.
+    let config = ServerConfig { max_queue_depth: 0, ..fast_config(1) };
+    let server = Server::start(registry_with(13), config);
+    match server.submit("anyone", reqs[0].clone()) {
+        Err(ServeError::Overloaded { reason, .. }) => assert_eq!(reason, ShedReason::QueueFull),
+        other => panic!("expected global-queue shed, got {other:?}"),
+    }
+    assert_eq!(server.metrics().snapshot().shed_queue_full, 1);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_requests_are_rejected_at_admission() {
+    let server = Server::start(registry_with(17), fast_config(1));
+    // NaN poisoning is caught before the request can join a batch.
+    let mut poisoned = vec![0.5f32; 2 * 32];
+    poisoned[17] = f32::NAN;
+    let nan_req = NdArray::from_vec(poisoned, &[2, 32]).unwrap();
+    match server.submit("t", nan_req) {
+        Err(ServeError::Invalid(RequestError::NonFinite { index: 0 })) => {}
+        other => panic!("expected NonFinite rejection, got {other:?}"),
+    }
+    let inf_req = NdArray::full(&[2, 32], f32::INFINITY);
+    assert!(matches!(
+        server.submit("t", inf_req),
+        Err(ServeError::Invalid(RequestError::NonFinite { .. }))
+    ));
+    // Shape and length validation run at admission too.
+    let short = NdArray::full(&[2, 1], 0.0);
+    assert!(matches!(
+        server.submit("t", short),
+        Err(ServeError::Invalid(RequestError::BadLength { .. }))
+    ));
+    let wrong_rank = NdArray::full(&[2, 4, 8], 0.0);
+    assert!(matches!(
+        server.submit("t", wrong_rank),
+        Err(ServeError::Invalid(RequestError::BadRank { .. }))
+    ));
+    let snap = server.metrics().snapshot();
+    let t = snap.tenants.iter().find(|(n, _)| n == "t").unwrap();
+    assert_eq!(t.1.invalid, 4, "every validation rejection counts against the tenant");
+    server.shutdown();
+}
+
+#[test]
+fn serving_an_empty_registry_reports_no_model() {
+    let server = Server::start(Arc::new(ModelRegistry::new()), fast_config(1));
+    let req = mixed_requests(1, &[32]).pop().unwrap();
+    assert_eq!(server.submit("t", req.clone()).err(), Some(ServeError::NoModel));
+    // After the first publish the same server starts serving.
+    server.registry().publish(&checkpoint(23)).unwrap();
+    assert!(server.classify("t", req).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn batch_invariance_is_bitwise() {
+    // The property the whole serving core leans on: the tape-free forward gives every
+    // request the same logits regardless of which batch it rides in.
+    let ckpt = checkpoint(3);
+    let model = InferModel::from_checkpoint(&ckpt).unwrap();
+    let session = InferSession::from_checkpoint(&ckpt).unwrap();
+    let lengths = [24usize, 40, 56, 64, 40, 24, 64, 56, 40, 40, 24, 64];
+    let requests = mixed_requests(33, &lengths);
+
+    let singles: Vec<Vec<f32>> = requests
+        .iter()
+        .map(|r| {
+            let batch = NdArray::stack(&[r]).unwrap();
+            model.logits(&batch).as_slice().to_vec()
+        })
+        .collect();
+
+    // Through the session's bucketed mixed batches.
+    let via_session = session.classify_logits(&requests).unwrap();
+    for (i, (one, many)) in singles.iter().zip(&via_session).enumerate() {
+        assert_eq!(one.as_slice(), many.as_slice(), "request {i} diverged");
+    }
+
+    // And through a hand-built batch of arbitrary size and order.
+    let batch = NdArray::stack(&[&requests[1], &requests[4], &requests[8], &requests[9]]).unwrap();
+    let logits = model.logits(&batch);
+    for (row, req) in [1usize, 4, 8, 9].iter().enumerate() {
+        let got = logits.index_axis(0, row).unwrap().materialize();
+        assert_eq!(got.as_slice(), singles[*req].as_slice(), "row {row} (request {req}) diverged");
+    }
+}
+
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    let server = Server::start(registry_with(29), fast_config(2));
+    let requests = mixed_requests(70, &[32; 10]);
+    let tickets: Vec<_> =
+        requests.into_iter().map(|r| server.submit("drain", r).unwrap()).collect();
+    let answers = Arc::new(Mutex::new(0usize));
+    std::thread::scope(|s| {
+        for t in tickets {
+            let answers = Arc::clone(&answers);
+            s.spawn(move || {
+                t.wait().unwrap();
+                *answers.lock().unwrap() += 1;
+            });
+        }
+        server.shutdown();
+    });
+    assert_eq!(*answers.lock().unwrap(), 10, "shutdown dropped admitted requests");
+}
