@@ -1,11 +1,14 @@
 //! Inference-throughput benchmark: the `no_grad` autograd forward (the only serving
-//! path before `rita-infer` existed) against the tape-free engine, on a fused
+//! path before `rita-infer` existed) against the planned-graph executor, on a fused
 //! group-attention classifier, swept over batch size × head count.
 //!
-//! The tape-free path runs the same kernels with no per-op `Var` allocation and
-//! arena-recycled activation buffers, so its advantage is largest at small batches
-//! where per-op overhead dominates the kernel time — exactly the regime a
-//! low-latency serving tier lives in.
+//! The plan path compiles the forward graph once per `(batch, length)` bucket —
+//! topological schedule, peephole-fused nodes, ahead-of-time buffer lifetimes — and
+//! interprets it with no per-op `Var` allocation and pool-recycled activation
+//! buffers, so its advantage is largest at small batches where per-op overhead
+//! dominates the kernel time — exactly the regime a low-latency serving tier lives
+//! in. Steady-state timing includes plan-cache hits only (the one-time compile
+//! happens in the warm-up parity check).
 //!
 //! Besides the human-readable table (with requests/s), every measurement goes to
 //! `BENCH_inference.json` (`BENCH_inference.quick.json` under `RITA_QUICK=1`, as CI
@@ -48,23 +51,24 @@ fn bench_inference(c: &mut Criterion) {
         let mut rng = SeedableRng64::seed_from_u64(7);
         let mut clf = classifier(heads, &mut rng);
         let infer = InferModel::from_checkpoint(&Checkpoint::of_classifier(&clf, None))
-            .expect("load checkpoint into the tape-free engine");
+            .expect("load checkpoint into the planned-graph engine");
         let group_name = format!("inference_forward_h{heads}");
         let mut group = c.benchmark_group(&group_name);
         group.sample_size(if quick() { 3 } else { 10 });
         for &b in batches {
             let x = NdArray::randn(&[b, 3, 120], 1.0, &mut rng);
-            // Sanity: both paths agree bit-for-bit before we time them.
+            // Sanity: both paths agree bit-for-bit before we time them (this also
+            // compiles and caches the plan, so the timed loop is all cache hits).
             let reference = no_grad(|| clf.logits(&x, false, &mut rng).to_array());
             assert_eq!(
                 reference.as_slice(),
                 infer.logits(&x).as_slice(),
-                "tape-free forward diverged from the no_grad Var forward"
+                "planned forward diverged from the no_grad Var forward"
             );
             group.bench_with_input(BenchmarkId::new("var_no_grad", b), &b, |bch, _| {
                 bch.iter(|| no_grad(|| clf.logits(&x, false, &mut rng).to_array()));
             });
-            group.bench_with_input(BenchmarkId::new("tape_free", b), &b, |bch, _| {
+            group.bench_with_input(BenchmarkId::new("planned", b), &b, |bch, _| {
                 bch.iter(|| infer.logits(&x));
             });
         }

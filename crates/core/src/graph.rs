@@ -1,0 +1,404 @@
+//! Emission of the static forward graph from a model configuration, and the `no_grad`
+//! [`Var`] interpreter that serves as the exactness oracle for plan executors.
+//!
+//! [`build_graph`] lays out the whole RITA forward — window embedding, encoder stack,
+//! task head — as [`rita_nn::graph`] nodes whose IDs are the dot-separated parameter
+//! paths the module visitors produce, so a checkpoint's tensors bind to the graph by
+//! name with no translation table. The graph is emitted *unfused* (separate matmul and
+//! add-bias nodes); [`Graph::peephole`] folds the chains the kernels can run as one
+//! node.
+//!
+//! [`run_var`] walks a compiled schedule with the same `Var` operations the training
+//! modules call, under `no_grad`. Because the training forward and this interpreter
+//! share every kernel and its invocation order, their outputs are bit-identical — and
+//! any other interpreter of the same plan (the tape-free one in `rita-infer`) can be
+//! checked against it to 0 ulp.
+
+use std::sync::Arc;
+
+use rita_nn::graph::{AttnOp, Binding, Graph, Op, PlanError, ValueId};
+use rita_nn::{no_grad, Var};
+use rita_tensor::NdArray;
+
+use crate::attention::{AttentionKind, GroupAttentionConfig};
+use crate::checkpoint::TaskKind;
+use crate::group::group_key_blocks;
+use crate::model::RitaConfig;
+
+/// The value name under which interpreters look up the sinusoidal positional table
+/// (rebuilt from the config, never checkpointed).
+pub const POSITIONAL: &str = "positional";
+
+/// Emits an unfused linear layer (`matmul` + optional-bias `add_bias`) and returns the
+/// output value.
+fn emit_linear(g: &mut Graph, prefix: &str, x: ValueId) -> ValueId {
+    let w = g.param(&format!("{prefix}.weight"), false);
+    let b = g.param(&format!("{prefix}.bias"), true);
+    let y = g.push(&format!("{prefix}.matmul"), Op::Matmul, vec![x, w]);
+    g.push(&format!("{prefix}.add_bias"), Op::AddBias, vec![y, b])
+}
+
+fn emit_layer_norm(g: &mut Graph, prefix: &str, x: ValueId) -> ValueId {
+    let gamma = g.param(&format!("{prefix}.gamma"), false);
+    let beta = g.param(&format!("{prefix}.beta"), false);
+    g.push(
+        prefix,
+        Op::LayerNorm { eps: rita_nn::layers::LayerNorm::DEFAULT_EPS },
+        vec![x, gamma, beta],
+    )
+}
+
+/// Builds the forward graph for `config` and `task`.
+///
+/// `scheduler` is the checkpoint's persisted per-layer group-count targets (ignored for
+/// non-group attention); a missing entry falls back to the configured initial group
+/// count, exactly as checkpoint loading always has. Node IDs follow the parameter-path
+/// grammar (`model.encoder.layers.3.norm1`, …), with the `model.` prefix dropped for a
+/// bare backbone — matching how checkpoints name their tensors per task.
+pub fn build_graph(config: &RitaConfig, task: TaskKind, scheduler: &[Option<f32>]) -> Graph {
+    config.validate();
+    let bb = match task {
+        TaskKind::Backbone => "",
+        _ => "model.",
+    };
+    let group_defaults = GroupAttentionConfig::default();
+    let mut g = Graph::new();
+    let x = g.add_input("input");
+
+    // Input stage: time-aware convolution as unfold + linear, then [CLS] + positions.
+    let windows = g.push(
+        &format!("{bb}embedding.unfold"),
+        Op::Unfold1d { window: config.window, stride: config.stride },
+        vec![x],
+    );
+    let embedded = {
+        let w = g.param(&format!("{bb}embedding.conv.weight"), false);
+        let b = g.param(&format!("{bb}embedding.conv.bias"), true);
+        let y = g.push(&format!("{bb}embedding.conv.matmul"), Op::Matmul, vec![windows, w]);
+        g.push(&format!("{bb}embedding.conv.add_bias"), Op::AddBias, vec![y, b])
+    };
+    let cls = g.param(&format!("{bb}embedding.cls"), false);
+    let pos = g.positional(POSITIONAL);
+    let mut h = g.push(&format!("{bb}embedding"), Op::ClsConcatPos, vec![embedded, cls, pos]);
+
+    // Encoder stack.
+    for i in 0..config.n_layers {
+        let p = format!("{bb}encoder.layers.{i}");
+        let q = emit_linear(&mut g, &format!("{p}.q_proj"), h);
+        let k = emit_linear(&mut g, &format!("{p}.k_proj"), h);
+        let v = emit_linear(&mut g, &format!("{p}.v_proj"), h);
+        let split = Op::SplitHeads { heads: config.n_heads };
+        let qh = g.push(&format!("{p}.q_proj.split_heads"), split, vec![q]);
+        let kh = g.push(&format!("{p}.k_proj.split_heads"), split, vec![k]);
+        let vh = g.push(&format!("{p}.v_proj.split_heads"), split, vec![v]);
+        let mut attn_inputs = vec![qh, kh, vh];
+        let attn_op = match config.attention {
+            AttentionKind::Vanilla => AttnOp::Vanilla,
+            AttentionKind::Group { initial_groups, .. } => AttnOp::Group {
+                n_groups: scheduler.get(i).copied().flatten().unwrap_or(initial_groups as f32),
+                min_groups: group_defaults.min_groups,
+                kmeans_iters: group_defaults.kmeans_iters,
+            },
+            AttentionKind::Performer { features } => {
+                attn_inputs.push(g.param(&format!("{p}.attention.omega"), false));
+                AttnOp::Performer { features }
+            }
+            AttentionKind::Linformer { .. } => {
+                attn_inputs.push(g.param(&format!("{p}.attention.e_proj"), false));
+                attn_inputs.push(g.param(&format!("{p}.attention.f_proj"), false));
+                AttnOp::Linformer { max_windows: config.max_windows() + 1 }
+            }
+        };
+        let attended = g.push(&format!("{p}.attention"), Op::Attention(attn_op), attn_inputs);
+        let merged = g.push(&format!("{p}.attention.merge_heads"), Op::MergeHeads, vec![attended]);
+        let projected = emit_linear(&mut g, &format!("{p}.out_proj"), merged);
+        let sum1 = g.push(&format!("{p}.residual1"), Op::Add, vec![h, projected]);
+        let x1 = emit_layer_norm(&mut g, &format!("{p}.norm1"), sum1);
+        let ff1 = emit_linear(&mut g, &format!("{p}.ff.fc1"), x1);
+        let act = g.push(&format!("{p}.ff.gelu"), Op::Gelu, vec![ff1]);
+        let ff2 = emit_linear(&mut g, &format!("{p}.ff.fc2"), act);
+        let sum2 = g.push(&format!("{p}.residual2"), Op::Add, vec![x1, ff2]);
+        h = emit_layer_norm(&mut g, &format!("{p}.norm2"), sum2);
+    }
+    g.encoder_output = h;
+
+    // Task head.
+    g.output = match task {
+        TaskKind::Backbone => h,
+        TaskKind::Classifier { .. } => {
+            let pooled = g.push("cls_pool", Op::ClsPool, vec![h]);
+            emit_linear(&mut g, "head", pooled)
+        }
+        TaskKind::Imputer => {
+            let windows = g.push("windows", Op::SliceWindows, vec![h]);
+            let decoded = emit_linear(&mut g, "decoder", windows);
+            let fold = Op::Fold1d {
+                channels: config.channels,
+                window: config.window,
+                stride: config.stride,
+            };
+            g.push("fold", fold, vec![decoded])
+        }
+    };
+    g.validate();
+    g
+}
+
+/// Executes `graph` on `x` with `no_grad` [`Var`] operations — the exactness oracle.
+///
+/// `lookup` supplies parameter tensors by path and the positional table under
+/// [`POSITIONAL`]. Every op mirrors the corresponding training-module forward
+/// call-for-call, so the result is bit-identical to running the module tree itself.
+pub fn run_var(
+    graph: &Graph,
+    x: &NdArray,
+    lookup: &dyn Fn(&str) -> Option<NdArray>,
+) -> Result<Var, PlanError> {
+    let order = graph.schedule()?;
+    no_grad(|| {
+        let mut slots: Vec<Option<Var>> = vec![None; graph.values.len()];
+        slots[graph.input.0] = Some(Var::constant(x.clone()));
+        let fetch = |slots: &[Option<Var>], v: ValueId| -> Result<Var, PlanError> {
+            if let Some(var) = &slots[v.0] {
+                return Ok(var.clone());
+            }
+            let info = &graph.values[v.0];
+            let name = match &info.binding {
+                Some(Binding::Param { path, .. }) => path.as_str(),
+                Some(Binding::Positional) => info.name.as_str(),
+                _ => return Err(PlanError::MissingParam(info.name.clone())),
+            };
+            lookup(name).map(Var::constant).ok_or_else(|| PlanError::MissingParam(name.to_string()))
+        };
+        for &ni in &order {
+            let node = &graph.nodes[ni];
+            let mut ins = Vec::with_capacity(node.inputs.len());
+            for &v in &node.inputs {
+                ins.push(fetch(&slots, v)?);
+            }
+            let out = exec_var(&node.op, &ins, x.shape());
+            slots[node.output.0] = Some(out);
+        }
+        slots[graph.output.0].take().ok_or_else(|| PlanError::MissingParam("graph output".into()))
+    })
+}
+
+/// One node under the `Var` interpreter, using exactly the training modules' op chains.
+fn exec_var(op: &Op, ins: &[Var], input_shape: &[usize]) -> Var {
+    match op {
+        Op::Matmul => ins[0].matmul(&ins[1]),
+        Op::AddBias => ins[0].add(&ins[1]),
+        Op::Linear { bias } => {
+            let y = ins[0].matmul(&ins[1]);
+            if *bias {
+                y.add(&ins[2])
+            } else {
+                y
+            }
+        }
+        Op::Unfold1d { window, stride } => ins[0].unfold1d(*window, *stride),
+        Op::WindowEmbed { window, stride, bias } => {
+            let y = ins[0].unfold1d(*window, *stride).matmul(&ins[1]);
+            if *bias {
+                y.add(&ins[2])
+            } else {
+                y
+            }
+        }
+        Op::ClsConcatPos => {
+            // Mirrors `TimeConvEmbed::forward` after the convolution.
+            let embedded = &ins[0];
+            let shape = embedded.shape();
+            let (batch, n, d) = (shape[0], shape[1], shape[2]);
+            let cls = ins[1].reshape(&[1, 1, d]);
+            let cls_batch = cls.mul(&Var::constant(NdArray::ones(&[batch, 1, d])));
+            let with_cls = Var::concat(&[cls_batch, embedded.clone()], 1);
+            let pos = ins[2].slice_axis(0, 0, n + 1);
+            with_cls.add(&pos)
+        }
+        Op::LayerNorm { eps } => {
+            // Mirrors `rita_nn::layers::LayerNorm::forward`.
+            let x = &ins[0];
+            let last = x.shape().len() - 1;
+            let mean = x.mean_axis(last);
+            let centered = x.sub(&mean);
+            let var = centered.square().mean_axis(last);
+            let denom = var.add_scalar(*eps).sqrt();
+            centered.div(&denom).mul(&ins[1]).add(&ins[2])
+        }
+        Op::Gelu => ins[0].gelu(),
+        Op::Add => ins[0].add(&ins[1]),
+        Op::SplitHeads { heads } => crate::attention::split_heads(&ins[0], *heads),
+        Op::MergeHeads => crate::attention::merge_heads(&ins[0]),
+        Op::Attention(attn) => exec_var_attention(attn, ins),
+        Op::ClsPool => {
+            let shape = ins[0].shape();
+            ins[0].slice_axis(1, 0, 1).reshape(&[shape[0], shape[2]])
+        }
+        Op::SliceWindows => {
+            let n = ins[0].shape()[1];
+            ins[0].slice_axis(1, 1, n)
+        }
+        Op::Fold1d { channels, window, stride } => {
+            ins[0].fold1d(*channels, *window, *stride, input_shape[2])
+        }
+    }
+}
+
+fn exec_var_attention(attn: &AttnOp, ins: &[Var]) -> Var {
+    let (q, k, v) = (&ins[0], &ins[1], &ins[2]);
+    let shape = q.shape();
+    let (b, heads, n_windows, dh) = (shape[0], shape[1], shape[2], shape[3]);
+    match attn {
+        AttnOp::Vanilla => q.fused_attention(k, v, 1.0 / (dh as f32).sqrt()),
+        AttnOp::Group { n_groups, min_groups, kmeans_iters } => {
+            // Mirrors `GroupAttention::forward`'s fused sparse path with the scheduler
+            // target frozen at graph-emission time.
+            let groups = (n_groups.round() as usize).clamp((*min_groups).min(n_windows), n_windows);
+            let keys_detached = k.to_array();
+            let groupings = group_key_blocks(&keys_detached, groups, *kmeans_iters);
+            let counts_flat: Vec<f32> =
+                groupings.iter().flat_map(|g| g.counts.iter().map(|&c| c as f32)).collect();
+            let inv_counts = NdArray::from_vec(
+                counts_flat.iter().map(|&c| 1.0 / c.max(1.0)).collect(),
+                &[b, heads, groups, 1],
+            )
+            .expect("inverse count shape");
+            let segments: Arc<[usize]> = groupings
+                .iter()
+                .flat_map(|g| g.assignments.iter().copied())
+                .collect::<Vec<_>>()
+                .into();
+            let representatives =
+                k.segment_sum(segments.clone(), groups).mul(&Var::constant(inv_counts));
+            let aggregated = v.segment_sum(segments, groups);
+            let scale = 1.0 / (dh as f32).sqrt();
+            let weights =
+                NdArray::from_vec(counts_flat, &[b, heads, groups]).expect("group weight shape");
+            q.fused_group_attention(&representatives, &aggregated, scale, weights)
+        }
+        AttnOp::Performer { features } => {
+            // Mirrors `PerformerAttention::forward` / `feature_map`.
+            let omega = &ins[3];
+            let scale = (dh as f32).powf(-0.25);
+            let feature_map = |x: &Var| {
+                let logits = x.matmul(omega);
+                let sq_norm = x.square().sum_axis(3).scale(0.5);
+                let raw = logits.sub(&sq_norm);
+                let stab = raw.to_array().max_all();
+                raw.add_scalar(-stab).exp().scale(1.0 / (*features as f32).sqrt())
+            };
+            let phi_q = feature_map(&q.scale(scale));
+            let phi_k = feature_map(&k.scale(scale));
+            let kv = phi_k.transpose_last2().matmul(v);
+            let numerator = phi_q.matmul(&kv);
+            let phi_k_sum = phi_k.sum_axis(2);
+            let denominator = phi_q.matmul_nt(&phi_k_sum).add_scalar(1e-6);
+            numerator.div(&denominator)
+        }
+        AttnOp::Linformer { .. } => {
+            // Mirrors `LinformerAttention::forward`.
+            let (e_full, f_full) = (&ins[3], &ins[4]);
+            let e = e_full.slice_axis(1, 0, n_windows);
+            let f = f_full.slice_axis(1, 0, n_windows);
+            let k_proj = e.matmul(k);
+            let v_proj = f.matmul(v);
+            let scores = q.matmul_nt_scaled(&k_proj, 1.0 / (dh as f32).sqrt());
+            scores.softmax_last().matmul(&v_proj)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpoint;
+    use crate::model::embedding::sinusoidal_table;
+    use crate::tasks::Classifier;
+    use rand::SeedableRng;
+    use rita_tensor::SeedableRng64;
+
+    fn kinds() -> Vec<AttentionKind> {
+        vec![
+            AttentionKind::Vanilla,
+            AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: false },
+            AttentionKind::Performer { features: 8 },
+            AttentionKind::Linformer { proj_dim: 6 },
+        ]
+    }
+
+    #[test]
+    fn graph_params_match_checkpoint_tensor_paths_exactly() {
+        let mut rng = SeedableRng64::seed_from_u64(0);
+        for kind in kinds() {
+            let config = RitaConfig::tiny(3, 60, kind);
+            let clf = Classifier::new(config, 4, &mut rng);
+            let ckpt = Checkpoint::of_classifier(&clf, None);
+            let graph = build_graph(&config, ckpt.task, &ckpt.scheduler);
+            let mut graph_paths: Vec<String> =
+                graph.param_paths().into_iter().map(|(p, _)| p).collect();
+            let mut ckpt_paths: Vec<String> = ckpt.tensors.iter().map(|(p, _)| p.clone()).collect();
+            graph_paths.sort();
+            ckpt_paths.sort();
+            assert_eq!(graph_paths, ckpt_paths, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn var_oracle_matches_the_training_forward_bitwise() {
+        let mut rng = SeedableRng64::seed_from_u64(1);
+        for kind in kinds() {
+            let config = RitaConfig::tiny(3, 60, kind);
+            let mut clf = Classifier::new(config, 4, &mut rng);
+            let ckpt = Checkpoint::of_classifier(&clf, None);
+            let graph = build_graph(&config, ckpt.task, &ckpt.scheduler);
+            let x = NdArray::randn(&[2, 3, 47], 1.0, &mut rng);
+
+            let reference = no_grad(|| clf.logits(&x, false, &mut rng));
+            let table = sinusoidal_table(config.max_windows() + 1, config.d_model);
+            let oracle = run_var(&graph, &x, &|name| {
+                if name == POSITIONAL {
+                    return Some(table.clone());
+                }
+                ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.clone())
+            })
+            .expect("oracle run");
+            assert_eq!(
+                reference.to_array().as_slice(),
+                oracle.to_array().as_slice(),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_graph_is_bit_identical_to_the_unfused_one() {
+        let mut rng = SeedableRng64::seed_from_u64(2);
+        let config = RitaConfig::tiny(
+            2,
+            45,
+            AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: false },
+        );
+        let clf = Classifier::new(config, 3, &mut rng);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let x = NdArray::randn(&[3, 2, 38], 1.0, &mut rng);
+        let table = sinusoidal_table(config.max_windows() + 1, config.d_model);
+        let lookup = |name: &str| {
+            if name == POSITIONAL {
+                return Some(table.clone());
+            }
+            ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.clone())
+        };
+
+        let unfused = build_graph(&config, ckpt.task, &ckpt.scheduler);
+        let mut fused = unfused.clone();
+        let folded = fused.peephole();
+        assert!(folded > 0, "peephole should fuse the linear and embedding chains");
+        assert!(fused.nodes.len() < unfused.nodes.len());
+
+        let a = run_var(&unfused, &x, &lookup).unwrap();
+        let b = run_var(&fused, &x, &lookup).unwrap();
+        assert_eq!(a.to_array().as_slice(), b.to_array().as_slice());
+    }
+}

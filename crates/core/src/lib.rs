@@ -38,6 +38,7 @@
 
 pub mod attention;
 pub mod checkpoint;
+pub mod graph;
 pub mod group;
 pub mod model;
 pub mod scheduler;

@@ -1,24 +1,33 @@
 //! # rita-infer
 //!
-//! A tape-free inference engine for RITA checkpoints: the layer that turns the training
-//! stack into a *servable* system.
+//! A planned-graph inference engine for RITA checkpoints: the layer that turns the
+//! training stack into a *servable* system.
 //!
 //! Training runs through `rita-nn`'s autograd `Var` machinery; even under `no_grad`,
 //! every operation allocates a graph node and every output buffer comes fresh from the
-//! allocator. This crate executes the forward pass **directly on [`NdArray`]** — no
-//! `Var` allocation per op — and recycles intermediate activation buffers through the
-//! tensor crate's thread-local pool (see `rita_tensor::recycle`), so a long-lived
-//! serving session reaches a steady state where differently-shaped batches share one
-//! working set of buffers.
+//! allocator. This crate instead **executes compiled plans**: loading a checkpoint
+//! emits the static forward graph (`rita_core::graph::build_graph`), a peephole pass
+//! fuses matmul+bias and unfold+projection chains, and each `(batch, length)` shape
+//! bucket is compiled once into a plan — topological schedule, per-value shapes,
+//! last-use positions, and an exact arena of buffer capacities that pre-sizes the
+//! tensor crate's thread-local pool (`rita_tensor::pool_reserve`). The plan interpreter
+//! runs raw [`NdArray`] kernels with no `Var` allocation per op and recycles each
+//! activation at its planned last use, so a long-lived serving session reaches a
+//! steady state where differently-shaped batches share one working set of buffers.
 //!
 //! ## Bit-identical by construction
 //!
-//! The engine calls the *same tensor kernels in the same order* as the `Var` forward
-//! pass (layer norm as sum → scale → sub → square → …, attention through the fused
-//! streaming kernel, grouping through `rita_core::group::group_key_blocks`). Pooled
-//! buffers are re-zeroed before reuse. The result is bit-identical to a `no_grad`
-//! `Var` forward — the property `tests/infer_parity.rs` pins at 0 ulp across every
-//! attention variant.
+//! The plan interpreter calls the *same tensor kernels in the same order* as the `Var`
+//! forward pass (layer norm as sum → scale → sub → square → …, attention through the
+//! fused streaming kernel, grouping through `rita_core::group::group_key_blocks`) —
+//! both interpret the *same graph*, so there is no hand-kept mirror to drift. Pooled
+//! buffers are re-zeroed before reuse, and fusion only merges nodes whose kernel
+//! sequence is unchanged. The result is bit-identical to a `no_grad` `Var` forward —
+//! the property `tests/infer_parity.rs` and `tests/plan_executor.rs` pin at 0 ulp
+//! across every attention variant, with the `Var` interpreter
+//! (`rita_core::graph::run_var`) kept in-tree as the exactness oracle. Kernel or plan
+//! failures surface as a typed [`InferError`] on the offending request instead of
+//! panicking a worker thread.
 //!
 //! ## Serving
 //!
@@ -59,14 +68,17 @@
 
 mod metrics;
 mod model;
+mod plan;
 mod registry;
 mod server;
 mod session;
 
 pub use metrics::{
-    Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, TenantMetrics, TenantSnapshot,
+    Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, PoolCounters, PoolSnapshot,
+    TenantMetrics, TenantSnapshot,
 };
 pub use model::InferModel;
+pub use plan::{plan_cache_stats, InferError, PlanCacheStats};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use rita_tensor::{pool_reset, pool_stats, PoolStats};
 pub use server::{

@@ -11,6 +11,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use rita_tensor::PoolStats;
+
+use crate::plan::{plan_cache_stats, PlanCacheStats};
+
 /// Power-of-two-bucketed histogram: bucket `i` counts values in `[2^i, 2^(i+1))`
 /// (bucket 0 holds 0 and 1). 48 buckets cover u64 microsecond latencies and batch
 /// sizes alike; recording is one relaxed fetch-add.
@@ -141,6 +145,50 @@ pub struct TenantSnapshot {
     pub invalid: u64,
 }
 
+/// Buffer-pool counters aggregated across worker threads. The tensor crate's pool is
+/// thread-local, so each worker folds its per-batch `pool_stats()` delta in here after
+/// the forward — the snapshot shows the server-wide arena behaviour.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    /// Allocations served from a thread's free list.
+    pub reused: AtomicU64,
+    /// Allocations that fell through to the system allocator.
+    pub fresh: AtomicU64,
+    /// Buffers returned to a free list at their planned last use.
+    pub recycled: AtomicU64,
+    /// Bytes served from free lists (requested sizes, not capacities).
+    pub reused_bytes: AtomicU64,
+    /// Bytes that fell through to the system allocator.
+    pub fresh_bytes: AtomicU64,
+}
+
+/// Point-in-time view of the aggregated pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Allocations served from a free list.
+    pub reused: u64,
+    /// Allocations that fell through to the system allocator.
+    pub fresh: u64,
+    /// Buffers returned to a free list.
+    pub recycled: u64,
+    /// Bytes served from free lists.
+    pub reused_bytes: u64,
+    /// Bytes allocated fresh.
+    pub fresh_bytes: u64,
+}
+
+impl PoolSnapshot {
+    /// Fraction of allocations served from the pool (0 when nothing was allocated).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.reused + self.fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+}
+
 /// The serving tier's metrics: global counters and histograms plus per-tenant slices.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -162,6 +210,8 @@ pub struct Metrics {
     pub latency_us: Histogram,
     /// Distribution of queue wait times, in microseconds (enqueue → batch close).
     pub queue_wait_us: Histogram,
+    /// Buffer-pool behaviour, aggregated over worker threads.
+    pub pool: PoolCounters,
     tenants: Mutex<BTreeMap<String, Arc<TenantMetrics>>>,
 }
 
@@ -183,6 +233,19 @@ impl Metrics {
         tenant.served.fetch_add(1, Ordering::Relaxed);
         self.latency_us.record(latency.as_micros() as u64);
         self.queue_wait_us.record(queue_wait.as_micros() as u64);
+    }
+
+    /// Folds one worker's pool delta (its thread-local `pool_stats()` before vs after a
+    /// batch) into the aggregated counters.
+    pub fn record_pool(&self, before: &PoolStats, after: &PoolStats) {
+        let add = |c: &AtomicU64, b: u64, a: u64| {
+            c.fetch_add(a.saturating_sub(b), Ordering::Relaxed);
+        };
+        add(&self.pool.reused, before.reused, after.reused);
+        add(&self.pool.fresh, before.fresh, after.fresh);
+        add(&self.pool.recycled, before.recycled, after.recycled);
+        add(&self.pool.reused_bytes, before.reused_bytes, after.reused_bytes);
+        add(&self.pool.fresh_bytes, before.fresh_bytes, after.fresh_bytes);
     }
 
     /// Point-in-time snapshot of every counter, histogram, and tenant.
@@ -214,6 +277,14 @@ impl Metrics {
             batch_size: self.batch_size.snapshot(),
             latency_us: self.latency_us.snapshot(),
             queue_wait_us: self.queue_wait_us.snapshot(),
+            pool: PoolSnapshot {
+                reused: self.pool.reused.load(Ordering::Relaxed),
+                fresh: self.pool.fresh.load(Ordering::Relaxed),
+                recycled: self.pool.recycled.load(Ordering::Relaxed),
+                reused_bytes: self.pool.reused_bytes.load(Ordering::Relaxed),
+                fresh_bytes: self.pool.fresh_bytes.load(Ordering::Relaxed),
+            },
+            plan_cache: plan_cache_stats(),
             tenants,
         }
     }
@@ -239,6 +310,10 @@ pub struct MetricsSnapshot {
     pub latency_us: HistogramSnapshot,
     /// Queue wait times (µs).
     pub queue_wait_us: HistogramSnapshot,
+    /// Aggregated buffer-pool behaviour (hits, misses, bytes) across workers.
+    pub pool: PoolSnapshot,
+    /// Process-wide plan-cache hit/miss counters.
+    pub plan_cache: PlanCacheStats,
     /// Per-tenant counters, keyed by tenant name.
     pub tenants: Vec<(String, TenantSnapshot)>,
 }
@@ -270,7 +345,11 @@ impl MetricsSnapshot {
             s,
             "{{\"queue_depth\": {}, \"batches\": {}, \"early_closes\": {}, \
              \"model_swaps\": {}, \"shed_queue_full\": {}, \"served\": {}, \"shed\": {}, \
-             \"batch_size\": {}, \"latency_us\": {}, \"queue_wait_us\": {}, \"tenants\": {{",
+             \"batch_size\": {}, \"latency_us\": {}, \"queue_wait_us\": {}, \
+             \"pool\": {{\"reused\": {}, \"fresh\": {}, \"recycled\": {}, \
+             \"reused_bytes\": {}, \"fresh_bytes\": {}, \"hit_rate\": {:.4}}}, \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}, \
+             \"tenants\": {{",
             self.queue_depth,
             self.batches,
             self.early_closes,
@@ -281,6 +360,15 @@ impl MetricsSnapshot {
             h(&self.batch_size),
             h(&self.latency_us),
             h(&self.queue_wait_us),
+            self.pool.reused,
+            self.pool.fresh,
+            self.pool.recycled,
+            self.pool.reused_bytes,
+            self.pool.fresh_bytes,
+            self.pool.hit_rate(),
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.hit_rate(),
         );
         for (i, (name, t)) in self.tenants.iter().enumerate() {
             let comma = if i + 1 < self.tenants.len() { ", " } else { "" };

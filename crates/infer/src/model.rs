@@ -1,483 +1,125 @@
-//! The tape-free model: checkpoint weights as plain [`NdArray`]s plus a forward pass
-//! that mirrors the training graph op-for-op.
+//! The servable model: a checkpoint bound onto the static forward graph, plus a cache
+//! of compiled execution plans per `(batch, length)` shape bucket.
 //!
-//! Every method here calls the same tensor kernels in the same order as the `Var`-based
-//! forward in `rita-nn` / `rita-core`, which is what makes the outputs bit-identical to
-//! a `no_grad` evaluation of the training model. When changing the training forward,
-//! change the mirror here too — `tests/infer_parity.rs` pins the equivalence at 0 ulp.
+//! There is no hand-written forward here any more. `rita_core::graph::build_graph`
+//! emits the same graph the training module tree defines (node IDs are the
+//! checkpoint's own tensor paths), a peephole pass folds matmul+bias and
+//! unfold+projection chains into fused nodes, and `crate::plan` interprets the
+//! compiled plan with raw [`NdArray`] kernels. Bit-parity with a `no_grad` training
+//! forward is a property of the shared graph and kernels — pinned by
+//! `tests/infer_parity.rs` and the `Var` oracle interpreter — not of a mirror kept in
+//! sync by hand.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use crate::reclaim;
-use rita_core::attention::{AttentionKind, GroupAttentionConfig};
 use rita_core::checkpoint::{Checkpoint, CheckpointError, TaskKind};
-use rita_core::group::group_key_blocks;
+use rita_core::graph::build_graph;
 use rita_core::model::embedding::sinusoidal_table;
 use rita_core::model::RitaConfig;
 use rita_core::scheduler::MemoryModel;
-use rita_tensor::{fused_attention, NdArray};
+use rita_nn::graph::{AttnOp, Binding, Graph, Op};
+use rita_tensor::NdArray;
 
-/// `LayerNorm::new`'s epsilon (fixed at construction, not checkpointed) — read from the
-/// training layer's constant so the two sides cannot drift.
-const LAYER_NORM_EPS: f32 = rita_nn::layers::LayerNorm::DEFAULT_EPS;
+use crate::plan::{note_plan_cache, CachedPlan, InferError};
 
-/// Linear layer weights (`y = x · W + b`).
-struct LinearW {
-    weight: NdArray,
-    bias: Option<NdArray>,
-}
-
-impl LinearW {
-    fn forward(&self, x: &NdArray) -> NdArray {
-        let y = x.matmul(&self.weight).expect("linear matmul");
-        match &self.bias {
-            Some(b) => {
-                let out = y.add(b).expect("linear bias");
-                reclaim(y);
-                out
-            }
-            None => y,
-        }
-    }
-}
-
-/// Layer-norm weights.
-struct LayerNormW {
-    gamma: NdArray,
-    beta: NdArray,
-    eps: f32,
-}
-
-impl LayerNormW {
-    /// Mirrors `LayerNorm::forward`: mean/variance as sum → scale, the same broadcast
-    /// chain, no fusing — bit-identical to the training op sequence.
-    fn forward(&self, x: &NdArray) -> NdArray {
-        let last = x.ndim() - 1;
-        let n = x.shape()[last].max(1) as f32;
-        let sum = x.sum_axis(last, true).expect("ln sum");
-        let mean = sum.scale(1.0 / n);
-        reclaim(sum);
-        let centered = x.sub(&mean).expect("ln center");
-        reclaim(mean);
-        let sq = centered.map(|v| v * v);
-        let var_sum = sq.sum_axis(last, true).expect("ln var");
-        reclaim(sq);
-        let var = var_sum.scale(1.0 / n);
-        reclaim(var_sum);
-        let shifted = var.add_scalar(self.eps);
-        reclaim(var);
-        let denom = shifted.sqrt();
-        reclaim(shifted);
-        let normed = centered.div(&denom).expect("ln div");
-        reclaim(centered);
-        reclaim(denom);
-        let scaled = normed.mul(&self.gamma).expect("ln gamma");
-        reclaim(normed);
-        let out = scaled.add(&self.beta).expect("ln beta");
-        reclaim(scaled);
-        out
-    }
-}
-
-/// Feed-forward block weights (`fc2(gelu(fc1(x)))`; dropout is identity at inference).
-struct FeedForwardW {
-    fc1: LinearW,
-    fc2: LinearW,
-}
-
-impl FeedForwardW {
-    fn forward(&self, x: &NdArray) -> NdArray {
-        let h = self.fc1.forward(x);
-        // Same constants and expression as `Var::gelu`'s tanh approximation.
-        const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        const A: f32 = 0.044_715;
-        let activated = h.map(|x| 0.5 * x * (1.0 + (C * (x + A * x * x * x)).tanh()));
-        reclaim(h);
-        let out = self.fc2.forward(&activated);
-        reclaim(activated);
-        out
-    }
-}
-
-/// Frozen attention weights/state for one layer.
-enum AttnW {
-    Vanilla,
-    Group {
-        /// The scheduler's persistent group-count target at checkpoint time. Inference
-        /// never runs the adaptive scheduler — the schedule is frozen.
-        n_groups: f32,
-        min_groups: usize,
-        kmeans_iters: usize,
-    },
-    Performer {
-        omega: NdArray,
-        features: usize,
-    },
-    Linformer {
-        e_proj: NdArray,
-        f_proj: NdArray,
-        max_windows: usize,
-    },
-}
-
-impl AttnW {
-    /// Mirrors the corresponding `Attention::forward` on head-split
-    /// `(batch, heads, windows, head_dim)` tensors.
-    fn forward(&self, q: &NdArray, k: &NdArray, v: &NdArray) -> NdArray {
-        let dh = *q.shape().last().expect("head dim") as f32;
-        match self {
-            AttnW::Vanilla => {
-                let scale = 1.0 / dh.sqrt();
-                fused_attention(q, k, v, scale, None).expect("fused attention").out
-            }
-            AttnW::Group { n_groups, min_groups, kmeans_iters } => {
-                let shape = q.shape();
-                let (b, h, n) = (shape[0], shape[1], shape[2]);
-                // `GroupAttention::effective_groups`: clamp the persistent target to
-                // this batch's window count.
-                let groups = (n_groups.round() as usize).clamp((*min_groups).min(n), n);
-                let groupings = group_key_blocks(k, groups, *kmeans_iters);
-                let mut counts_flat = Vec::with_capacity(b * h * groups);
-                for g in &groupings {
-                    counts_flat.extend(g.counts.iter().map(|&c| c as f32));
-                }
-                let inv_counts = NdArray::from_vec(
-                    counts_flat.iter().map(|&c| 1.0 / c.max(1.0)).collect(),
-                    &[b, h, groups, 1],
-                )
-                .expect("inverse counts");
-                let mut segments = Vec::with_capacity(b * h * n);
-                for g in &groupings {
-                    segments.extend_from_slice(&g.assignments);
-                }
-                let rep_sum = k.segment_sum(&segments, groups).expect("representatives");
-                let representatives = rep_sum.mul(&inv_counts).expect("representative mean");
-                reclaim(rep_sum);
-                let aggregated = v.segment_sum(&segments, groups).expect("aggregated values");
-                let weights = NdArray::from_vec(counts_flat, &[b, h, groups]).expect("counts");
-                let scale = 1.0 / dh.sqrt();
-                let out = fused_attention(q, &representatives, &aggregated, scale, Some(&weights))
-                    .expect("fused group attention")
-                    .out;
-                reclaim(representatives);
-                reclaim(aggregated);
-                out
-            }
-            AttnW::Performer { omega, features } => {
-                // Mirrors `PerformerAttention::forward` + `feature_map`.
-                let scale = dh.powf(-0.25);
-                let feature_map = |x: &NdArray| -> NdArray {
-                    let scaled = x.scale(scale);
-                    let logits = scaled.matmul(omega).expect("performer logits");
-                    let sq = scaled.map(|v| v * v);
-                    reclaim(scaled);
-                    let sq_sum = sq.sum_axis(3, true).expect("performer sq norm");
-                    reclaim(sq);
-                    let sq_norm = sq_sum.scale(0.5);
-                    reclaim(sq_sum);
-                    let raw = logits.sub(&sq_norm).expect("performer raw");
-                    reclaim(logits);
-                    reclaim(sq_norm);
-                    let stab = raw.max_all();
-                    let shifted = raw.add_scalar(-stab);
-                    reclaim(raw);
-                    let expd = shifted.exp();
-                    reclaim(shifted);
-                    let out = expd.scale(1.0 / (*features as f32).sqrt());
-                    reclaim(expd);
-                    out
-                };
-                let phi_q = feature_map(q);
-                let phi_k = feature_map(k);
-                let kv = phi_k.transpose_last2().expect("kv transpose").matmul(v).expect("kv");
-                let numerator = phi_q.matmul(&kv).expect("performer numerator");
-                reclaim(kv);
-                let phi_k_sum = phi_k.sum_axis(2, true).expect("phi_k sum");
-                reclaim(phi_k);
-                let dot = phi_q.matmul_nt(&phi_k_sum).expect("performer denominator");
-                reclaim(phi_q);
-                reclaim(phi_k_sum);
-                let denominator = dot.add_scalar(1e-6);
-                reclaim(dot);
-                let out = numerator.div(&denominator).expect("performer output");
-                reclaim(numerator);
-                reclaim(denominator);
-                out
-            }
-            AttnW::Linformer { e_proj, f_proj, max_windows } => {
-                let n = k.shape()[2];
-                assert!(
-                    n <= *max_windows,
-                    "sequence of {n} windows exceeds the Linformer projection size {max_windows}"
-                );
-                let e = e_proj.slice_axis(1, 0, n).expect("e slice");
-                let f = f_proj.slice_axis(1, 0, n).expect("f slice");
-                let k_proj = e.matmul(k).expect("linformer k");
-                let v_proj = f.matmul(v).expect("linformer v");
-                let scores = q.matmul_nt_scaled(&k_proj, 1.0 / dh.sqrt()).expect("scores");
-                reclaim(k_proj);
-                let probs = scores.softmax_last().expect("softmax");
-                reclaim(scores);
-                let out = probs.matmul(&v_proj).expect("linformer out");
-                reclaim(probs);
-                reclaim(v_proj);
-                out
-            }
-        }
-    }
-}
-
-/// One encoder layer's weights.
-struct LayerW {
-    q_proj: LinearW,
-    k_proj: LinearW,
-    v_proj: LinearW,
-    out_proj: LinearW,
-    attn: AttnW,
-    norm1: LayerNormW,
-    norm2: LayerNormW,
-    ff: FeedForwardW,
-    heads: usize,
-}
-
-impl LayerW {
-    fn forward(&self, x: &NdArray) -> NdArray {
-        let split = |y: NdArray| -> NdArray {
-            // `split_heads`: (b, n, d) → (b, h, n, d/h), a pure view chain.
-            let shape = y.shape().to_vec();
-            let (b, n, d) = (shape[0], shape[1], shape[2]);
-            y.reshape(&[b, n, self.heads, d / self.heads])
-                .expect("split reshape")
-                .permute(&[0, 2, 1, 3])
-                .expect("split permute")
-        };
-        let q = split(self.q_proj.forward(x));
-        let k = split(self.k_proj.forward(x));
-        let v = split(self.v_proj.forward(x));
-        let attended = self.attn.forward(&q, &k, &v);
-        reclaim(q);
-        reclaim(k);
-        reclaim(v);
-        // `merge_heads`: (b, h, n, dh) → (b, n, h·dh).
-        let shape = attended.shape().to_vec();
-        let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
-        let merged = attended
-            .permute(&[0, 2, 1, 3])
-            .expect("merge permute")
-            .reshape(&[b, n, h * dh])
-            .expect("merge reshape");
-        reclaim(attended);
-        let projected = self.out_proj.forward(&merged);
-        reclaim(merged);
-        let sum1 = x.add(&projected).expect("residual 1");
-        reclaim(projected);
-        let x1 = self.norm1.forward(&sum1);
-        reclaim(sum1);
-        let ff_out = self.ff.forward(&x1);
-        let sum2 = x1.add(&ff_out).expect("residual 2");
-        reclaim(x1);
-        reclaim(ff_out);
-        let out = self.norm2.forward(&sum2);
-        reclaim(sum2);
-        out
-    }
-}
-
-/// Input-stage weights.
-struct EmbedW {
-    conv: LinearW,
-    cls: NdArray,
-    positional: NdArray,
-    window: usize,
-    stride: usize,
-    channels: usize,
-}
-
-impl EmbedW {
-    fn forward(&self, x: &NdArray) -> NdArray {
-        let shape = x.shape();
-        assert_eq!(shape.len(), 3, "expected (batch, channels, length), got {shape:?}");
-        assert_eq!(shape[1], self.channels, "channel mismatch: {} vs {}", shape[1], self.channels);
-        assert!(
-            shape[2] >= self.window,
-            "series length {} is shorter than the convolution window {}; \
-             pad the series or configure a smaller window",
-            shape[2],
-            self.window
-        );
-        let batch = shape[0];
-        let windows = x.unfold1d(self.window, self.stride).expect("unfold");
-        let embedded = self.conv.forward(&windows);
-        reclaim(windows);
-        let n = embedded.shape()[1];
-        let d = embedded.shape()[2];
-        assert!(
-            n < self.positional.shape()[0],
-            "series produces {n} windows, more than the positional table supports"
-        );
-        let cls3 = self.cls.reshape(&[1, 1, d]).expect("cls reshape");
-        let cls_batch = cls3.mul(&NdArray::ones(&[batch, 1, d])).expect("cls broadcast");
-        let with_cls = NdArray::concat(&[&cls_batch, &embedded], 1).expect("cls concat");
-        reclaim(cls_batch);
-        reclaim(embedded);
-        let pos = self.positional.slice_axis(0, 0, n + 1).expect("positional slice");
-        let out = with_cls.add(&pos).expect("positional add");
-        reclaim(with_cls);
-        out
-    }
-}
-
-/// Which head the model serves.
-enum HeadW {
-    None,
-    Classifier { head: LinearW, num_classes: usize },
-    Decoder(LinearW),
-}
-
-/// A checkpoint loaded into servable form: plain tensors, no autograd, frozen scheduler
-/// state. `forward` methods take `&self`, so one model can serve from several threads
-/// (each thread keeps its own buffer pool).
+/// A checkpoint loaded into servable form: the forward graph with every parameter
+/// value bound to a plain tensor, frozen scheduler state, and a cache of compiled
+/// plans keyed by `(batch, length)`. Forward methods take `&self`, so one model can
+/// serve from several threads (each thread keeps its own buffer pool).
 pub struct InferModel {
     config: RitaConfig,
     task: TaskKind,
-    embed: EmbedW,
-    layers: Vec<LayerW>,
-    head: HeadW,
-}
-
-/// Tensor lookup that records which paths were consumed.
-struct TensorMap<'a> {
-    by_path: HashMap<&'a str, &'a NdArray>,
-    used: std::cell::RefCell<std::collections::HashSet<String>>,
-}
-
-impl<'a> TensorMap<'a> {
-    fn new(tensors: &'a [(String, NdArray)]) -> Self {
-        Self {
-            by_path: tensors.iter().map(|(p, t)| (p.as_str(), t)).collect(),
-            used: Default::default(),
-        }
-    }
-
-    fn take(&self, path: &str) -> Result<NdArray, CheckpointError> {
-        match self.by_path.get(path) {
-            Some(t) => {
-                self.used.borrow_mut().insert(path.to_string());
-                Ok((*t).clone())
-            }
-            None => Err(CheckpointError::MissingTensor(path.to_string())),
-        }
-    }
-
-    fn linear(&self, prefix: &str) -> Result<LinearW, CheckpointError> {
-        let weight = self.take(&format!("{prefix}.weight"))?;
-        // Bias is optional in `Linear`; every layer the backbone builds has one, but
-        // tolerate its absence so the loader matches the module tree, not a guess.
-        let bias_path = format!("{prefix}.bias");
-        let bias = if self.by_path.contains_key(bias_path.as_str()) {
-            Some(self.take(&bias_path)?)
-        } else {
-            None
-        };
-        Ok(LinearW { weight, bias })
-    }
-
-    fn layer_norm(&self, prefix: &str) -> Result<LayerNormW, CheckpointError> {
-        Ok(LayerNormW {
-            gamma: self.take(&format!("{prefix}.gamma"))?,
-            beta: self.take(&format!("{prefix}.beta"))?,
-            eps: LAYER_NORM_EPS,
-        })
-    }
-
-    fn leftover(&self, tensors: &[(String, NdArray)]) -> Result<(), CheckpointError> {
-        let used = self.used.borrow();
-        let extra: Vec<String> =
-            tensors.iter().map(|(p, _)| p.clone()).filter(|p| !used.contains(p)).collect();
-        if extra.is_empty() {
-            Ok(())
-        } else {
-            Err(CheckpointError::UnexpectedTensors(extra))
-        }
-    }
+    graph: Graph,
+    /// Checkpoint tensor (or positional table) per graph value, `None` for activations.
+    bound: Vec<Option<NdArray>>,
+    /// Shape per bound name, for plan compilation.
+    shapes_by_name: HashMap<String, Vec<usize>>,
+    num_classes: Option<usize>,
+    mean_groups: Option<f32>,
+    plans: Mutex<HashMap<(usize, usize), Arc<CachedPlan>>>,
 }
 
 impl InferModel {
-    /// Loads a checkpoint into servable form. Validates that every tensor the
-    /// architecture needs is present (and none are left over) and freezes the
-    /// checkpointed scheduler state.
+    /// Loads a checkpoint into servable form: emits the forward graph for the
+    /// checkpoint's config/task, drops optional parameters the checkpoint does not
+    /// carry, runs the peephole fusion pass, and binds every remaining graph value to
+    /// its tensor. Validates that every tensor the graph needs is present and none are
+    /// left over; tensor *shapes* are checked when the first plan for a shape bucket
+    /// compiles, and a mismatch fails that request with a typed error rather than
+    /// panicking a worker.
     pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
         let config = ckpt.config;
         config.validate();
-        let map = TensorMap::new(&ckpt.tensors);
-        // Task checkpoints nest the backbone under "model."; bare backbones do not.
-        let backbone = match ckpt.task {
-            TaskKind::Backbone => String::new(),
-            _ => "model.".to_string(),
-        };
+        let by_path: HashMap<&str, &NdArray> =
+            ckpt.tensors.iter().map(|(p, t)| (p.as_str(), t)).collect();
 
-        let embed = EmbedW {
-            conv: map.linear(&format!("{backbone}embedding.conv"))?,
-            cls: map.take(&format!("{backbone}embedding.cls"))?,
-            positional: sinusoidal_table(config.max_windows() + 1, config.d_model),
-            window: config.window,
-            stride: config.stride,
-            channels: config.channels,
-        };
+        let mut graph = build_graph(&config, ckpt.task, &ckpt.scheduler);
+        graph.prune_missing_optional(&|path| by_path.contains_key(path));
+        graph.peephole();
 
-        let mut layers = Vec::with_capacity(config.n_layers);
-        for i in 0..config.n_layers {
-            let p = format!("{backbone}encoder.layers.{i}");
-            let attn = match config.attention {
-                AttentionKind::Vanilla => AttnW::Vanilla,
-                AttentionKind::Group { initial_groups, .. } => {
-                    let n_groups =
-                        ckpt.scheduler.get(i).copied().flatten().unwrap_or(initial_groups as f32);
-                    // `build_attention` fills these from the config default beyond the
-                    // checkpointed AttentionKind fields; read the same source of truth
-                    // so the clusterings cannot drift from the training path.
-                    let defaults = GroupAttentionConfig::default();
-                    AttnW::Group {
-                        n_groups,
-                        min_groups: defaults.min_groups,
-                        kmeans_iters: defaults.kmeans_iters,
+        let mut bound: Vec<Option<NdArray>> = vec![None; graph.values.len()];
+        let mut shapes_by_name = HashMap::new();
+        let mut used: std::collections::HashSet<&str> = Default::default();
+        for (i, info) in graph.values.iter().enumerate() {
+            match &info.binding {
+                Some(Binding::Param { path, optional }) => match by_path.get(path.as_str()) {
+                    Some(&t) => {
+                        used.insert(path.as_str());
+                        shapes_by_name.insert(path.clone(), t.shape().to_vec());
+                        bound[i] = Some(t.clone());
                     }
-                }
-                AttentionKind::Performer { features } => {
-                    AttnW::Performer { omega: map.take(&format!("{p}.attention.omega"))?, features }
-                }
-                AttentionKind::Linformer { .. } => AttnW::Linformer {
-                    e_proj: map.take(&format!("{p}.attention.e_proj"))?,
-                    f_proj: map.take(&format!("{p}.attention.f_proj"))?,
-                    max_windows: config.max_windows() + 1,
+                    // Absent optionals were pruned out of the node set above; the
+                    // orphaned value just stays unbound.
+                    None if *optional => {}
+                    None => return Err(CheckpointError::MissingTensor(path.clone())),
                 },
-            };
-            layers.push(LayerW {
-                q_proj: map.linear(&format!("{p}.q_proj"))?,
-                k_proj: map.linear(&format!("{p}.k_proj"))?,
-                v_proj: map.linear(&format!("{p}.v_proj"))?,
-                out_proj: map.linear(&format!("{p}.out_proj"))?,
-                attn,
-                norm1: map.layer_norm(&format!("{p}.norm1"))?,
-                norm2: map.layer_norm(&format!("{p}.norm2"))?,
-                ff: FeedForwardW {
-                    fc1: map.linear(&format!("{p}.ff.fc1"))?,
-                    fc2: map.linear(&format!("{p}.ff.fc2"))?,
-                },
-                heads: config.n_heads,
-            });
+                Some(Binding::Positional) => {
+                    let table = sinusoidal_table(config.max_windows() + 1, config.d_model);
+                    shapes_by_name.insert(info.name.clone(), table.shape().to_vec());
+                    bound[i] = Some(table);
+                }
+                _ => {}
+            }
+        }
+        let extra: Vec<String> = ckpt
+            .tensors
+            .iter()
+            .map(|(p, _)| p.clone())
+            .filter(|p| !used.contains(p.as_str()))
+            .collect();
+        if !extra.is_empty() {
+            return Err(CheckpointError::UnexpectedTensors(extra));
         }
 
-        let head = match ckpt.task {
-            TaskKind::Backbone => HeadW::None,
-            TaskKind::Classifier { num_classes } => {
-                HeadW::Classifier { head: map.linear("head")?, num_classes }
-            }
-            TaskKind::Imputer => HeadW::Decoder(map.linear("decoder")?),
+        let group_targets: Vec<f32> = graph
+            .nodes
+            .iter()
+            .filter_map(|n| match n.op {
+                Op::Attention(AttnOp::Group { n_groups, .. }) => Some(n_groups),
+                _ => None,
+            })
+            .collect();
+        let mean_groups = if group_targets.is_empty() {
+            None
+        } else {
+            Some(group_targets.iter().sum::<f32>() / group_targets.len() as f32)
+        };
+        let num_classes = match ckpt.task {
+            TaskKind::Classifier { num_classes } => Some(num_classes),
+            _ => None,
         };
 
-        map.leftover(&ckpt.tensors)?;
-        Ok(Self { config, task: ckpt.task, embed, layers, head })
+        Ok(Self {
+            config,
+            task: ckpt.task,
+            graph,
+            bound,
+            shapes_by_name,
+            num_classes,
+            mean_groups,
+            plans: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Architecture of the loaded model.
@@ -488,6 +130,11 @@ impl InferModel {
     /// Which task head the checkpoint carried.
     pub fn task(&self) -> TaskKind {
         self.task
+    }
+
+    /// The bound forward graph (after pruning and fusion) — for diagnostics and tests.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
     /// The memory-relevant shape of the loaded model — what serve-time batch budgeting
@@ -510,81 +157,94 @@ impl InferModel {
     /// uses a non-group attention mechanism (whose cost model saturates `N` at the
     /// window count instead).
     pub fn mean_groups(&self) -> Option<f32> {
-        let targets: Vec<f32> = self
-            .layers
-            .iter()
-            .filter_map(|l| match l.attn {
-                AttnW::Group { n_groups, .. } => Some(n_groups),
-                _ => None,
-            })
-            .collect();
-        if targets.is_empty() {
-            None
-        } else {
-            Some(targets.iter().sum::<f32>() / targets.len() as f32)
-        }
+        self.mean_groups
     }
 
     /// Number of classes, when the model carries a classification head.
     pub fn num_classes(&self) -> Option<usize> {
-        match self.head {
-            HeadW::Classifier { num_classes, .. } => Some(num_classes),
-            _ => None,
-        }
+        self.num_classes
     }
 
     /// Whether the model carries a reconstruction (imputer) head.
     pub fn has_decoder(&self) -> bool {
-        matches!(self.head, HeadW::Decoder(_))
+        matches!(self.task, TaskKind::Imputer)
+    }
+
+    /// The compiled plan for one `(batch, length)` bucket, from the cache when this
+    /// shape has run before. Compilation performs the full ahead-of-time shape check,
+    /// so a checkpoint with malformed tensor shapes fails here — once, with the
+    /// offending node named — instead of panicking mid-kernel.
+    fn plan_for(&self, batch: usize, length: usize) -> Result<Arc<CachedPlan>, InferError> {
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        if let Some(p) = plans.get(&(batch, length)) {
+            note_plan_cache(true);
+            return Ok(p.clone());
+        }
+        note_plan_cache(false);
+        let input_shape = [batch, self.config.channels, length];
+        let plan =
+            self.graph.compile(&input_shape, &|name| self.shapes_by_name.get(name).cloned())?;
+        let cached = Arc::new(CachedPlan::new(plan));
+        plans.insert((batch, length), cached.clone());
+        Ok(cached)
+    }
+
+    /// Number of compiled plans currently cached (one per `(batch, length)` bucket).
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    fn run(&self, x: &NdArray, target: rita_nn::graph::ValueId) -> Result<NdArray, InferError> {
+        let shape = x.shape();
+        if shape.len() != 3 {
+            return Err(InferError::Plan(rita_nn::graph::PlanError::Shape {
+                node: "input".into(),
+                detail: format!("expected (batch, channels, length), got {shape:?}"),
+            }));
+        }
+        let cached = self.plan_for(shape[0], shape[2])?;
+        crate::plan::execute(&self.graph, &cached, &self.bound, x, target)
     }
 
     /// Encodes a raw batch `(batch, channels, length)` into contextual embeddings
-    /// `(batch, windows + 1, d_model)`; position 0 is the `[CLS]` token.
-    pub fn encode(&self, x: &NdArray) -> NdArray {
-        let mut h = self.embed.forward(x);
-        for layer in &self.layers {
-            let next = layer.forward(&h);
-            reclaim(std::mem::replace(&mut h, next));
-        }
-        h
+    /// `(batch, windows + 1, d_model)` — position 0 is the `[CLS]` token — by running
+    /// a prefix of the compiled plan up to the encoder output.
+    pub fn try_encode(&self, x: &NdArray) -> Result<NdArray, InferError> {
+        self.run(x, self.graph.encoder_output)
     }
 
-    /// Class logits `(batch, classes)` for a raw batch. Panics when the checkpoint
-    /// carries no classification head.
-    pub fn logits(&self, x: &NdArray) -> NdArray {
-        let HeadW::Classifier { head, .. } = &self.head else {
-            panic!("logits() on a checkpoint without a classification head");
-        };
-        let h = self.encode(x);
-        let shape = h.shape().to_vec();
-        let cls = h
-            .slice_axis(1, 0, 1)
-            .expect("cls slice")
-            .reshape(&[shape[0], shape[2]])
-            .expect("cls reshape");
-        reclaim(h);
-        let out = head.forward(&cls);
-        reclaim(cls);
-        out
+    /// Class logits `(batch, classes)` for a raw batch.
+    pub fn try_logits(&self, x: &NdArray) -> Result<NdArray, InferError> {
+        if self.num_classes.is_none() {
+            return Err(InferError::MissingHead { requested: "logits" });
+        }
+        self.run(x, self.graph.output)
     }
 
     /// Reconstructs a full series from (masked) observations, `(batch, channels,
-    /// length)` → same shape. Panics when the checkpoint carries no decoder head.
+    /// length)` → same shape.
+    pub fn try_reconstruct(&self, observed: &NdArray) -> Result<NdArray, InferError> {
+        if !self.has_decoder() {
+            return Err(InferError::MissingHead { requested: "reconstruct" });
+        }
+        self.run(observed, self.graph.output)
+    }
+
+    /// Panicking convenience for [`InferModel::try_encode`] — benches and calibration
+    /// probes that run known-good shapes.
+    pub fn encode(&self, x: &NdArray) -> NdArray {
+        self.try_encode(x).unwrap_or_else(|e| panic!("encode failed: {e}"))
+    }
+
+    /// Panicking convenience for [`InferModel::try_logits`]. Panics when the
+    /// checkpoint carries no classification head.
+    pub fn logits(&self, x: &NdArray) -> NdArray {
+        self.try_logits(x).unwrap_or_else(|e| panic!("logits failed: {e}"))
+    }
+
+    /// Panicking convenience for [`InferModel::try_reconstruct`]. Panics when the
+    /// checkpoint carries no decoder head.
     pub fn reconstruct(&self, observed: &NdArray) -> NdArray {
-        let HeadW::Decoder(decoder) = &self.head else {
-            panic!("reconstruct() on a checkpoint without a decoder head");
-        };
-        let length = observed.shape()[2];
-        let h = self.encode(observed);
-        let n_plus_1 = h.shape()[1];
-        let windows = h.slice_axis(1, 1, n_plus_1).expect("windows slice");
-        reclaim(h);
-        let decoded = decoder.forward(&windows);
-        reclaim(windows);
-        let out = decoded
-            .fold1d(self.config.channels, self.config.window, self.config.stride, length)
-            .expect("fold");
-        reclaim(decoded);
-        out
+        self.try_reconstruct(observed).unwrap_or_else(|e| panic!("reconstruct failed: {e}"))
     }
 }

@@ -1,0 +1,418 @@
+//! The tape-free plan interpreter: executes a compiled forward plan with raw
+//! [`NdArray`] kernels.
+//!
+//! Each node executor calls exactly the tensor kernels, in exactly the order, that the
+//! training modules (and the `no_grad` `Var` oracle in `rita_core::graph`) call — that,
+//! plus re-zeroing pooled buffers on reuse, is what makes planned execution
+//! bit-identical to the training forward. The plan's ahead-of-time lifetime pass tells
+//! the executor when each activation is dead, so buffers return to the thread-local
+//! pool at their last use, and [`rita_tensor::pool_reserve`] pre-sizes the pool from
+//! the plan's arena the first time a thread runs it.
+//!
+//! Kernel failures surface as a typed [`InferError`] carrying the failing node's ID
+//! instead of a panic, so a malformed checkpoint fails the request that touched it —
+//! not the worker thread serving it.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rita_core::group::group_key_blocks;
+use rita_nn::graph::{AttnOp, Graph, Node, Op, Plan, PlanError, ValueId};
+use rita_tensor::{fused_attention, NdArray};
+
+use crate::reclaim;
+
+/// Why a planned forward pass could not produce an answer.
+///
+/// Unlike the panics it replaces, an `InferError` is request-scoped: the session or
+/// server reports it to the caller whose input (or whose checkpoint) triggered it, and
+/// the worker thread lives on to serve the next batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// Compiling the plan for this shape bucket failed — a malformed checkpoint tensor,
+    /// an unsupported input shape, or an inconsistent graph.
+    Plan(PlanError),
+    /// A kernel failed while executing a plan node.
+    Node {
+        /// ID of the failing node (a parameter path, e.g. `model.encoder.layers.0.norm1`).
+        node: String,
+        /// The kernel's error.
+        detail: String,
+    },
+    /// The loaded checkpoint has no head for the requested operation.
+    MissingHead {
+        /// The operation the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::Plan(e) => write!(f, "plan compilation failed: {e}"),
+            InferError::Node { node, detail } => write!(f, "node '{node}' failed: {detail}"),
+            InferError::MissingHead { requested } => {
+                write!(f, "checkpoint has no head for '{requested}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+impl From<PlanError> for InferError {
+    fn from(e: PlanError) -> Self {
+        InferError::Plan(e)
+    }
+}
+
+/// Process-wide plan-cache counters, surfaced in the server metrics snapshot.
+static PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Plan-cache hit/miss counters (process-wide, across every loaded model version).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Forwards served from an already-compiled plan.
+    pub hits: u64,
+    /// Forwards that had to compile a plan for a new `(batch, length)` bucket first.
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of forwards served from an already-compiled plan (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Current process-wide plan-cache counters.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: PLAN_CACHE_HITS.load(Ordering::Relaxed),
+        misses: PLAN_CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_plan_cache(hit: bool) {
+    if hit {
+        PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        PLAN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A compiled plan plus a process-unique ID used to pre-size each thread's buffer pool
+/// exactly once per (thread, plan).
+pub(crate) struct CachedPlan {
+    pub(crate) plan: Plan,
+    id: u64,
+}
+
+impl CachedPlan {
+    pub(crate) fn new(plan: Plan) -> Self {
+        Self { plan, id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed) }
+    }
+}
+
+thread_local! {
+    /// Plans whose arena this thread has already reserved pool capacity for.
+    static RESERVED: RefCell<HashSet<u64>> = RefCell::new(HashSet::new());
+}
+
+fn node_err(node: &Node, e: impl std::fmt::Display) -> InferError {
+    InferError::Node { node: node.id.clone(), detail: e.to_string() }
+}
+
+/// Executes `plan` over `graph` up to (and including) the node producing `target`.
+///
+/// `bound` holds the checkpoint tensors (and positional table) per [`ValueId`];
+/// node-produced activations live in a scratch slot vector and are recycled into the
+/// thread-local pool the moment the schedule is past their last use.
+pub(crate) fn execute(
+    graph: &Graph,
+    cached: &CachedPlan,
+    bound: &[Option<NdArray>],
+    x: &NdArray,
+    target: ValueId,
+) -> Result<NdArray, InferError> {
+    let plan = &cached.plan;
+    RESERVED.with(|r| {
+        if r.borrow_mut().insert(cached.id) {
+            rita_tensor::pool_reserve(&plan.arena);
+        }
+    });
+    let mut slots: Vec<Option<NdArray>> = vec![None; graph.values.len()];
+    slots[graph.input.0] = Some(x.clone());
+    for (pos, &ni) in plan.order.iter().enumerate() {
+        let node = &graph.nodes[ni];
+        let mut ins = Vec::with_capacity(node.inputs.len());
+        for v in &node.inputs {
+            let arr = bound[v.0].as_ref().or(slots[v.0].as_ref()).ok_or_else(|| {
+                node_err(node, format!("unbound value '{}'", graph.values[v.0].name))
+            })?;
+            ins.push(arr.clone());
+        }
+        let out = exec_node(node, &ins, plan.input_shape[2])?;
+        drop(ins); // release our handles so last-use recycling can reclaim storage
+        slots[node.output.0] = Some(out);
+        let mut seen = HashSet::new();
+        for v in &node.inputs {
+            if !seen.insert(v.0) || graph.values[v.0].binding.is_some() || *v == target {
+                continue;
+            }
+            if plan.last_use[v.0] == Some(pos) {
+                if let Some(dead) = slots[v.0].take() {
+                    reclaim(dead);
+                }
+            }
+        }
+        if node.output == target {
+            break;
+        }
+    }
+    slots[target.0]
+        .take()
+        .ok_or_else(|| InferError::Plan(PlanError::MissingParam("plan target".into())))
+}
+
+/// Runs one node's kernels — the same calls, in the same order, as the training
+/// forward. Intermediates internal to a node are reclaimed here; slot lifetimes are
+/// the executor loop's job.
+fn exec_node(node: &Node, ins: &[NdArray], input_len: usize) -> Result<NdArray, InferError> {
+    match &node.op {
+        Op::Matmul => ins[0].matmul(&ins[1]).map_err(|e| node_err(node, e)),
+        Op::AddBias => ins[0].add(&ins[1]).map_err(|e| node_err(node, e)),
+        Op::Linear { bias } => {
+            let y = ins[0].matmul(&ins[1]).map_err(|e| node_err(node, e))?;
+            if *bias {
+                let out = y.add(&ins[2]).map_err(|e| node_err(node, e))?;
+                reclaim(y);
+                Ok(out)
+            } else {
+                Ok(y)
+            }
+        }
+        Op::Unfold1d { window, stride } => {
+            ins[0].unfold1d(*window, *stride).map_err(|e| node_err(node, e))
+        }
+        Op::WindowEmbed { window, stride, bias } => {
+            let windows = ins[0].unfold1d(*window, *stride).map_err(|e| node_err(node, e))?;
+            let y = windows.matmul(&ins[1]).map_err(|e| node_err(node, e))?;
+            reclaim(windows);
+            if *bias {
+                let out = y.add(&ins[2]).map_err(|e| node_err(node, e))?;
+                reclaim(y);
+                Ok(out)
+            } else {
+                Ok(y)
+            }
+        }
+        Op::ClsConcatPos => {
+            // Mirrors the tail of `TimeConvEmbed::forward`.
+            let embedded = &ins[0];
+            let shape = embedded.shape();
+            let (batch, n, d) = (shape[0], shape[1], shape[2]);
+            let cls3 = ins[1].reshape(&[1, 1, d]).map_err(|e| node_err(node, e))?;
+            let cls_batch =
+                cls3.mul(&NdArray::ones(&[batch, 1, d])).map_err(|e| node_err(node, e))?;
+            let with_cls =
+                NdArray::concat(&[&cls_batch, embedded], 1).map_err(|e| node_err(node, e))?;
+            reclaim(cls_batch);
+            let pos = ins[2].slice_axis(0, 0, n + 1).map_err(|e| node_err(node, e))?;
+            let out = with_cls.add(&pos).map_err(|e| node_err(node, e))?;
+            reclaim(with_cls);
+            Ok(out)
+        }
+        Op::LayerNorm { eps } => {
+            // Mirrors `LayerNorm::forward`: mean/variance as sum → scale, the same
+            // broadcast chain, no fusing.
+            let x = &ins[0];
+            let last = x.ndim() - 1;
+            let n = x.shape()[last].max(1) as f32;
+            let sum = x.sum_axis(last, true).map_err(|e| node_err(node, e))?;
+            let mean = sum.scale(1.0 / n);
+            reclaim(sum);
+            let centered = x.sub(&mean).map_err(|e| node_err(node, e))?;
+            reclaim(mean);
+            let sq = centered.map(|v| v * v);
+            let var_sum = sq.sum_axis(last, true).map_err(|e| node_err(node, e))?;
+            reclaim(sq);
+            let var = var_sum.scale(1.0 / n);
+            reclaim(var_sum);
+            let shifted = var.add_scalar(*eps);
+            reclaim(var);
+            let denom = shifted.sqrt();
+            reclaim(shifted);
+            let normed = centered.div(&denom).map_err(|e| node_err(node, e))?;
+            reclaim(centered);
+            reclaim(denom);
+            let scaled = normed.mul(&ins[1]).map_err(|e| node_err(node, e))?;
+            reclaim(normed);
+            let out = scaled.add(&ins[2]).map_err(|e| node_err(node, e))?;
+            reclaim(scaled);
+            Ok(out)
+        }
+        Op::Gelu => {
+            // Same constants and expression as `Var::gelu`'s tanh approximation.
+            const C: f32 = 0.797_884_6; // sqrt(2/pi)
+            const A: f32 = 0.044_715;
+            Ok(ins[0].map(|x| 0.5 * x * (1.0 + (C * (x + A * x * x * x)).tanh())))
+        }
+        Op::Add => ins[0].add(&ins[1]).map_err(|e| node_err(node, e)),
+        Op::SplitHeads { heads } => {
+            // `split_heads`: (b, n, d) → (b, h, n, d/h), a pure view chain.
+            let shape = ins[0].shape().to_vec();
+            let (b, n, d) = (shape[0], shape[1], shape[2]);
+            ins[0]
+                .reshape(&[b, n, *heads, d / heads])
+                .map_err(|e| node_err(node, e))?
+                .permute(&[0, 2, 1, 3])
+                .map_err(|e| node_err(node, e))
+        }
+        Op::MergeHeads => {
+            // `merge_heads`: (b, h, n, dh) → (b, n, h·dh).
+            let shape = ins[0].shape().to_vec();
+            let (b, h, n, dh) = (shape[0], shape[1], shape[2], shape[3]);
+            ins[0]
+                .permute(&[0, 2, 1, 3])
+                .map_err(|e| node_err(node, e))?
+                .reshape(&[b, n, h * dh])
+                .map_err(|e| node_err(node, e))
+        }
+        Op::Attention(attn) => exec_attention(node, attn, ins),
+        Op::ClsPool => {
+            let shape = ins[0].shape().to_vec();
+            ins[0]
+                .slice_axis(1, 0, 1)
+                .map_err(|e| node_err(node, e))?
+                .reshape(&[shape[0], shape[2]])
+                .map_err(|e| node_err(node, e))
+        }
+        Op::SliceWindows => {
+            let n = ins[0].shape()[1];
+            ins[0].slice_axis(1, 1, n).map_err(|e| node_err(node, e))
+        }
+        Op::Fold1d { channels, window, stride } => {
+            ins[0].fold1d(*channels, *window, *stride, input_len).map_err(|e| node_err(node, e))
+        }
+    }
+}
+
+/// Mirrors the corresponding `Attention::forward` on head-split
+/// `(batch, heads, windows, head_dim)` tensors.
+fn exec_attention(node: &Node, attn: &AttnOp, ins: &[NdArray]) -> Result<NdArray, InferError> {
+    let (q, k, v) = (&ins[0], &ins[1], &ins[2]);
+    // Rank 4 was checked ahead of time by `attention_shape` during plan compilation.
+    let dh = *q.shape().last().ok_or_else(|| node_err(node, "rank-0 query"))? as f32;
+    match attn {
+        AttnOp::Vanilla => {
+            let scale = 1.0 / dh.sqrt();
+            Ok(fused_attention(q, k, v, scale, None).map_err(|e| node_err(node, e))?.out)
+        }
+        AttnOp::Group { n_groups, min_groups, kmeans_iters } => {
+            let shape = q.shape();
+            let (b, h, n) = (shape[0], shape[1], shape[2]);
+            // `GroupAttention::effective_groups`: clamp the persistent target to this
+            // batch's window count.
+            let groups = (n_groups.round() as usize).clamp((*min_groups).min(n), n);
+            let groupings = group_key_blocks(k, groups, *kmeans_iters);
+            let mut counts_flat = Vec::with_capacity(b * h * groups);
+            for g in &groupings {
+                counts_flat.extend(g.counts.iter().map(|&c| c as f32));
+            }
+            let inv_counts = NdArray::from_vec(
+                counts_flat.iter().map(|&c| 1.0 / c.max(1.0)).collect(),
+                &[b, h, groups, 1],
+            )
+            .map_err(|e| node_err(node, e))?;
+            let mut segments = Vec::with_capacity(b * h * n);
+            for g in &groupings {
+                segments.extend_from_slice(&g.assignments);
+            }
+            let rep_sum = k.segment_sum(&segments, groups).map_err(|e| node_err(node, e))?;
+            let representatives = rep_sum.mul(&inv_counts).map_err(|e| node_err(node, e))?;
+            reclaim(rep_sum);
+            let aggregated = v.segment_sum(&segments, groups).map_err(|e| node_err(node, e))?;
+            let weights =
+                NdArray::from_vec(counts_flat, &[b, h, groups]).map_err(|e| node_err(node, e))?;
+            let scale = 1.0 / dh.sqrt();
+            let out = fused_attention(q, &representatives, &aggregated, scale, Some(&weights))
+                .map_err(|e| node_err(node, e))?
+                .out;
+            reclaim(representatives);
+            reclaim(aggregated);
+            Ok(out)
+        }
+        AttnOp::Performer { features } => {
+            // Mirrors `PerformerAttention::forward` + `feature_map`.
+            let omega = &ins[3];
+            let scale = dh.powf(-0.25);
+            let feature_map = |x: &NdArray| -> Result<NdArray, InferError> {
+                let scaled = x.scale(scale);
+                let logits = scaled.matmul(omega).map_err(|e| node_err(node, e))?;
+                let sq = scaled.map(|v| v * v);
+                reclaim(scaled);
+                let sq_sum = sq.sum_axis(3, true).map_err(|e| node_err(node, e))?;
+                reclaim(sq);
+                let sq_norm = sq_sum.scale(0.5);
+                reclaim(sq_sum);
+                let raw = logits.sub(&sq_norm).map_err(|e| node_err(node, e))?;
+                reclaim(logits);
+                reclaim(sq_norm);
+                let stab = raw.max_all();
+                let shifted = raw.add_scalar(-stab);
+                reclaim(raw);
+                let expd = shifted.exp();
+                reclaim(shifted);
+                let out = expd.scale(1.0 / (*features as f32).sqrt());
+                reclaim(expd);
+                Ok(out)
+            };
+            let phi_q = feature_map(q)?;
+            let phi_k = feature_map(k)?;
+            let kv = phi_k
+                .transpose_last2()
+                .map_err(|e| node_err(node, e))?
+                .matmul(v)
+                .map_err(|e| node_err(node, e))?;
+            let numerator = phi_q.matmul(&kv).map_err(|e| node_err(node, e))?;
+            reclaim(kv);
+            let phi_k_sum = phi_k.sum_axis(2, true).map_err(|e| node_err(node, e))?;
+            reclaim(phi_k);
+            let dot = phi_q.matmul_nt(&phi_k_sum).map_err(|e| node_err(node, e))?;
+            reclaim(phi_q);
+            reclaim(phi_k_sum);
+            let denominator = dot.add_scalar(1e-6);
+            reclaim(dot);
+            let out = numerator.div(&denominator).map_err(|e| node_err(node, e))?;
+            reclaim(numerator);
+            reclaim(denominator);
+            Ok(out)
+        }
+        AttnOp::Linformer { .. } => {
+            let n = k.shape()[2];
+            let (e_proj, f_proj) = (&ins[3], &ins[4]);
+            let e = e_proj.slice_axis(1, 0, n).map_err(|e| node_err(node, e))?;
+            let f = f_proj.slice_axis(1, 0, n).map_err(|e| node_err(node, e))?;
+            let k_proj = e.matmul(k).map_err(|e| node_err(node, e))?;
+            let v_proj = f.matmul(v).map_err(|e| node_err(node, e))?;
+            let scores =
+                q.matmul_nt_scaled(&k_proj, 1.0 / dh.sqrt()).map_err(|e| node_err(node, e))?;
+            reclaim(k_proj);
+            let probs = scores.softmax_last().map_err(|e| node_err(node, e))?;
+            reclaim(scores);
+            let out = probs.matmul(&v_proj).map_err(|e| node_err(node, e))?;
+            reclaim(probs);
+            reclaim(v_proj);
+            Ok(out)
+        }
+    }
+}

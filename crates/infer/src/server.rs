@@ -128,6 +128,10 @@ pub enum ServeError {
     },
     /// Rejected by request validation (shape, length, non-finite values, wrong head).
     Invalid(RequestError),
+    /// The forward pass failed — e.g. a malformed checkpoint tensor caught by plan
+    /// compilation. Every request in the affected batch receives this error; the
+    /// worker thread survives and keeps serving.
+    Infer(crate::InferError),
     /// No checkpoint has been published to the registry yet.
     NoModel,
     /// The server is shutting down and no longer admits requests.
@@ -146,6 +150,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "overloaded ({r}) for tenant '{tenant}'")
             }
             ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServeError::Infer(e) => write!(f, "forward pass failed: {e}"),
             ServeError::NoModel => write!(f, "no model published"),
             ServeError::ShutDown => write!(f, "server shutting down"),
         }
@@ -648,21 +653,36 @@ fn note_dequeued(st: &mut QueueState, metrics: &Metrics, leaving: &[&Pending]) {
 }
 
 /// Runs one closed batch on its model snapshot and fills every ticket. Kernel
-/// parallelism is capped at this worker's share of the machine budget.
+/// parallelism is capped at this worker's share of the machine budget. A forward
+/// failure (malformed checkpoint tensor caught at plan compile, kernel error) fails
+/// every ticket in the batch with a typed [`ServeError::Infer`] — the worker survives.
 fn serve_batch(shared: &Shared, batch: ClosedBatch) {
     let ClosedBatch { handle, requests, early_close } = batch;
     let closed_at = Instant::now();
     let samples: Vec<NdArray> = requests.iter().map(|p| p.input.clone()).collect();
     let stacked = stack_samples(&samples);
     drop(samples);
-    let logits = with_worker_threads(shared.kernel_cap, || handle.model.logits(&stacked));
+    // The pool is thread-local and with_worker_threads runs the closure inline, so the
+    // before/after delta is exactly this batch's arena traffic.
+    let pool_before = rita_tensor::pool_stats();
+    let logits = with_worker_threads(shared.kernel_cap, || handle.model.try_logits(&stacked));
     crate::reclaim(stacked);
-    let classes = logits.argmax_last();
+    shared.metrics.record_pool(&pool_before, &rita_tensor::pool_stats());
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     shared.metrics.batch_size.record(requests.len() as u64);
     if early_close {
         shared.metrics.early_closes.fetch_add(1, Ordering::Relaxed);
     }
+    let logits = match logits {
+        Ok(logits) => logits,
+        Err(e) => {
+            for p in requests {
+                p.slot.fill(Err(ServeError::Infer(e.clone())));
+            }
+            return;
+        }
+    };
+    let classes = logits.argmax_last();
     let done = Instant::now();
     for (i, p) in requests.into_iter().enumerate() {
         let row = logits.index_axis(0, i).expect("logits row").materialize();

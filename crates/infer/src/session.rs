@@ -3,7 +3,7 @@
 //! Concurrent requests arrive as individual `(channels, length)` series of possibly
 //! mixed lengths. The session groups them with the same length-bucketed batcher the
 //! training engine uses (`rita_data::batch::batch_indices_by_length`), stacks each
-//! bucket into one rectangular batch, runs the tape-free forward, and scatters the
+//! bucket into one rectangular batch, runs the planned forward, and scatters the
 //! answers back into request order. Activation buffers are recycled through the
 //! thread-local arena between batches, so differently-shaped buckets share one working
 //! set.
@@ -79,6 +79,9 @@ pub enum RequestError {
         /// The operation the caller asked for.
         requested: &'static str,
     },
+    /// The planned forward pass itself failed — e.g. a malformed checkpoint tensor
+    /// caught by plan compilation. The request set is rejected; nothing panics.
+    Infer(crate::InferError),
 }
 
 impl std::fmt::Display for RequestError {
@@ -101,6 +104,7 @@ impl std::fmt::Display for RequestError {
             RequestError::WrongHead { requested } => {
                 write!(f, "checkpoint has no head for '{requested}'")
             }
+            RequestError::Infer(e) => write!(f, "forward pass failed: {e}"),
         }
     }
 }
@@ -194,7 +198,8 @@ impl InferSession {
         }
         self.validate(requests)?;
         let mut out = vec![Prediction { class: 0 }; requests.len()];
-        for (indices, logits) in self.bucketed(requests, |batch| self.model.logits(batch)) {
+        for (indices, logits) in self.bucketed(requests, |batch| self.model.try_logits(batch)) {
+            let logits = logits.map_err(RequestError::Infer)?;
             for (row, &req) in logits.argmax_last().iter().zip(&indices) {
                 out[req] = Prediction { class: *row };
             }
@@ -211,7 +216,8 @@ impl InferSession {
         }
         self.validate(requests)?;
         let mut out: Vec<Option<NdArray>> = vec![None; requests.len()];
-        for (indices, logits) in self.bucketed(requests, |batch| self.model.logits(batch)) {
+        for (indices, logits) in self.bucketed(requests, |batch| self.model.try_logits(batch)) {
+            let logits = logits.map_err(RequestError::Infer)?;
             for (i, &req) in indices.iter().enumerate() {
                 out[req] = Some(logits.index_axis(0, i).expect("logits row").materialize());
             }
@@ -227,7 +233,8 @@ impl InferSession {
         }
         self.validate(requests)?;
         let mut out: Vec<Option<NdArray>> = vec![None; requests.len()];
-        for (indices, recon) in self.bucketed(requests, |batch| self.model.reconstruct(batch)) {
+        for (indices, recon) in self.bucketed(requests, |batch| self.model.try_reconstruct(batch)) {
+            let recon = recon.map_err(RequestError::Infer)?;
             for (i, &req) in indices.iter().enumerate() {
                 out[req] = Some(recon.index_axis(0, i).expect("recon row").materialize());
             }
@@ -241,8 +248,8 @@ impl InferSession {
     fn bucketed<'a>(
         &'a self,
         requests: &'a [NdArray],
-        f: impl Fn(&NdArray) -> NdArray + 'a,
-    ) -> impl Iterator<Item = (Vec<usize>, NdArray)> + 'a {
+        f: impl Fn(&NdArray) -> Result<NdArray, crate::InferError> + 'a,
+    ) -> impl Iterator<Item = (Vec<usize>, Result<NdArray, crate::InferError>)> + 'a {
         let lengths: Vec<usize> = requests.iter().map(|r| r.shape()[1]).collect();
         // Deterministic bucketing (shuffle off): the rng is never consulted.
         let mut rng = SeedableRng64::seed_from_u64(0);

@@ -10,6 +10,9 @@
 //!   unfold/fold, reductions, shape ops).
 //! * [`layers`] — `Linear`, `LayerNorm`, `BatchNorm1d`, `Dropout`, `FeedForward` and the
 //!   [`Module`] trait.
+//! * [`graph`] — a static forward-graph IR (nodes with stable parameter-path IDs,
+//!   topological scheduling, ahead-of-time shape/lifetime planning) that downstream
+//!   crates emit from module trees and interpret.
 //! * [`optim`] — `Sgd` and `AdamW` optimisers plus gradient clipping.
 //! * [`loss`] — cross entropy, MSE and masked MSE (the cloze-pretraining loss).
 //! * [`gradcheck`] — finite-difference gradient verification used by the test-suites of
@@ -39,6 +42,7 @@
 #![warn(clippy::all)]
 
 pub mod gradcheck;
+pub mod graph;
 pub mod layers;
 pub mod loss;
 pub mod module;

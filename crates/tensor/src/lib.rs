@@ -52,7 +52,7 @@ pub use array::NdArray;
 pub use error::TensorError;
 pub use fused::{fused_attention, fused_attention_backward, FusedAttention};
 pub use parallel::{scoped_chunks_mut, with_worker_threads, worker_budget};
-pub use pool::{pool_reset, pool_stats, recycle, PoolStats};
+pub use pool::{pool_reserve, pool_reset, pool_stats, recycle, PoolStats};
 pub use random::{rng_from_seed, SeedableRng64};
 
 /// Convenience result alias used across the crate.

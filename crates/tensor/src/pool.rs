@@ -43,11 +43,15 @@ pub struct PoolStats {
     /// [`recycle`] calls that could not reclaim the storage (shared, oversized, or the
     /// free list was full).
     pub dropped: u64,
+    /// Bytes served from the free list (requested sizes, not capacities).
+    pub reused_bytes: u64,
+    /// Bytes that fell through to the system allocator.
+    pub fresh_bytes: u64,
 }
 
 impl PoolStats {
     const fn new() -> Self {
-        Self { reused: 0, fresh: 0, recycled: 0, dropped: 0 }
+        Self { reused: 0, fresh: 0, recycled: 0, dropped: 0, reused_bytes: 0, fresh_bytes: 0 }
     }
 }
 
@@ -77,13 +81,21 @@ fn pop_fit(len: usize) -> Option<Vec<f32>> {
 pub(crate) fn alloc_zeroed(len: usize) -> Vec<f32> {
     match pop_fit(len) {
         Some(mut buf) => {
-            STATS.with(|s| s.borrow_mut().reused += 1);
+            STATS.with(|s| {
+                let mut s = s.borrow_mut();
+                s.reused += 1;
+                s.reused_bytes += 4 * len as u64;
+            });
             buf.clear();
             buf.resize(len, 0.0);
             buf
         }
         None => {
-            STATS.with(|s| s.borrow_mut().fresh += 1);
+            STATS.with(|s| {
+                let mut s = s.borrow_mut();
+                s.fresh += 1;
+                s.fresh_bytes += 4 * len as u64;
+            });
             vec![0.0; len]
         }
     }
@@ -95,12 +107,20 @@ pub(crate) fn alloc_zeroed(len: usize) -> Vec<f32> {
 pub(crate) fn alloc_for_extend(len: usize) -> Vec<f32> {
     match pop_fit(len) {
         Some(mut buf) => {
-            STATS.with(|s| s.borrow_mut().reused += 1);
+            STATS.with(|s| {
+                let mut s = s.borrow_mut();
+                s.reused += 1;
+                s.reused_bytes += 4 * len as u64;
+            });
             buf.clear();
             buf
         }
         None => {
-            STATS.with(|s| s.borrow_mut().fresh += 1);
+            STATS.with(|s| {
+                let mut s = s.borrow_mut();
+                s.fresh += 1;
+                s.fresh_bytes += 4 * len as u64;
+            });
             Vec::with_capacity(len)
         }
     }
@@ -134,6 +154,45 @@ pub fn recycle(a: NdArray) -> bool {
         }
     });
     ok
+}
+
+/// Pre-sizes this thread's pool for a known set of upcoming allocations.
+///
+/// `lens` lists buffer sizes in `f32` elements — typically the slot capacities of a
+/// compiled plan's activation arena. Existing free buffers are kept when they already
+/// cover a requested size (largest requests claim first, mirroring [`recycle`]'s
+/// best-fit service order); only the uncovered remainder is allocated fresh, with
+/// capacity but no contents, so reserving is cheap and never changes numerics. Requests
+/// above the pool's per-buffer size bound (`MAX_POOLED_LEN`) are skipped, and the pool
+/// stays bounded by its buffer-count cap (`MAX_POOLED_BUFFERS`).
+pub fn pool_reserve(lens: &[usize]) {
+    let mut wanted: Vec<usize> =
+        lens.iter().copied().filter(|&l| l > 0 && l <= MAX_POOLED_LEN).collect();
+    wanted.sort_unstable_by(|a, b| b.cmp(a));
+    FREE.with(|f| {
+        let mut free = f.borrow_mut();
+        // Earmark existing buffers: each request claims the smallest free buffer that
+        // covers it, once.
+        let mut claimed = vec![false; free.len()];
+        for want in &mut wanted {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, b) in free.iter().enumerate() {
+                let cap = b.capacity();
+                if !claimed[i] && cap >= *want && best.is_none_or(|(_, c)| cap < c) {
+                    best = Some((i, cap));
+                }
+            }
+            if let Some((i, _)) = best {
+                claimed[i] = true;
+                *want = 0; // covered
+            }
+        }
+        for want in wanted {
+            if want > 0 && free.len() < MAX_POOLED_BUFFERS {
+                free.push(Vec::with_capacity(want));
+            }
+        }
+    });
 }
 
 /// Current pool counters for this thread.
@@ -183,6 +242,44 @@ mod tests {
         assert!(!recycle(a));
         assert_eq!(pool_stats().recycled, 0);
         assert_eq!(alias.as_slice()[0], 1.0);
+        pool_reset();
+    }
+
+    #[test]
+    fn reserve_presizes_so_first_allocations_hit() {
+        pool_reset();
+        pool_reserve(&[64, 16]);
+        let a = alloc_zeroed(60);
+        let b = alloc_for_extend(16);
+        let stats = pool_stats();
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.fresh, 0);
+        assert_eq!(stats.reused_bytes, 4 * (60 + 16));
+        assert_eq!(a, vec![0.0; 60]);
+        assert!(b.is_empty() && b.capacity() >= 16);
+        pool_reset();
+    }
+
+    #[test]
+    fn reserve_keeps_existing_buffers_that_already_fit() {
+        pool_reset();
+        assert!(recycle(NdArray::from_vec(vec![0.0; 100], &[100]).unwrap()));
+        pool_reserve(&[80, 24]);
+        // The 100-cap buffer covers the 80 request; only the 24 is allocated fresh.
+        let big = alloc_zeroed(80);
+        let small = alloc_zeroed(24);
+        assert!(big.capacity() >= 100, "existing buffer should serve the large request");
+        assert!(small.capacity() < 100);
+        assert_eq!(pool_stats().reused, 2);
+        pool_reset();
+    }
+
+    #[test]
+    fn reserve_skips_oversized_requests() {
+        pool_reset();
+        pool_reserve(&[MAX_POOLED_LEN + 1]);
+        let _ = alloc_zeroed(8);
+        assert_eq!(pool_stats().fresh, 1);
         pool_reset();
     }
 

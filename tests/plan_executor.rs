@@ -1,0 +1,278 @@
+//! The planned-graph executor's contract: one IR, two interpreters, identical bits.
+//!
+//! `rita-infer` compiles the static forward graph (`rita_core::graph::build_graph`)
+//! into per-shape plans and interprets them with raw `NdArray` kernels; the `no_grad`
+//! `Var` interpreter (`rita_core::graph::run_var`) over the *same* graph is the
+//! in-tree exactness oracle. These tests pin that the two interpreters agree at 0 ulp
+//! across every attention variant, task head, and shape bucket, that peephole fusion
+//! shrinks the plan without changing bits, that the plan cache counts hits and misses,
+//! and that a malformed checkpoint fails the *request* (typed `InferError`) — never
+//! the worker thread serving it.
+
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rita::core::attention::AttentionKind;
+use rita::core::checkpoint::Checkpoint;
+use rita::core::graph::{build_graph, run_var, POSITIONAL};
+use rita::core::model::embedding::sinusoidal_table;
+use rita::core::model::RitaConfig;
+use rita::core::tasks::{Classifier, Imputer};
+use rita::infer::{
+    plan_cache_stats, InferError, InferModel, InferSession, ModelRegistry, RequestError,
+    ServeError, Server, ServerConfig,
+};
+use rita::nn::graph::{Graph, PlanError};
+use rita::tensor::{NdArray, SeedableRng64};
+
+fn rng(seed: u64) -> SeedableRng64 {
+    SeedableRng64::seed_from_u64(seed)
+}
+
+fn attention_kinds() -> Vec<(&'static str, AttentionKind)> {
+    vec![
+        ("vanilla", AttentionKind::Vanilla),
+        ("group", AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: false }),
+        (
+            "group_adaptive",
+            AttentionKind::Group { epsilon: 2.0, initial_groups: 6, adaptive: true },
+        ),
+        ("performer", AttentionKind::Performer { features: 16 }),
+        ("linformer", AttentionKind::Linformer { proj_dim: 6 }),
+    ]
+}
+
+/// Runs the `Var` oracle interpreter over `graph` with parameters drawn from `ckpt`.
+fn oracle(graph: &Graph, ckpt: &Checkpoint, x: &NdArray) -> NdArray {
+    let table = sinusoidal_table(ckpt.config.max_windows() + 1, ckpt.config.d_model);
+    run_var(graph, x, &|name| {
+        if name == POSITIONAL {
+            return Some(table.clone());
+        }
+        ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.clone())
+    })
+    .expect("oracle run")
+    .to_array()
+}
+
+/// The tentpole property: the planned `NdArray` executor and the `no_grad` `Var`
+/// interpreter — two interpreters over one compiled graph — produce bit-identical
+/// classifier logits across every attention variant and multiple shape buckets.
+#[test]
+fn planned_executor_matches_the_var_oracle_across_kinds_and_lengths() {
+    for (name, kind) in attention_kinds() {
+        let mut r = rng(101);
+        let config = RitaConfig::tiny(3, 60, kind);
+        let clf = Classifier::new(config, 4, &mut r);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let unfused = build_graph(&config, ckpt.task, &ckpt.scheduler);
+        let model = InferModel::from_checkpoint(&ckpt).unwrap();
+
+        for &(batch, len) in &[(2usize, 33usize), (3, 60), (1, 47)] {
+            let x = NdArray::randn(&[batch, 3, len], 1.0, &mut r);
+            let planned = model.logits(&x);
+            let reference = oracle(&unfused, &ckpt, &x);
+            assert_eq!(
+                reference.as_slice(),
+                planned.as_slice(),
+                "{name} (batch {batch}, len {len}): planned executor diverged from the oracle"
+            );
+        }
+        assert_eq!(model.cached_plans(), 3, "{name}: one plan per (batch, length) bucket");
+    }
+}
+
+/// Same two-interpreter agreement for the reconstruction head and a bare backbone.
+#[test]
+fn imputer_and_backbone_plans_match_the_oracle() {
+    for (name, kind) in attention_kinds() {
+        let mut r = rng(211);
+        let config = RitaConfig::tiny(2, 45, kind);
+        let imp = Imputer::new(config, &mut r);
+        let ckpt = Checkpoint::of_imputer(&imp, None);
+        let unfused = build_graph(&config, ckpt.task, &ckpt.scheduler);
+        let model = InferModel::from_checkpoint(&ckpt).unwrap();
+        for &len in &[30usize, 45] {
+            let x = NdArray::randn(&[2, 2, len], 1.0, &mut r);
+            let planned = model.reconstruct(&x);
+            let reference = oracle(&unfused, &ckpt, &x);
+            assert_eq!(reference.as_slice(), planned.as_slice(), "{name} imputer, len {len}");
+        }
+
+        let mut r = rng(223);
+        let backbone = rita::core::RitaModel::new(RitaConfig::tiny(3, 40, kind), &mut r);
+        let ckpt = Checkpoint::of_backbone(&backbone);
+        let unfused = build_graph(&ckpt.config, ckpt.task, &ckpt.scheduler);
+        let model = InferModel::from_checkpoint(&ckpt).unwrap();
+        let x = NdArray::randn(&[2, 3, 40], 1.0, &mut r);
+        let planned = model.encode(&x);
+        let reference = oracle(&unfused, &ckpt, &x);
+        assert_eq!(reference.as_slice(), planned.as_slice(), "{name} backbone encode");
+    }
+}
+
+/// Peephole fusion folds matmul+bias chains (and the embedding's unfold+projection)
+/// into single nodes — the loaded model's graph is strictly smaller than the emitted
+/// one, and the bits do not move (already proven against the unfused oracle above).
+#[test]
+fn peephole_fusion_shrinks_the_loaded_graph() {
+    let mut r = rng(31);
+    let kind = AttentionKind::Group { epsilon: 2.0, initial_groups: 4, adaptive: false };
+    let config = RitaConfig::tiny(3, 60, kind);
+    let clf = Classifier::new(config, 4, &mut r);
+    let ckpt = Checkpoint::of_classifier(&clf, None);
+    let unfused = build_graph(&config, ckpt.task, &ckpt.scheduler);
+    let model = InferModel::from_checkpoint(&ckpt).unwrap();
+    let fused = model.graph();
+    assert!(
+        fused.nodes.len() < unfused.nodes.len(),
+        "fusion did not shrink the graph: {} vs {}",
+        fused.nodes.len(),
+        unfused.nodes.len()
+    );
+    // Every linear in a tiny classifier fuses: 4 attention projections + 2 ff linears
+    // per layer, the embedding projection, and the head.
+    let folded = unfused.nodes.len() - fused.nodes.len();
+    assert!(folded >= 8, "expected at least 8 folded chains, got {folded}");
+}
+
+/// Plans are compiled once per `(batch, length)` bucket and then served from the
+/// cache; the process-wide hit/miss counters (surfaced in server metrics) move
+/// accordingly.
+#[test]
+fn plan_cache_counts_hits_and_misses() {
+    let mut r = rng(53);
+    let config = RitaConfig::tiny(2, 50, AttentionKind::Vanilla);
+    let clf = Classifier::new(config, 3, &mut r);
+    let model = InferModel::from_checkpoint(&Checkpoint::of_classifier(&clf, None)).unwrap();
+
+    let before = plan_cache_stats();
+    let xa = NdArray::randn(&[2, 2, 40], 1.0, &mut r);
+    let xb = NdArray::randn(&[2, 2, 50], 1.0, &mut r);
+    let _ = model.logits(&xa); // miss: new (2, 40) bucket
+    let _ = model.logits(&xb); // miss: new (2, 50) bucket
+    let _ = model.logits(&xa); // hit
+    let _ = model.logits(&xa); // hit
+    let after = plan_cache_stats();
+
+    assert_eq!(model.cached_plans(), 2);
+    // The counters are process-global (other tests run concurrently), so deltas are
+    // lower bounds here.
+    assert!(after.misses - before.misses >= 2, "{before:?} -> {after:?}");
+    assert!(after.hits - before.hits >= 2, "{before:?} -> {after:?}");
+    assert!(after.hit_rate() > 0.0);
+}
+
+/// A checkpoint whose tensor has the wrong *shape* passes loading (presence is checked
+/// there) but fails plan compilation — as a typed, request-scoped error at every
+/// layer: `InferModel` returns `InferError`, the session maps it to
+/// `RequestError::Infer`, and the server fails the ticket with `ServeError::Infer`
+/// while the worker thread survives to serve the next (healthy) model.
+#[test]
+fn wrong_shape_checkpoint_tensor_fails_the_request_not_the_worker() {
+    let mut r = rng(67);
+    let config = RitaConfig {
+        channels: 2,
+        max_len: 64,
+        d_model: 16,
+        n_layers: 1,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Vanilla,
+        ..Default::default()
+    };
+    let clf = Classifier::new(config, 4, &mut r);
+    let mut bad = Checkpoint::of_classifier(&clf, None);
+    let slot = bad
+        .tensors
+        .iter_mut()
+        .find(|(p, _)| p == "head.weight")
+        .expect("classifier checkpoints carry a head");
+    slot.1 = NdArray::zeros(&[3, 3]); // wrong shape, right path
+
+    // Loading succeeds: every required tensor is present.
+    let model = InferModel::from_checkpoint(&bad).unwrap();
+    let x = NdArray::randn(&[1, 2, 40], 1.0, &mut r);
+
+    // The model reports a typed shape error naming the offending node.
+    match model.try_logits(&x) {
+        Err(InferError::Plan(PlanError::Shape { node, .. })) => {
+            assert!(node.contains("head"), "error should name the bad node, got '{node}'");
+        }
+        other => panic!("expected a plan shape error, got {other:?}"),
+    }
+
+    // The session rejects the request set without panicking.
+    let session = InferSession::new(model);
+    let req = NdArray::randn(&[2, 40], 1.0, &mut r);
+    match session.classify(std::slice::from_ref(&req)) {
+        Err(RequestError::Infer(InferError::Plan(PlanError::Shape { .. }))) => {}
+        other => panic!("expected RequestError::Infer, got {other:?}"),
+    }
+
+    // The server fails the ticket — and the same worker keeps serving after a healthy
+    // checkpoint replaces the malformed one.
+    let registry = std::sync::Arc::new(ModelRegistry::new());
+    registry.publish(&bad).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            workers: 1,
+            linger: Duration::from_millis(1),
+            bytes_per_sec: Some(1e12),
+            ..Default::default()
+        },
+    );
+    match server.classify("tenant", req.clone()) {
+        Err(ServeError::Infer(InferError::Plan(PlanError::Shape { .. }))) => {}
+        other => panic!("expected ServeError::Infer, got {other:?}"),
+    }
+    server.registry().publish(&Checkpoint::of_classifier(&clf, None)).unwrap();
+    let served = server.classify("tenant", req).expect("worker survived the malformed model");
+    assert_eq!(served.model_version, 2);
+    server.shutdown();
+}
+
+/// The server metrics snapshot surfaces the aggregated buffer-pool counters and the
+/// plan-cache hit rate, in the struct and in the JSON.
+#[test]
+fn server_metrics_surface_pool_and_plan_cache_stats() {
+    let mut r = rng(71);
+    let config = RitaConfig {
+        channels: 2,
+        max_len: 64,
+        d_model: 16,
+        n_layers: 1,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Vanilla,
+        ..Default::default()
+    };
+    let clf = Classifier::new(config, 4, &mut r);
+    let registry = std::sync::Arc::new(ModelRegistry::new());
+    registry.publish(&Checkpoint::of_classifier(&clf, None)).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            workers: 1,
+            linger: Duration::from_millis(1),
+            bytes_per_sec: Some(1e12),
+            ..Default::default()
+        },
+    );
+    for i in 0..6 {
+        let req = NdArray::randn(&[2, 40 + 8 * (i % 2)], 1.0, &mut r);
+        server.classify("tenant", req).unwrap();
+    }
+    let snap = server.metrics().snapshot();
+    assert!(snap.pool.fresh + snap.pool.reused > 0, "pool counters never recorded: {snap:?}");
+    assert!(snap.pool.recycled > 0, "planned last-use recycling never fired: {snap:?}");
+    assert!(snap.pool.reused > 0, "steady-state batches should hit the pool: {snap:?}");
+    assert!(snap.pool.fresh_bytes + snap.pool.reused_bytes > 0);
+    assert!(snap.plan_cache.hits + snap.plan_cache.misses > 0);
+    let json = snap.to_json();
+    for key in ["\"pool\"", "\"plan_cache\"", "\"hit_rate\"", "\"reused_bytes\"", "\"misses\""] {
+        assert!(json.contains(key), "metrics JSON lacks {key}: {json}");
+    }
+    server.shutdown();
+}

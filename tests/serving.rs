@@ -405,3 +405,83 @@ fn shutdown_drains_every_admitted_request() {
     });
     assert_eq!(*answers.lock().unwrap(), 10, "shutdown dropped admitted requests");
 }
+
+/// The plan cache composes with hot-swap: each loaded model version keeps its own
+/// compiled plans, so publish/activate/rollback with plans cached mid-flight never
+/// mixes versions — every response's logits are bit-identical to the single-call
+/// session of the version it stamps — and rollback repoints to the *same* loaded v1
+/// (warm plan cache included) instead of reloading and recompiling.
+#[test]
+fn cached_plans_survive_hot_swap_and_rollback() {
+    let ckpt_v1 = checkpoint(61);
+    let ckpt_v2 = checkpoint(62);
+    let session_v1 = InferSession::from_checkpoint(&ckpt_v1).unwrap();
+    let session_v2 = InferSession::from_checkpoint(&ckpt_v2).unwrap();
+    let requests = mixed_requests(70, &[24, 40, 24, 64, 40, 24]);
+    let expected: Vec<[Vec<f32>; 2]> = requests
+        .iter()
+        .map(|r| {
+            let one = session_v1.classify_logits(std::slice::from_ref(r)).unwrap();
+            let two = session_v2.classify_logits(std::slice::from_ref(r)).unwrap();
+            [one[0].as_slice().to_vec(), two[0].as_slice().to_vec()]
+        })
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&ckpt_v1).unwrap();
+    let server = Server::start(Arc::clone(&registry), fast_config(2));
+    let check = |i: usize| -> u64 {
+        let got = server.classify("cache-tenant", requests[i].clone()).unwrap();
+        let version = got.model_version;
+        assert!((1..=2).contains(&version), "unknown version {version}");
+        assert_eq!(
+            got.logits.as_slice(),
+            expected[i][(version - 1) as usize].as_slice(),
+            "request {i}: logits do not match the claimed version {version}"
+        );
+        version
+    };
+    let wait_for_version = |want: u64| {
+        for _ in 0..50 {
+            if check(0) == want {
+                return;
+            }
+        }
+        panic!("version {want} never became visible");
+    };
+
+    // Warm v1's plan cache across every (batch, length) bucket in the traffic.
+    for i in 0..requests.len() {
+        assert_eq!(check(i), 1);
+    }
+    let v1 = registry.get(1).unwrap();
+    let warmed = v1.model.cached_plans();
+    assert!(warmed >= 3, "expected a compiled plan per length bucket, got {warmed}");
+
+    // Swap to v2 while v1's plans sit in its cache: answers flip to v2's bits, v2
+    // compiles its own plans, v1's cache is untouched.
+    registry.publish(&ckpt_v2).unwrap();
+    wait_for_version(2);
+    for i in 0..requests.len() {
+        assert_eq!(check(i), 2);
+    }
+    let v2 = registry.get(2).unwrap();
+    assert!(v2.model.cached_plans() >= 3, "v2 never compiled its own plans");
+    assert_eq!(v1.model.cached_plans(), warmed, "the swap disturbed v1's plan cache");
+
+    // Rollback repoints to the same loaded model — Arc-identical, plan cache warm —
+    // and the served bits flip back to v1's for the version each response stamps.
+    assert_eq!(registry.rollback(), Some(1));
+    wait_for_version(1);
+    for i in 0..requests.len() {
+        assert_eq!(check(i), 1);
+    }
+    let current = registry.current().unwrap();
+    assert!(Arc::ptr_eq(&current.model, &v1.model), "rollback reloaded the model");
+    assert_eq!(
+        v1.model.cached_plans(),
+        warmed,
+        "served traffic after rollback should hit the warm plan cache, not recompile"
+    );
+    server.shutdown();
+}
