@@ -15,6 +15,7 @@
 //! Linformer inside the RITA architecture — live in `rita-core::attention`, because the
 //! paper builds them by swapping RITA's attention module.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -11,6 +11,7 @@
 //! with series length, adaptive-vs-fixed orderings, pretraining gains) are reproduced.
 //! Pass `--full` to any binary for a larger, slower configuration.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -7,6 +7,7 @@
 //! few milliseconds. Results (mean / min / max per iteration) are printed to stdout, so
 //! `cargo bench` output remains grep-able for the perf tables in `CHANGES.md`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::time::{Duration, Instant};

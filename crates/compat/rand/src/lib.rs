@@ -8,6 +8,7 @@
 //! masking; none of the workspace's guarantees depend on the exact stream of any
 //! particular upstream RNG, only on determinism under a fixed seed.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// Low-level source of random 32/64-bit words.

@@ -4,6 +4,7 @@
 //! reproducible under a fixed seed (the only property the workspace relies on — no code
 //! depends on byte-compatibility with the upstream crate's streams).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use rand::{RngCore, SeedableRng};

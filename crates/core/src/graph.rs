@@ -140,7 +140,7 @@ pub fn build_graph(config: &RitaConfig, task: TaskKind, scheduler: &[Option<f32>
             g.push("fold", fold, vec![decoded])
         }
     };
-    g.validate();
+    debug_assert!(g.validate().is_ok(), "emitted graph is malformed: {:?}", g.validate());
     g
 }
 

@@ -33,6 +33,7 @@
 //! assert!(report.final_loss().is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

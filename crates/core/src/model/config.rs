@@ -95,14 +95,37 @@ impl RitaConfig {
         self.d_model / self.n_heads
     }
 
-    /// Validates internal consistency, panicking with a descriptive message otherwise.
+    /// Checks internal consistency without panicking, naming the first constraint
+    /// violated. The publish path uses this so a corrupt checkpoint is *rejected*
+    /// rather than crashing a serving worker.
+    pub fn check(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("channels must be positive".into());
+        }
+        if self.window == 0 || self.stride == 0 {
+            return Err("window and stride must be positive".into());
+        }
+        if self.max_len < self.window {
+            return Err("max_len must cover at least one window".into());
+        }
+        if self.n_heads == 0 || !self.d_model.is_multiple_of(self.n_heads) {
+            return Err("d_model must be divisible by n_heads".into());
+        }
+        if self.n_layers == 0 {
+            return Err("need at least one encoder layer".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err("dropout must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Validates internal consistency, panicking with a descriptive message otherwise
+    /// (training-side convenience; serving uses [`RitaConfig::check`]).
     pub fn validate(&self) {
-        assert!(self.channels > 0, "channels must be positive");
-        assert!(self.window > 0 && self.stride > 0, "window and stride must be positive");
-        assert!(self.max_len >= self.window, "max_len must cover at least one window");
-        assert_eq!(self.d_model % self.n_heads, 0, "d_model must be divisible by n_heads");
-        assert!(self.n_layers > 0, "need at least one encoder layer");
-        assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0, 1)");
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
     }
 }
 
@@ -141,6 +164,15 @@ mod tests {
     fn validate_rejects_bad_heads() {
         let c = RitaConfig { d_model: 10, n_heads: 3, ..Default::default() };
         c.validate();
+    }
+
+    #[test]
+    fn check_reports_instead_of_panicking() {
+        assert!(RitaConfig::default().check().is_ok());
+        let c = RitaConfig { n_layers: 0, ..Default::default() };
+        assert!(c.check().unwrap_err().contains("encoder layer"));
+        let c = RitaConfig { dropout: 1.5, ..Default::default() };
+        assert!(c.check().unwrap_err().contains("dropout"));
     }
 
     #[test]

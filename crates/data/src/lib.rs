@@ -21,6 +21,7 @@
 //!
 //! See `DESIGN.md` at the workspace root for the substitution rationale.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

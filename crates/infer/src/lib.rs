@@ -63,6 +63,7 @@
 //! println!("{}", server.metrics().snapshot().to_json());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -79,7 +80,7 @@ pub use metrics::{
 };
 pub use model::InferModel;
 pub use plan::{plan_cache_stats, InferError, PlanCacheStats};
-pub use registry::{ModelHandle, ModelRegistry};
+pub use registry::{ModelHandle, ModelRegistry, PublishError};
 pub use rita_tensor::{pool_reset, pool_stats, PoolStats};
 pub use server::{
     ServeError, ServedResponse, Server, ServerConfig, ShedReason, TenantPolicy, Ticket,

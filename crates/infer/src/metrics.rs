@@ -456,6 +456,69 @@ mod tests {
         assert_eq!(snap.shed(), 1);
     }
 
+    /// The atomics-audit stress test (see DESIGN.md "Atomics audit"): every counter
+    /// uses `Ordering::Relaxed`, which is sound because each is independently
+    /// meaningful — so after all writers join, plain load visibility (guaranteed by
+    /// the join's synchronizes-with edge) must make every final total exact, and
+    /// snapshots taken *during* the run must stay within the monotone envelope
+    /// (relaxed counters never run backwards from one snapshot to the next on the
+    /// same thread, and a histogram's bucket total can never exceed what its `count`
+    /// will eventually reach).
+    #[test]
+    fn relaxed_counters_are_exact_under_forced_multithreading() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        let m = Arc::new(Metrics::default());
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let writers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let tenant = m.tenant(if t % 2 == 0 { "even" } else { "odd" });
+                    for i in 0..PER_THREAD {
+                        tenant.accepted.fetch_add(1, Ordering::Relaxed);
+                        tenant.served.fetch_add(1, Ordering::Relaxed);
+                        m.batches.fetch_add(1, Ordering::Relaxed);
+                        m.batch_size.record(i % 32);
+                    }
+                })
+            })
+            .collect();
+        // A concurrent observer: snapshots must be monotone in every counter.
+        let observer = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_served = 0u64;
+                let mut last_batches = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let snap = m.snapshot();
+                    assert!(snap.served() >= last_served, "served ran backwards");
+                    assert!(snap.batches >= last_batches, "batches ran backwards");
+                    assert!(
+                        snap.batch_size.count <= THREADS * PER_THREAD,
+                        "histogram count overshot"
+                    );
+                    last_served = snap.served();
+                    last_batches = snap.batches;
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        observer.join().unwrap();
+
+        let snap = m.snapshot();
+        assert_eq!(snap.served(), THREADS * PER_THREAD);
+        assert_eq!(snap.batches, THREADS * PER_THREAD);
+        assert_eq!(snap.batch_size.count, THREADS * PER_THREAD);
+        let even = snap.tenants.iter().find(|(n, _)| n == "even").unwrap();
+        assert_eq!(even.1.accepted, THREADS / 2 * PER_THREAD);
+    }
+
     #[test]
     fn snapshot_json_is_well_formed_enough() {
         let m = Metrics::default();

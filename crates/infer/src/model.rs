@@ -50,7 +50,7 @@ impl InferModel {
     /// panicking a worker.
     pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
         let config = ckpt.config;
-        config.validate();
+        config.check().map_err(CheckpointError::Corrupted)?;
         let by_path: HashMap<&str, &NdArray> =
             ckpt.tensors.iter().map(|(p, t)| (p.as_str(), t)).collect();
 
@@ -173,7 +173,9 @@ impl InferModel {
     /// The compiled plan for one `(batch, length)` bucket, from the cache when this
     /// shape has run before. Compilation performs the full ahead-of-time shape check,
     /// so a checkpoint with malformed tensor shapes fails here — once, with the
-    /// offending node named — instead of panicking mid-kernel.
+    /// offending node named — instead of panicking mid-kernel. Every freshly compiled
+    /// plan is then audited by the independent static analyzer before it is cached:
+    /// a plan the verifier rejects never reaches the executor.
     fn plan_for(&self, batch: usize, length: usize) -> Result<Arc<CachedPlan>, InferError> {
         let mut plans = self.plans.lock().expect("plan cache lock");
         if let Some(p) = plans.get(&(batch, length)) {
@@ -182,9 +184,13 @@ impl InferModel {
         }
         note_plan_cache(false);
         let input_shape = [batch, self.config.channels, length];
-        let plan =
-            self.graph.compile(&input_shape, &|name| self.shapes_by_name.get(name).cloned())?;
-        let cached = Arc::new(CachedPlan::new(plan));
+        let lookup = |name: &str| self.shapes_by_name.get(name).cloned();
+        let plan = self.graph.compile(&input_shape, &lookup)?;
+        let report = rita_verify::verify_plan(&self.graph, &plan, &lookup);
+        if report.has_errors() {
+            return Err(InferError::Rejected(report));
+        }
+        let cached = Arc::new(CachedPlan::new(plan, true));
         plans.insert((batch, length), cached.clone());
         Ok(cached)
     }

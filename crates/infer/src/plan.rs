@@ -45,6 +45,9 @@ pub enum InferError {
         /// The operation the caller asked for.
         requested: &'static str,
     },
+    /// The independent static analyzer (`rita-verify`) found error-severity defects
+    /// in the compiled plan; the full report rides along.
+    Rejected(rita_verify::Report),
 }
 
 impl std::fmt::Display for InferError {
@@ -54,6 +57,9 @@ impl std::fmt::Display for InferError {
             InferError::Node { node, detail } => write!(f, "node '{node}' failed: {detail}"),
             InferError::MissingHead { requested } => {
                 write!(f, "checkpoint has no head for '{requested}'")
+            }
+            InferError::Rejected(report) => {
+                write!(f, "plan rejected by static verification: {report}")
             }
         }
     }
@@ -110,15 +116,19 @@ pub(crate) fn note_plan_cache(hit: bool) {
 }
 
 /// A compiled plan plus a process-unique ID used to pre-size each thread's buffer pool
-/// exactly once per (thread, plan).
+/// exactly once per (thread, plan), and the static-verification stamp the executor
+/// `debug_assert!`s before running.
 pub(crate) struct CachedPlan {
     pub(crate) plan: Plan,
     id: u64,
+    /// `true` once `rita_verify::verify_plan` passed with no error diagnostics. Every
+    /// plan the cache hands to the executor must carry this stamp.
+    verified: bool,
 }
 
 impl CachedPlan {
-    pub(crate) fn new(plan: Plan) -> Self {
-        Self { plan, id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed) }
+    pub(crate) fn new(plan: Plan, verified: bool) -> Self {
+        Self { plan, id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed), verified }
     }
 }
 
@@ -143,6 +153,7 @@ pub(crate) fn execute(
     x: &NdArray,
     target: ValueId,
 ) -> Result<NdArray, InferError> {
+    debug_assert!(cached.verified, "executor handed a plan without the static-verification stamp");
     let plan = &cached.plan;
     RESERVED.with(|r| {
         if r.borrow_mut().insert(cached.id) {

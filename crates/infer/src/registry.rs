@@ -19,8 +19,41 @@
 use std::sync::{Arc, RwLock};
 
 use rita_core::checkpoint::{Checkpoint, CheckpointError};
+use rita_verify::Report;
 
 use crate::model::InferModel;
+
+/// Why a checkpoint could not be published.
+#[derive(Debug)]
+pub enum PublishError {
+    /// Loading the checkpoint failed: missing or leftover tensors, a corrupt config,
+    /// an unknown format.
+    Checkpoint(CheckpointError),
+    /// The checkpoint loaded, but the independent static analyzer found
+    /// error-severity defects (wrong-shape tensors, illegal fusion, orphan params…).
+    /// The full diagnostic report rides along; the registry's current version is
+    /// untouched.
+    Rejected(Report),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Checkpoint(e) => write!(f, "checkpoint failed to load: {e}"),
+            PublishError::Rejected(report) => {
+                write!(f, "checkpoint rejected by static verification: {report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+impl From<CheckpointError> for PublishError {
+    fn from(e: CheckpointError) -> Self {
+        PublishError::Checkpoint(e)
+    }
+}
 
 /// A snapshot of the registry's current model: the version id and the `Arc`-shared
 /// loaded weights. Holding a handle keeps that version's weights alive even across a
@@ -62,15 +95,21 @@ impl ModelRegistry {
         Self { inner: RwLock::new(RegistryInner { history: Vec::new(), current: None }) }
     }
 
-    /// Loads `ckpt` into servable form and atomically installs it as the current
-    /// version, returning its version id. The load fully validates the checkpoint
-    /// (missing/leftover tensors, unknown formats) *before* the swap, so a bad
-    /// checkpoint can never become current; requests admitted before the swap finish
-    /// on the version they started with.
-    pub fn publish(&self, ckpt: &Checkpoint) -> Result<u64, CheckpointError> {
-        // Load outside the lock: checkpoint validation is the slow part, and readers
+    /// Loads `ckpt` into servable form, runs the full independent static analysis
+    /// (`rita_verify`) over the checkpoint × graph pair, and only then atomically
+    /// installs it as the current version, returning its version id. Any
+    /// error-severity diagnostic refuses activation with the report attached
+    /// ([`PublishError::Rejected`]), so a wrong-shape tensor or an illegal fusion is
+    /// caught before a single request sees the new version; requests admitted before
+    /// the swap finish on the version they started with.
+    pub fn publish(&self, ckpt: &Checkpoint) -> Result<u64, PublishError> {
+        // Load and verify outside the lock: they are the slow part, and readers
         // should keep serving the old version meanwhile.
         let model = Arc::new(InferModel::from_checkpoint(ckpt)?);
+        let report = rita_verify::verify_with_graph(ckpt, model.graph());
+        if report.has_errors() {
+            return Err(PublishError::Rejected(report));
+        }
         let mut inner = self.inner.write().expect("registry lock");
         let version = inner.history.len() as u64 + 1;
         inner.history.push(Published { version, model });
@@ -203,6 +242,51 @@ mod tests {
         assert!(Arc::ptr_eq(&v3_via_get.model, &reg.current().unwrap().model));
     }
 
+    /// The atomics-audit stress test for the registry's pointer moves (see DESIGN.md
+    /// "Atomics audit"): the current-version swap is an index store under the
+    /// `RwLock` write guard, and a handle clones `(version, Arc)` under one read
+    /// guard — so every handle a reader ever observes must be *internally*
+    /// consistent (its version id and its model pointer name the same published
+    /// entry), no matter how many writers are flipping the active version.
+    #[test]
+    fn concurrent_swaps_yield_internally_consistent_handles() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish(&checkpoint(1)).unwrap();
+        reg.publish(&checkpoint(2)).unwrap();
+        let pinned: Vec<ModelHandle> = (1..=2).map(|v| reg.get(v).unwrap()).collect();
+
+        let writers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        assert!(reg.activate(1 + (i + t) % 2));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let pinned = pinned.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        let h = reg.current().expect("published");
+                        let expected = &pinned[h.version as usize - 1];
+                        assert!(
+                            Arc::ptr_eq(&h.model, &expected.model),
+                            "handle version {} paired with another version's model",
+                            h.version
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+    }
+
     #[test]
     fn bad_checkpoints_never_become_current() {
         let reg = ModelRegistry::new();
@@ -211,10 +295,34 @@ mod tests {
         let mut broken = checkpoint(2);
         // Drop a required tensor (a bias would be tolerated): the load must fail.
         broken.tensors.retain(|(p, _)| p != "head.weight");
-        assert!(reg.publish(&broken).is_err());
+        assert!(matches!(reg.publish(&broken), Err(PublishError::Checkpoint(_))));
         let after = reg.current().unwrap();
         assert_eq!(after.version, before.version);
         assert!(Arc::ptr_eq(&after.model, &before.model));
         assert_eq!(reg.versions(), vec![1]);
+    }
+
+    #[test]
+    fn statically_rejected_checkpoints_never_become_current() {
+        let reg = ModelRegistry::new();
+        reg.publish(&checkpoint(1)).unwrap();
+        let before = reg.current().unwrap();
+        let mut bad = checkpoint(2);
+        // The tensor is *present* (so loading succeeds) but its shape is wrong —
+        // only the static analyzer can refuse this before a request trips on it.
+        for (p, t) in bad.tensors.iter_mut() {
+            if p == "head.weight" {
+                *t = rita_tensor::NdArray::zeros(&[3, 3]);
+            }
+        }
+        match reg.publish(&bad) {
+            Err(PublishError::Rejected(report)) => {
+                assert!(report.has_errors(), "rejection must carry error diagnostics")
+            }
+            other => panic!("expected static rejection, got {other:?}"),
+        }
+        let after = reg.current().unwrap();
+        assert_eq!(after.version, before.version);
+        assert!(Arc::ptr_eq(&after.model, &before.model));
     }
 }

@@ -134,6 +134,10 @@ pub enum ServeError {
     Infer(crate::InferError),
     /// No checkpoint has been published to the registry yet.
     NoModel,
+    /// The static analyzer rejected the plan this request would have run on; the full
+    /// diagnostic report rides along. With publish-time verification in front, this
+    /// only fires if a corrupt plan slips past it for an unprobed shape bucket.
+    Rejected(rita_verify::Report),
     /// The server is shutting down and no longer admits requests.
     ShutDown,
 }
@@ -152,6 +156,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
             ServeError::Infer(e) => write!(f, "forward pass failed: {e}"),
             ServeError::NoModel => write!(f, "no model published"),
+            ServeError::Rejected(report) => {
+                write!(f, "rejected by static verification: {report}")
+            }
             ServeError::ShutDown => write!(f, "server shutting down"),
         }
     }
@@ -677,7 +684,11 @@ fn serve_batch(shared: &Shared, batch: ClosedBatch) {
         Ok(logits) => logits,
         Err(e) => {
             for p in requests {
-                p.slot.fill(Err(ServeError::Infer(e.clone())));
+                let err = match &e {
+                    crate::InferError::Rejected(report) => ServeError::Rejected(report.clone()),
+                    other => ServeError::Infer(other.clone()),
+                };
+                p.slot.fill(Err(err));
             }
             return;
         }

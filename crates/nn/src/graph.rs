@@ -454,6 +454,8 @@ pub enum PlanError {
         /// Name of the unbound value.
         value: String,
     },
+    /// Two nodes share the same ID (names the repeated ID).
+    DuplicateNode(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -465,6 +467,7 @@ impl std::fmt::Display for PlanError {
             PlanError::UnknownInput { node, value } => {
                 write!(f, "node '{node}' reads unbound value '{value}'")
             }
+            PlanError::DuplicateNode(id) => write!(f, "duplicate node id '{id}'"),
         }
     }
 }
@@ -564,23 +567,27 @@ impl Graph {
     }
 
     /// Structural sanity: unique node IDs, unique producers, every read either bound
-    /// or produced. Panics on violation — emission bugs, not runtime conditions.
-    pub fn validate(&self) {
+    /// or produced. Returns the first violation as a typed error — publish-path
+    /// callers reject the graph; emission sites `debug_assert!` cleanliness.
+    pub fn validate(&self) -> Result<(), PlanError> {
         let mut ids = HashSet::new();
         for n in &self.nodes {
-            assert!(ids.insert(n.id.as_str()), "duplicate node id '{}'", n.id);
+            if !ids.insert(n.id.as_str()) {
+                return Err(PlanError::DuplicateNode(n.id.clone()));
+            }
         }
         let producers = self.producers();
         for n in &self.nodes {
             for v in &n.inputs {
-                assert!(
-                    self.values[v.0].binding.is_some() || producers[v.0].is_some(),
-                    "node '{}' reads value '{}' that nothing binds or produces",
-                    n.id,
-                    self.values[v.0].name
-                );
+                if self.values[v.0].binding.is_none() && producers[v.0].is_none() {
+                    return Err(PlanError::UnknownInput {
+                        node: n.id.clone(),
+                        value: self.values[v.0].name.clone(),
+                    });
+                }
             }
         }
+        Ok(())
     }
 
     /// Kahn topological order, stable by node index so an already-topological
@@ -887,7 +894,7 @@ mod tests {
         let out = g.push("residual", Op::Add, vec![y1b, y2b]);
         g.output = out;
         g.encoder_output = out;
-        g.validate();
+        g.validate().expect("toy graph is well-formed");
         g
     }
 

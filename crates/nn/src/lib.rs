@@ -38,6 +38,7 @@
 //! assert!(final_loss < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

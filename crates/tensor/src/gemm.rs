@@ -67,6 +67,9 @@ macro_rules! simd_dispatch {
             #[allow(clippy::too_many_arguments)]
             fn body($($arg: $ty),*) $body
 
+            // `unsafe` only because of `target_feature`: calling this on a CPU
+            // without avx2+fma would execute illegal instructions. The body itself
+            // is plain safe Rust (slice-indexed loops, no raw pointers).
             #[cfg(target_arch = "x86_64")]
             #[target_feature(enable = "avx2,fma")]
             unsafe fn accelerated($($arg: $ty),*) {
@@ -78,7 +81,10 @@ macro_rules! simd_dispatch {
             pub(super) fn run($($arg: $ty),*) {
                 #[cfg(target_arch = "x86_64")]
                 if crate::gemm::simd_accelerated() {
-                    // SAFETY: `simd_accelerated` verified avx2+fma at run time.
+                    // SAFETY: the only precondition of `accelerated` is that the
+                    // CPU actually supports avx2+fma (it has no memory-safety
+                    // preconditions of its own); `simd_accelerated` verified both
+                    // features at run time via `is_x86_feature_detected!`.
                     return unsafe { accelerated($($arg),*) };
                 }
                 body($($arg),*)

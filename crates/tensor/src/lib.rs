@@ -31,6 +31,7 @@
 //! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -1,0 +1,172 @@
+//! Analysis 4 — fusion legality.
+//!
+//! The peephole pass (`rita_nn::graph::Graph::peephole`) rewrites `matmul → add_bias`
+//! chains into [`Op::Linear`] and `unfold → matmul (→ add_bias)` chains into
+//! [`Op::WindowEmbed`]. This analysis proves each shipped graph is a *semantics-
+//! preserving* rewrite of the pre-fusion graph: both graphs are expanded into
+//! expression DAGs over primitive ops only (fused ops are re-expanded into the chains
+//! they claim to replace), and the DAGs reaching `output` and `encoder_output` must be
+//! structurally identical down to the leaves (the run input, named checkpoint
+//! parameters, and the positional table). A fused node with the wrong operand, a
+//! dropped bias, or altered window constants all surface as a [`VerifyError::FusionMismatch`].
+
+use std::collections::HashMap;
+
+use rita_nn::graph::{Binding, Graph, Op, ValueId};
+
+use crate::checks::derive_order;
+use crate::report::{Analysis, Diagnostic, VerifyError};
+
+/// One vertex of a primitive expression DAG.
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    /// The run input batch.
+    Input,
+    /// A checkpoint parameter, identified by path.
+    Param(String),
+    /// The deterministic positional table, identified by value name.
+    Positional(String),
+    /// A primitive op applied to earlier vertices. Fused ops never appear here.
+    Step(Op, Vec<usize>),
+}
+
+impl Expr {
+    fn describe(&self) -> String {
+        match self {
+            Expr::Input => "input".to_string(),
+            Expr::Param(p) => format!("param {p}"),
+            Expr::Positional(n) => format!("positional {n}"),
+            Expr::Step(op, args) => format!("{op:?}/{}", args.len()),
+        }
+    }
+}
+
+/// A graph lowered to primitives: an arena of vertices plus the vertex reached by
+/// each graph value (where derivable).
+struct Expanded {
+    arena: Vec<Expr>,
+    of_value: Vec<Option<usize>>,
+}
+
+fn expand(graph: &Graph) -> Option<Expanded> {
+    let order = derive_order(graph)?;
+    let mut arena = Vec::new();
+    let mut of_value: Vec<Option<usize>> = vec![None; graph.values.len()];
+    for (i, info) in graph.values.iter().enumerate() {
+        of_value[i] = match &info.binding {
+            Some(Binding::Input) => Some(push(&mut arena, Expr::Input)),
+            Some(Binding::Param { path, .. }) => Some(push(&mut arena, Expr::Param(path.clone()))),
+            Some(Binding::Positional) => {
+                Some(push(&mut arena, Expr::Positional(info.name.clone())))
+            }
+            None => None,
+        };
+    }
+    for ni in order {
+        let node = &graph.nodes[ni];
+        let args: Option<Vec<usize>> = node.inputs.iter().map(|v| of_value[v.0]).collect();
+        let Some(args) = args else { continue };
+        let vertex = match node.op {
+            // Re-expand fused ops into the primitive chain they claim to replace.
+            Op::Linear { bias } => {
+                let mm = push(&mut arena, Expr::Step(Op::Matmul, vec![args[0], args[1]]));
+                if bias {
+                    push(&mut arena, Expr::Step(Op::AddBias, vec![mm, args[2]]))
+                } else {
+                    mm
+                }
+            }
+            Op::WindowEmbed { window, stride, bias } => {
+                let u =
+                    push(&mut arena, Expr::Step(Op::Unfold1d { window, stride }, vec![args[0]]));
+                let mm = push(&mut arena, Expr::Step(Op::Matmul, vec![u, args[1]]));
+                if bias {
+                    push(&mut arena, Expr::Step(Op::AddBias, vec![mm, args[2]]))
+                } else {
+                    mm
+                }
+            }
+            op => push(&mut arena, Expr::Step(op, args)),
+        };
+        of_value[node.output.0] = Some(vertex);
+    }
+    Some(Expanded { arena, of_value })
+}
+
+fn push(arena: &mut Vec<Expr>, e: Expr) -> usize {
+    arena.push(e);
+    arena.len() - 1
+}
+
+/// Structural equality of two DAG vertices, memoised on proven-equal pairs so shared
+/// subtrees (residual connections) are compared once. Returns the first divergence.
+fn same(
+    pre: &Expanded,
+    post: &Expanded,
+    a: usize,
+    b: usize,
+    memo: &mut HashMap<(usize, usize), bool>,
+) -> Result<(), String> {
+    if let Some(true) = memo.get(&(a, b)) {
+        return Ok(());
+    }
+    match (&pre.arena[a], &post.arena[b]) {
+        (Expr::Step(op_a, args_a), Expr::Step(op_b, args_b)) => {
+            if op_a != op_b || args_a.len() != args_b.len() {
+                return Err(format!(
+                    "pre computes {} where post computes {}",
+                    pre.arena[a].describe(),
+                    post.arena[b].describe()
+                ));
+            }
+            for (&x, &y) in args_a.iter().zip(args_b) {
+                same(pre, post, x, y, memo)?;
+            }
+        }
+        (x, y) if x == y => {}
+        (x, y) => {
+            return Err(format!("pre reads {} where post reads {}", x.describe(), y.describe()));
+        }
+    }
+    memo.insert((a, b), true);
+    Ok(())
+}
+
+fn output_pairs(pre: &Graph, post: &Graph) -> [(&'static str, ValueId, ValueId); 2] {
+    [
+        ("output", pre.output, post.output),
+        ("encoder_output", pre.encoder_output, post.encoder_output),
+    ]
+}
+
+/// Prove `post` (the pruned + fused graph actually shipped) computes the same
+/// expression as `pre` (the freshly re-emitted, pruned, *unfused* reference) at both
+/// distinguished outputs.
+pub fn verify_fusion(pre: &Graph, post: &Graph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let (Some(pre_x), Some(post_x)) = (expand(pre), expand(post)) else {
+        // A cycle in either graph; the schedule/structure analyses own that finding.
+        return diags;
+    };
+    let mut memo = HashMap::new();
+    for (label, pv, qv) in output_pairs(pre, post) {
+        let (Some(a), Some(b)) = (pre_x.of_value[pv.0], post_x.of_value[qv.0]) else {
+            diags.push(Diagnostic::error(
+                Analysis::Fusion,
+                label,
+                VerifyError::FusionMismatch {
+                    detail: format!("{label} is not derivable in both graphs"),
+                },
+            ));
+            continue;
+        };
+        if let Err(detail) = same(&pre_x, &post_x, a, b, &mut memo) {
+            diags.push(Diagnostic::error(
+                Analysis::Fusion,
+                label,
+                VerifyError::FusionMismatch { detail },
+            ));
+        }
+    }
+    diags
+}

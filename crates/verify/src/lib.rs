@@ -1,0 +1,255 @@
+//! `rita-verify` — an independent static analyzer for graph plans and checkpoints.
+//!
+//! The compiler (`rita_nn::graph`) emits a plan — schedule, ahead-of-time shapes,
+//! buffer lifetimes, an arena — and the serving tier trusts it completely. This crate
+//! is the second implementation that makes that trust earned: every property the plan
+//! claims is **re-derived from scratch** here, with its own shape calculus
+//! (the `shape` module, no calls into `Op::infer_shape`), its own topological-order
+//! recomputation, its own allocate/recycle replay, and a structural proof that the
+//! peephole fusions preserve semantics. Where any derivation disagrees with the plan,
+//! the verifier returns a typed [`Diagnostic`] — it never panics on publish-path
+//! input.
+//!
+//! Entry points:
+//! - [`verify_plan`] — audit one compiled [`Plan`] against its [`Graph`];
+//! - [`verify_with_graph`] — audit a checkpoint against an already-built (pruned +
+//!   fused) graph: bindings, fusion legality, and probe-plan compilation;
+//! - [`verify_checkpoint`] — audit a checkpoint end-to-end, building the graph the
+//!   same way the serving tier does.
+//!
+//! The verifier's own oracle is the fault injector in the `mutate` module: every
+//! [`Corruption`] class must be rejected with a diagnostic from the matching
+//! analysis, and untouched plans must verify clean (`tests/verify_properties.rs`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+
+use rita_core::checkpoint::Checkpoint;
+use rita_core::graph::{build_graph, POSITIONAL};
+use rita_nn::graph::{Graph, Plan, PlanError};
+
+mod checks;
+mod fusion;
+mod mutate;
+mod report;
+mod shape;
+
+pub use checks::{
+    verify_bindings, verify_lifetimes, verify_schedule, verify_shapes, verify_structure,
+};
+pub use fusion::verify_fusion;
+pub use mutate::{Corruption, Target, ALL};
+pub use report::{Analysis, Diagnostic, Report, Severity, VerifyError};
+
+/// Audits one compiled plan against its graph: structure, schedule, shapes, and
+/// buffer lifetimes. `lookup` supplies the shapes of externally-bound values
+/// (checkpoint tensors by path, the positional table by name) — the same closure the
+/// compiler was given, but the verifier re-derives everything else independently.
+///
+/// Structure errors gate the plan-level analyses (an out-of-range value slot makes
+/// the plan tables unindexable), and a non-permutation schedule gates the shape and
+/// lifetime walks.
+pub fn verify_plan(
+    graph: &Graph,
+    plan: &Plan,
+    lookup: &dyn Fn(&str) -> Option<Vec<usize>>,
+) -> Report {
+    let mut report = Report::new();
+    let structure = verify_structure(graph);
+    let unindexable = !structure.is_empty();
+    report.extend(structure);
+    if unindexable {
+        return report;
+    }
+    report.extend(verify_schedule(graph, &plan.order));
+    if !checks::is_permutation(&plan.order, graph.nodes.len()) {
+        return report;
+    }
+    if plan.shapes.len() != graph.values.len() || plan.last_use.len() != graph.values.len() {
+        report.push(Diagnostic::error(
+            Analysis::Shape,
+            "",
+            VerifyError::Underivable {
+                detail: format!(
+                    "plan tables sized {}/{} for {} values",
+                    plan.shapes.len(),
+                    plan.last_use.len(),
+                    graph.values.len()
+                ),
+            },
+        ));
+        return report;
+    }
+    let (shape_diags, derived) = verify_shapes(graph, plan, lookup);
+    report.extend(shape_diags);
+    report.extend(verify_lifetimes(graph, plan, &derived));
+    report
+}
+
+/// Maps a compiler-side [`PlanError`] (from a probe compilation) into the verifier's
+/// taxonomy, so a checkpoint whose plans cannot even compile is still *described*.
+fn plan_error_diagnostic(e: PlanError) -> Diagnostic {
+    match e {
+        PlanError::Cycle(node) => Diagnostic::error(Analysis::Schedule, node, VerifyError::Cycle),
+        PlanError::MissingParam(path) => {
+            Diagnostic::error(Analysis::Binding, path, VerifyError::MissingParam)
+        }
+        PlanError::Shape { node, detail } => {
+            Diagnostic::error(Analysis::Shape, node, VerifyError::Underivable { detail })
+        }
+        PlanError::UnknownInput { node, value } => {
+            Diagnostic::error(Analysis::Structure, node, VerifyError::UnboundRead { value })
+        }
+        PlanError::DuplicateNode(id) => {
+            Diagnostic::error(Analysis::Structure, id, VerifyError::DuplicateNodeId)
+        }
+    }
+}
+
+/// Audits a checkpoint against an already-built serving graph (pruned + fused, as
+/// [`rita_infer::InferModel::from_checkpoint`] ships it): configuration consistency,
+/// SSA structure, binding coverage, fusion legality against a freshly re-emitted
+/// pre-fusion reference, and full plan verification at two probe input shapes
+/// (`(1, channels, max_len)` and `(2, channels, window)`).
+///
+/// [`rita_infer::InferModel::from_checkpoint`]: https://docs.rs/rita-infer
+pub fn verify_with_graph(ckpt: &Checkpoint, post: &Graph) -> Report {
+    let mut report = Report::new();
+    let config = &ckpt.config;
+    if let Err(detail) = config.check() {
+        report.push(Diagnostic::error(
+            Analysis::Config,
+            "config",
+            VerifyError::BadConfig { detail },
+        ));
+        // build_graph is only defined for consistent configs; nothing below is
+        // meaningful without one.
+        return report;
+    }
+    let structure = verify_structure(post);
+    let unindexable = !structure.is_empty();
+    report.extend(structure);
+    if unindexable {
+        return report;
+    }
+
+    let tensor_shapes: HashMap<String, Vec<usize>> =
+        ckpt.tensors.iter().map(|(p, t)| (p.clone(), t.shape().to_vec())).collect();
+    report.extend(verify_bindings(post, &tensor_shapes));
+
+    // Fusion legality: re-emit the graph for this config/task, prune the same
+    // optionals the serving path pruned, but do NOT fuse — then prove the shipped
+    // graph expands to the same primitive dataflow.
+    let mut pre = build_graph(config, ckpt.task, &ckpt.scheduler);
+    pre.prune_missing_optional(&|path| tensor_shapes.contains_key(path));
+    report.extend(verify_fusion(&pre, post));
+
+    let positional_shape = vec![config.max_windows() + 1, config.d_model];
+    let lookup = |name: &str| -> Option<Vec<usize>> {
+        if name == POSITIONAL {
+            Some(positional_shape.clone())
+        } else {
+            tensor_shapes.get(name).cloned()
+        }
+    };
+    for input_shape in [[1, config.channels, config.max_len], [2, config.channels, config.window]] {
+        match post.compile(&input_shape, &lookup) {
+            Ok(plan) => report.extend(verify_plan(post, &plan, &lookup).diagnostics),
+            Err(e) => report.push(plan_error_diagnostic(e)),
+        }
+    }
+    report
+}
+
+/// Audits a checkpoint end-to-end: builds the serving graph exactly the way the
+/// inference tier does (emit → prune absent optionals → peephole fusion), then runs
+/// the full [`verify_with_graph`] battery. This is what `examples/verify.rs` and the
+/// publish path call.
+pub fn verify_checkpoint(ckpt: &Checkpoint) -> Report {
+    if let Err(detail) = ckpt.config.check() {
+        let mut report = Report::new();
+        report.push(Diagnostic::error(
+            Analysis::Config,
+            "config",
+            VerifyError::BadConfig { detail },
+        ));
+        return report;
+    }
+    let mut post = build_graph(&ckpt.config, ckpt.task, &ckpt.scheduler);
+    post.prune_missing_optional(&|path| ckpt.tensors.iter().any(|(p, _)| p == path));
+    post.peephole();
+    verify_with_graph(ckpt, &post)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rita_nn::graph::Op;
+
+    /// input -> gelu -> gelu -> output, one rank-1 param added at the end.
+    fn toy() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input("input");
+        let w = g.param("w", false);
+        let a = g.push("a", Op::Gelu, vec![x]);
+        let b = g.push("b", Op::Gelu, vec![a]);
+        let y = g.push("y", Op::Add, vec![b, w]);
+        g.output = y;
+        g.encoder_output = b;
+        g
+    }
+
+    fn toy_lookup(name: &str) -> Option<Vec<usize>> {
+        (name == "w").then(|| vec![4])
+    }
+
+    #[test]
+    fn clean_toy_plan_verifies_clean() {
+        let g = toy();
+        let plan = g.compile(&[2, 3, 4], &toy_lookup).unwrap();
+        let report = verify_plan(&g, &plan, &toy_lookup);
+        assert!(report.is_clean(), "unexpected diagnostics:\n{report}");
+    }
+
+    #[test]
+    fn swapped_schedule_is_rejected() {
+        let g = toy();
+        let mut plan = g.compile(&[2, 3, 4], &toy_lookup).unwrap();
+        assert!(Corruption::SwapSchedule.apply_to_plan(&g, &mut plan, 0));
+        let report = verify_plan(&g, &plan, &toy_lookup);
+        assert!(report.has_error_in(Analysis::Schedule), "got:\n{report}");
+    }
+
+    #[test]
+    fn perturbed_shape_is_rejected() {
+        let g = toy();
+        let mut plan = g.compile(&[2, 3, 4], &toy_lookup).unwrap();
+        assert!(Corruption::PerturbShape.apply_to_plan(&g, &mut plan, 1));
+        let report = verify_plan(&g, &plan, &toy_lookup);
+        assert!(report.has_error_in(Analysis::Shape), "got:\n{report}");
+    }
+
+    #[test]
+    fn unbound_read_is_a_structure_error_not_a_panic() {
+        let mut g = toy();
+        // Sever the param binding: the Add node now reads a value nothing provides.
+        g.values[1].binding = None;
+        let diags = verify_structure(&g);
+        assert!(
+            diags.iter().any(|d| matches!(d.error, VerifyError::UnboundRead { .. })),
+            "got: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut report = Report::new();
+        assert_eq!(report.to_json(), r#"{"clean":true,"errors":0,"warnings":0,"diagnostics":[]}"#);
+        report.push(Diagnostic::error(Analysis::Binding, "w", VerifyError::MissingParam));
+        let json = report.to_json();
+        assert!(json.contains(r#""clean":false"#), "{json}");
+        assert!(json.contains(r#""analysis":"binding""#), "{json}");
+    }
+}

@@ -1,0 +1,197 @@
+//! The verifier's own oracle: deterministic fault injection.
+//!
+//! Each [`Corruption`] class damages a well-formed plan or graph along exactly one
+//! axis the analyzer claims to check; the property sweep in `tests/verify_properties.rs`
+//! asserts every class is rejected with a diagnostic from the matching analysis. A
+//! verifier that silently accepts any mutation class has a blind spot — this is the
+//! exactness-oracle discipline the kernel crates use, applied to the analyzer itself.
+
+use rita_nn::graph::{Binding, Graph, Plan};
+
+use crate::report::Analysis;
+
+/// What a [`Corruption`] damages: a compiled [`Plan`] or the [`Graph`] itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The corruption rewrites plan tables; check with `verify_plan`.
+    Plan,
+    /// The corruption rewrites graph structure; check with `verify_with_graph`.
+    Graph,
+}
+
+/// One class of injected fault. `site` in the apply methods selects *which* schedule
+/// entry / value / node pair is damaged (taken modulo the number of candidates), so a
+/// sweep over sites exercises many concrete corruptions per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Swap two adjacent schedule entries — the order no longer matches the unique
+    /// deterministic topological order (and may break def-before-use outright).
+    SwapSchedule,
+    /// Delete a schedule entry — the plan no longer executes every node.
+    DropNode,
+    /// Perturb one node output's ahead-of-time shape — the table disagrees with
+    /// bottom-up re-inference.
+    PerturbShape,
+    /// Halve every arena slot capacity — the planned arena no longer covers the true
+    /// allocation peak.
+    ShrinkArena,
+    /// Move a value's planned free point before its final read — read-after-free.
+    TruncateLifetime,
+    /// Swap the weight operands of two fused `Linear` nodes — a rewrite that no
+    /// longer computes the pre-fusion expression.
+    ForgeFusion,
+    /// Retarget a parameter binding at a path the checkpoint does not carry —
+    /// breaking resolution and orphaning the original tensor.
+    RetargetParam,
+}
+
+/// Every corruption class, for sweeping.
+pub const ALL: [Corruption; 7] = [
+    Corruption::SwapSchedule,
+    Corruption::DropNode,
+    Corruption::PerturbShape,
+    Corruption::ShrinkArena,
+    Corruption::TruncateLifetime,
+    Corruption::ForgeFusion,
+    Corruption::RetargetParam,
+];
+
+impl Corruption {
+    /// Which analysis must reject this class.
+    pub fn expected_analysis(self) -> Analysis {
+        match self {
+            Corruption::SwapSchedule | Corruption::DropNode => Analysis::Schedule,
+            Corruption::PerturbShape => Analysis::Shape,
+            Corruption::ShrinkArena | Corruption::TruncateLifetime => Analysis::Lifetime,
+            Corruption::ForgeFusion => Analysis::Fusion,
+            Corruption::RetargetParam => Analysis::Binding,
+        }
+    }
+
+    /// What this class damages.
+    pub fn target(self) -> Target {
+        match self {
+            Corruption::ForgeFusion | Corruption::RetargetParam => Target::Graph,
+            _ => Target::Plan,
+        }
+    }
+
+    /// Damage `plan` in place. Returns `false` when the plan offers no site for this
+    /// class (e.g. a single-node schedule). Only meaningful for [`Target::Plan`]
+    /// classes.
+    pub fn apply_to_plan(self, graph: &Graph, plan: &mut Plan, site: usize) -> bool {
+        match self {
+            Corruption::SwapSchedule => {
+                if plan.order.len() < 2 {
+                    return false;
+                }
+                let i = site % (plan.order.len() - 1);
+                plan.order.swap(i, i + 1);
+                true
+            }
+            Corruption::DropNode => {
+                if plan.order.is_empty() {
+                    return false;
+                }
+                let i = site % plan.order.len();
+                plan.order.remove(i);
+                true
+            }
+            Corruption::PerturbShape => {
+                if plan.order.is_empty() {
+                    return false;
+                }
+                let ni = plan.order[site % plan.order.len()];
+                let out = graph.nodes[ni].output.0;
+                match plan.shapes.get_mut(out) {
+                    Some(s) if !s.is_empty() => {
+                        s[0] += 1;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            Corruption::ShrinkArena => {
+                if plan.arena.iter().all(|&c| c == 0) {
+                    return false;
+                }
+                for cap in &mut plan.arena {
+                    *cap /= 2;
+                }
+                true
+            }
+            Corruption::TruncateLifetime => {
+                let candidates: Vec<usize> = graph
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, info)| {
+                        info.binding.is_none()
+                            && matches!(plan.last_use.get(*i), Some(Some(p)) if *p >= 1)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    return false;
+                }
+                let v = candidates[site % candidates.len()];
+                let p = plan.last_use[v].expect("candidate has a last use");
+                plan.last_use[v] = Some(p - 1);
+                true
+            }
+            Corruption::ForgeFusion | Corruption::RetargetParam => false,
+        }
+    }
+
+    /// Damage `graph` in place. Returns `false` when the graph offers no site for
+    /// this class. Only meaningful for [`Target::Graph`] classes.
+    pub fn apply_to_graph(self, graph: &mut Graph, site: usize) -> bool {
+        match self {
+            Corruption::ForgeFusion => {
+                let linears: Vec<usize> = graph
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| matches!(n.op, rita_nn::graph::Op::Linear { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                if linears.len() < 2 {
+                    return false;
+                }
+                let a = linears[site % linears.len()];
+                let b = linears[(site + 1) % linears.len()];
+                let wa = graph.nodes[a].inputs[1];
+                let wb = graph.nodes[b].inputs[1];
+                graph.nodes[a].inputs[1] = wb;
+                graph.nodes[b].inputs[1] = wa;
+                true
+            }
+            Corruption::RetargetParam => {
+                let mut consumers = vec![0usize; graph.values.len()];
+                for node in &graph.nodes {
+                    for v in &node.inputs {
+                        consumers[v.0] += 1;
+                    }
+                }
+                let candidates: Vec<usize> = graph
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, info)| {
+                        consumers[*i] > 0 && matches!(info.binding, Some(Binding::Param { .. }))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    return false;
+                }
+                let v = candidates[site % candidates.len()];
+                if let Some(Binding::Param { path, .. }) = &mut graph.values[v].binding {
+                    path.push_str(".bogus");
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Checkpoint audit CLI: run the `rita-verify` static analyzer over checkpoints and
+//! print a machine-readable report.
+//!
+//! With file arguments, each is loaded and audited; the process exits non-zero if
+//! any checkpoint yields a diagnostic (error *or* warning), so the command can gate
+//! a deployment pipeline.
+//!
+//! With no arguments it runs a self-test, as CI does: train a tiny classifier, save
+//! and reload its checkpoint, and demand a clean report — then corrupt a copy of the
+//! checkpoint (wrong-shape head weight) as a negative control and demand the analyzer
+//! rejects it. Either direction failing exits non-zero.
+//!
+//! Run with: `cargo run --release --example verify [CHECKPOINT...]`
+//! (set `RITA_QUICK=1` for a seconds-scale smoke run)
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+use rita::core::attention::AttentionKind;
+use rita::core::checkpoint::Checkpoint;
+use rita::core::model::RitaConfig;
+use rita::core::tasks::{Classifier, TrainConfig};
+use rita::data::{DatasetKind, TimeseriesDataset};
+use rita::tensor::{NdArray, SeedableRng64};
+use rita::verify::verify_checkpoint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        self_test()
+    } else {
+        audit_files(&args)
+    }
+}
+
+/// Audit each named checkpoint; exit 1 if any fails to load or yields a diagnostic.
+fn audit_files(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        let ckpt = match Checkpoint::load(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{path}: failed to load: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = verify_checkpoint(&ckpt);
+        println!("{path}: {}", report.to_json());
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Train → save → reload → verify clean, then corrupt → verify rejected.
+fn self_test() -> ExitCode {
+    let quick = std::env::var_os("RITA_QUICK").is_some();
+    let (n_train, epochs) = if quick { (12, 1) } else { (60, 3) };
+    let mut rng = SeedableRng64::seed_from_u64(0);
+
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, n_train, 0, 80, &mut rng);
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 80,
+        d_model: 32,
+        n_layers: 2,
+        ff_hidden: 64,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 6, adaptive: true },
+        ..Default::default()
+    };
+    let mut classifier = Classifier::new(config, 5, &mut rng);
+    let train_cfg = TrainConfig { epochs, batch_size: 8, lr: 1e-3, ..Default::default() };
+    let report = classifier.train(&data, &train_cfg, &mut rng);
+    println!("trained {} epochs, final loss {:.4}", report.epochs.len(), report.final_loss());
+
+    let path = std::env::temp_dir().join("rita-verify-selftest.ckpt");
+    Checkpoint::of_classifier(&classifier, None).save(&path).expect("save checkpoint");
+    let ckpt = Checkpoint::load(&path).expect("load checkpoint");
+
+    // Positive control: the freshly trained checkpoint must audit clean.
+    let clean = verify_checkpoint(&ckpt);
+    println!("{}: {}", path.display(), clean.to_json());
+    if !clean.is_clean() {
+        eprintln!("self-test FAILED: fresh checkpoint did not verify clean");
+        return ExitCode::FAILURE;
+    }
+
+    // Negative control: a wrong-shape head weight must be rejected before it could
+    // ever activate. An analyzer that accepts this is not guarding anything.
+    let mut bad = ckpt;
+    let head = bad
+        .tensors
+        .iter_mut()
+        .find(|(p, _)| p.starts_with("head."))
+        .expect("classifier checkpoint has a head tensor");
+    head.1 = NdArray::zeros(&[3, 3]);
+    let rejected = verify_checkpoint(&bad);
+    println!("corrupted copy: {}", rejected.to_json());
+    if !rejected.has_errors() {
+        eprintln!("self-test FAILED: corrupted checkpoint was not rejected");
+        return ExitCode::FAILURE;
+    }
+
+    println!("self-test passed: clean checkpoint accepted, corrupted checkpoint rejected");
+    ExitCode::SUCCESS
+}

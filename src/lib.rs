@@ -14,6 +14,7 @@
 //! | [`nn`] ([`rita_nn`]) | reverse-mode autograd, layers, losses, AdamW |
 //! | [`data`] ([`rita_data`]) | synthetic datasets, windowing, cloze masking, batching |
 //! | [`core`] ([`rita_core`]) | group attention, adaptive scheduler, RITA models & tasks, checkpoints |
+//! | [`verify`] ([`rita_verify`]) | independent static analyzer for graph plans and checkpoints |
 //! | [`infer`] ([`rita_infer`]) | tape-free batched inference from checkpoints |
 //! | [`baselines`] ([`rita_baselines`]) | TST and GRAIL |
 //!
@@ -46,6 +47,7 @@
 //! See `README.md` for the architecture overview, `DESIGN.md` for the system inventory and
 //! substitutions, and `EXPERIMENTS.md` for the per-table/figure reproduction index.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -55,3 +57,4 @@ pub use rita_data as data;
 pub use rita_infer as infer;
 pub use rita_nn as nn;
 pub use rita_tensor as tensor;
+pub use rita_verify as verify;

@@ -19,8 +19,8 @@ use rita::core::model::embedding::sinusoidal_table;
 use rita::core::model::RitaConfig;
 use rita::core::tasks::{Classifier, Imputer};
 use rita::infer::{
-    plan_cache_stats, InferError, InferModel, InferSession, ModelRegistry, RequestError,
-    ServeError, Server, ServerConfig,
+    plan_cache_stats, InferError, InferModel, InferSession, ModelRegistry, PublishError,
+    RequestError, ServeError, Server, ServerConfig,
 };
 use rita::nn::graph::{Graph, PlanError};
 use rita::tensor::{NdArray, SeedableRng64};
@@ -164,10 +164,10 @@ fn plan_cache_counts_hits_and_misses() {
 }
 
 /// A checkpoint whose tensor has the wrong *shape* passes loading (presence is checked
-/// there) but fails plan compilation — as a typed, request-scoped error at every
-/// layer: `InferModel` returns `InferError`, the session maps it to
-/// `RequestError::Infer`, and the server fails the ticket with `ServeError::Infer`
-/// while the worker thread survives to serve the next (healthy) model.
+/// there) but fails as a typed, request-scoped error at every layer: `InferModel`
+/// returns `InferError`, the session maps it to `RequestError::Infer`, and the
+/// registry's publish-time static verification refuses to ever activate it — so the
+/// server never runs a request on it at all.
 #[test]
 fn wrong_shape_checkpoint_tensor_fails_the_request_not_the_worker() {
     let mut r = rng(67);
@@ -210,10 +210,19 @@ fn wrong_shape_checkpoint_tensor_fails_the_request_not_the_worker() {
         other => panic!("expected RequestError::Infer, got {other:?}"),
     }
 
-    // The server fails the ticket — and the same worker keeps serving after a healthy
-    // checkpoint replaces the malformed one.
+    // Publish now runs the static analyzer: the malformed checkpoint is refused
+    // before activation, with the offending tensor path in the report.
     let registry = std::sync::Arc::new(ModelRegistry::new());
-    registry.publish(&bad).unwrap();
+    match registry.publish(&bad) {
+        Err(PublishError::Rejected(report)) => {
+            assert!(report.has_errors());
+            assert!(
+                report.diagnostics.iter().any(|d| d.node.contains("head")),
+                "report should name the bad tensor: {report}"
+            );
+        }
+        other => panic!("expected static rejection, got {other:?}"),
+    }
     let server = Server::start(
         registry,
         ServerConfig {
@@ -223,13 +232,14 @@ fn wrong_shape_checkpoint_tensor_fails_the_request_not_the_worker() {
             ..Default::default()
         },
     );
+    // Nothing was activated, so the server has no model — a typed error, no panic.
     match server.classify("tenant", req.clone()) {
-        Err(ServeError::Infer(InferError::Plan(PlanError::Shape { .. }))) => {}
-        other => panic!("expected ServeError::Infer, got {other:?}"),
+        Err(ServeError::NoModel) => {}
+        other => panic!("expected ServeError::NoModel, got {other:?}"),
     }
     server.registry().publish(&Checkpoint::of_classifier(&clf, None)).unwrap();
-    let served = server.classify("tenant", req).expect("worker survived the malformed model");
-    assert_eq!(served.model_version, 2);
+    let served = server.classify("tenant", req).expect("healthy model serves");
+    assert_eq!(served.model_version, 1);
     server.shutdown();
 }
 

@@ -12,8 +12,8 @@ use rita::core::checkpoint::Checkpoint;
 use rita::core::model::RitaConfig;
 use rita::core::tasks::Classifier;
 use rita::infer::{
-    InferModel, InferSession, ModelRegistry, RequestError, ServeError, Server, ServerConfig,
-    ShedReason, TenantPolicy,
+    InferModel, InferSession, ModelRegistry, PublishError, RequestError, ServeError, Server,
+    ServerConfig, ShedReason, TenantPolicy,
 };
 use rita::tensor::{NdArray, SeedableRng64};
 
@@ -257,6 +257,64 @@ fn hot_swap_is_atomic_and_rollback_restores_old_answers() {
         assert_eq!(check(&server, i), 1);
     }
     assert!(server.metrics().snapshot().model_swaps >= 1);
+    server.shutdown();
+}
+
+/// A statically-rejected checkpoint can never become the active version: publish runs
+/// the independent analyzer *before* the swap, refuses with the report attached,
+/// archives nothing — and traffic in flight during the rejected publish keeps serving
+/// the old version with bit-identical answers throughout.
+#[test]
+fn rejected_checkpoint_never_activates_while_traffic_continues() {
+    let ckpt_v1 = checkpoint(91);
+    let session_v1 = InferSession::from_checkpoint(&ckpt_v1).unwrap();
+    let requests = mixed_requests(20, &[40, 64, 24]);
+    let expected: Vec<Vec<f32>> = requests
+        .iter()
+        .map(|r| {
+            session_v1.classify_logits(std::slice::from_ref(r)).unwrap()[0].as_slice().to_vec()
+        })
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&ckpt_v1).unwrap();
+    let server = Server::start(Arc::clone(&registry), fast_config(2));
+
+    let mut bad = checkpoint(92);
+    for (p, t) in bad.tensors.iter_mut() {
+        if p == "head.weight" {
+            *t = NdArray::zeros(&[3, 3]); // wrong shape, right path: loads, must not serve
+        }
+    }
+    std::thread::scope(|s| {
+        let server = &server;
+        let requests = &requests;
+        let expected = &expected;
+        let worker = s.spawn(move || {
+            for round in 0..40 {
+                let i = round % requests.len();
+                let got = server.classify("steady", requests[i].clone()).unwrap();
+                assert_eq!(got.model_version, 1, "rejected checkpoint leaked into serving");
+                assert_eq!(
+                    got.logits.as_slice(),
+                    expected[i].as_slice(),
+                    "answers drifted during the rejected publish"
+                );
+            }
+        });
+        match registry.publish(&bad) {
+            Err(PublishError::Rejected(report)) => {
+                assert!(report.has_errors());
+            }
+            other => panic!("expected static rejection, got {other:?}"),
+        }
+        worker.join().unwrap();
+    });
+    assert_eq!(registry.current_version(), Some(1));
+    assert_eq!(registry.versions(), vec![1], "a rejected checkpoint must not be archived");
+    let got = server.classify("steady", requests[0].clone()).unwrap();
+    assert_eq!(got.model_version, 1);
+    assert_eq!(got.logits.as_slice(), expected[0].as_slice());
     server.shutdown();
 }
 
