@@ -17,6 +17,11 @@
 //! Rows go to `BENCH_serving.json` (`BENCH_serving.quick.json` under `RITA_QUICK=1`,
 //! as CI runs it): mode × mix × clients with throughput, p50/p99 latency, shed rate,
 //! and the mean executed batch size.
+//!
+//! A third mode, `chaos`, reruns the top load point with a worker panic injected
+//! every 500th batch (every 50th under `RITA_QUICK`): the fault-injection row
+//! quantifies what supervised respawn costs against the clean `continuous` row —
+//! crashed batches fail typed, everything else keeps its exactness guarantee.
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -26,7 +31,8 @@ use rita_core::attention::AttentionKind;
 use rita_core::checkpoint::Checkpoint;
 use rita_core::model::RitaConfig;
 use rita_core::tasks::Classifier;
-use rita_infer::{InferSession, ModelRegistry, Server, ServerConfig};
+use rita_infer::chaos::{self, ChaosConfig, Injection};
+use rita_infer::{BreakerPolicy, InferSession, ModelRegistry, ServeError, Server, ServerConfig};
 use rita_tensor::{worker_budget, NdArray, SeedableRng64};
 
 fn quick() -> bool {
@@ -62,6 +68,10 @@ struct Row {
     p50_us: u64,
     p99_us: u64,
     mean_batch: f64,
+    /// Admitted requests that came back as typed failures (crashed batches).
+    failed: u64,
+    /// Worker panics injected during the window (`chaos` mode only).
+    panics: u64,
 }
 
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
@@ -191,6 +201,8 @@ fn main() {
                 p50_us: percentile(&lat, 0.5),
                 p99_us: percentile(&lat, 0.99),
                 mean_batch: 1.0,
+                failed: 0,
+                panics: 0,
             });
 
             // Continuous batching: fresh server per load point so metrics are scoped.
@@ -213,6 +225,8 @@ fn main() {
                 p50_us: percentile(&lat, 0.5),
                 p99_us: percentile(&lat, 0.99),
                 mean_batch: snap.batch_size.mean,
+                failed: snap.tenants.iter().map(|(_, t)| t.failed).sum(),
+                panics: 0,
             });
             server.shutdown();
 
@@ -223,6 +237,52 @@ fn main() {
                 s.throughput_rps, s.p99_us, c.throughput_rps, c.p99_us, c.mean_batch
             );
         }
+
+        // Fault-injection row at the top load point: one worker panic per `crash_every`
+        // batches. The breaker is disabled — the row measures the raw cost of crashed
+        // batches + supervised respawn, not reject-fast behaviour.
+        let clients = loads.iter().copied().max().unwrap();
+        let crash_every = if quick { 50 } else { 500 };
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(&ckpt).expect("publish checkpoint");
+        let mut chaos_cfg = server_config;
+        chaos_cfg.breaker = BreakerPolicy { threshold: 0, ..Default::default() };
+        let server = Server::start(registry, chaos_cfg);
+        let guard = chaos::inject(ChaosConfig {
+            worker_panic: Injection::every(crash_every),
+            ..Default::default()
+        });
+        let (served, lat, secs) = closed_loop(clients, requests, warmup, window, |c, r| {
+            let tenant = ["tenant-a", "tenant-b", "tenant-c"][c % 3];
+            match server.classify(tenant, r.clone()) {
+                Ok(_) => true,
+                Err(ServeError::Internal { .. }) | Err(ServeError::Overloaded { .. }) => false,
+                Err(e) => panic!("unexpected serve error under chaos: {e}"),
+            }
+        });
+        drop(guard);
+        let snap = server.metrics().snapshot();
+        rows.push(Row {
+            mix,
+            mode: "chaos",
+            clients,
+            duration_s: secs,
+            served,
+            shed: snap.shed(),
+            throughput_rps: served as f64 / secs,
+            p50_us: percentile(&lat, 0.5),
+            p99_us: percentile(&lat, 0.99),
+            mean_batch: snap.batch_size.mean,
+            failed: snap.tenants.iter().map(|(_, t)| t.failed).sum(),
+            panics: snap.faults.worker_panics,
+        });
+        server.shutdown();
+        let r = rows.last().unwrap();
+        println!(
+            "{mix:>5} x{clients:<2} chaos  {:>7.0} r/s (p99 {:>6}us, {} panics, {} failed, \
+             1 crash per {crash_every} batches)",
+            r.throughput_rps, r.p99_us, r.panics, r.failed
+        );
     }
 
     // The headline the sweep exists for: at the highest load point, batching wins.
@@ -237,6 +297,12 @@ fn main() {
         println!(
             "mix {mix}: continuous/serial throughput at {top} clients = {:.2}x",
             continuous.throughput_rps / serial.throughput_rps
+        );
+        let faulted = find("chaos");
+        println!(
+            "mix {mix}: chaos/clean throughput at {top} clients = {:.2}x ({} crashed batches)",
+            faulted.throughput_rps / continuous.throughput_rps,
+            faulted.failed
         );
     }
 
@@ -267,7 +333,7 @@ fn write_json(rows: &[Row], workers: usize, quick: bool) -> std::io::Result<()> 
             "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \
              \"duration_s\": {:.3}, \"served\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \
              \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
-             \"mean_batch\": {:.2}}}{}",
+             \"mean_batch\": {:.2}, \"failed\": {}, \"worker_panics\": {}}}{}",
             r.mix,
             r.mode,
             r.clients,
@@ -279,6 +345,8 @@ fn write_json(rows: &[Row], workers: usize, quick: bool) -> std::io::Result<()> 
             r.p50_us,
             r.p99_us,
             r.mean_batch,
+            r.failed,
+            r.panics,
             comma
         )?;
     }

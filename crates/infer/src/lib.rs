@@ -67,6 +67,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chaos;
 mod metrics;
 mod model;
 mod plan;
@@ -75,17 +76,23 @@ mod server;
 mod session;
 
 pub use metrics::{
-    Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, PoolCounters, PoolSnapshot,
-    TenantMetrics, TenantSnapshot,
+    FaultCounters, FaultSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
+    PoolCounters, PoolSnapshot, TenantMetrics, TenantSnapshot,
 };
 pub use model::InferModel;
 pub use plan::{plan_cache_stats, InferError, PlanCacheStats};
 pub use registry::{ModelHandle, ModelRegistry, PublishError};
 pub use rita_tensor::{pool_reset, pool_stats, PoolStats};
 pub use server::{
-    ServeError, ServedResponse, Server, ServerConfig, ShedReason, TenantPolicy, Ticket,
+    BreakerPolicy, BrownoutPolicy, ServeError, ServedResponse, Server, ServerConfig, ShedReason,
+    TenantPolicy, Ticket,
 };
 pub use session::{InferSession, Prediction, RequestError, SessionConfig};
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Duration;
 
 use rita_tensor::NdArray;
 
@@ -93,4 +100,36 @@ use rita_tensor::NdArray;
 /// the storage is still aliased).
 pub(crate) fn reclaim(a: NdArray) {
     let _ = rita_tensor::recycle(a);
+}
+
+// ------------------------------------------------------------- poison-safe lock access
+//
+// A panicking worker poisons every mutex it holds; `.expect("lock")` would then take
+// every *other* worker down with it — the cascade PR 9 removes. Every shared structure
+// guarded by these locks stays structurally valid mid-mutation (counters, maps, and
+// deques whose individual operations are panic-atomic), so recovering the guard is
+// sound: the supervisor restarts the crashed worker and everyone else keeps serving.
+
+pub(crate) fn lock_mx<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn read_rw<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn write_rw<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn wait_cv<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn wait_cv_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner).0
 }

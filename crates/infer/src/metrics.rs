@@ -128,6 +128,12 @@ pub struct TenantMetrics {
     pub shed_depth: AtomicU64,
     /// Requests rejected by validation before reaching the queue.
     pub invalid: AtomicU64,
+    /// Requests that ended in a server-side failure (worker crash, deadline blowout,
+    /// model fault) after admission.
+    pub failed: AtomicU64,
+    /// The `retry_after` hint (µs) attached to this tenant's most recent rate-limit
+    /// shed (gauge; 0 until the first such shed).
+    pub retry_after_us: AtomicU64,
 }
 
 /// Point-in-time view of one tenant's counters.
@@ -143,6 +149,66 @@ pub struct TenantSnapshot {
     pub shed_depth: u64,
     /// Requests rejected by validation.
     pub invalid: u64,
+    /// Requests that ended in a server-side failure after admission.
+    pub failed: u64,
+    /// Most recent rate-limit `retry_after` hint (µs).
+    pub retry_after_us: u64,
+}
+
+/// Fault-tolerance counters: everything the supervision tree, circuit breaker,
+/// rollback path, and brownout controller record. All relaxed atomics, same
+/// discipline as the rest of [`Metrics`].
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Worker threads that died to a panic and were caught by the supervisor.
+    pub worker_panics: AtomicU64,
+    /// Workers respawned by the supervisor.
+    pub worker_respawns: AtomicU64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opens: AtomicU64,
+    /// Requests rejected fast because the breaker was open.
+    pub breaker_rejections: AtomicU64,
+    /// Requests cancelled because their hard deadline passed.
+    pub deadline_expired: AtomicU64,
+    /// Serve-time model faults detected (executor error or non-finite logits).
+    pub model_faults: AtomicU64,
+    /// Automatic rollbacks to the last-good checkpoint version.
+    pub rollbacks: AtomicU64,
+    /// Requests answered with `ServeError::Internal` (crashed mid-batch).
+    pub internal_errors: AtomicU64,
+    /// Current brownout level (gauge; 0 = full latency budget).
+    pub brownout_level: AtomicU64,
+    /// Times the brownout level was raised.
+    pub brownout_raises: AtomicU64,
+    /// The most recent `retry_after` hint handed out by the breaker (µs, gauge).
+    pub last_retry_after_us: AtomicU64,
+}
+
+/// Point-in-time view of [`FaultCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Workers respawned.
+    pub worker_respawns: u64,
+    /// Breaker trips.
+    pub breaker_opens: u64,
+    /// Fast rejections while the breaker was open.
+    pub breaker_rejections: u64,
+    /// Hard-deadline cancellations.
+    pub deadline_expired: u64,
+    /// Serve-time model faults.
+    pub model_faults: u64,
+    /// Automatic last-good rollbacks.
+    pub rollbacks: u64,
+    /// Requests answered with `ServeError::Internal`.
+    pub internal_errors: u64,
+    /// Current brownout level.
+    pub brownout_level: u64,
+    /// Brownout raises.
+    pub brownout_raises: u64,
+    /// Most recent breaker `retry_after` hint (µs).
+    pub last_retry_after_us: u64,
 }
 
 /// Buffer-pool counters aggregated across worker threads. The tensor crate's pool is
@@ -212,6 +278,8 @@ pub struct Metrics {
     pub queue_wait_us: Histogram,
     /// Buffer-pool behaviour, aggregated over worker threads.
     pub pool: PoolCounters,
+    /// Supervision, breaker, rollback, and brownout counters.
+    pub faults: FaultCounters,
     tenants: Mutex<BTreeMap<String, Arc<TenantMetrics>>>,
 }
 
@@ -219,7 +287,7 @@ impl Metrics {
     /// The counters of `tenant`, registering it on first sight. Callers hold the `Arc`
     /// so steady-state recording never touches the registry lock.
     pub fn tenant(&self, tenant: &str) -> Arc<TenantMetrics> {
-        let mut map = self.tenants.lock().expect("tenant metrics lock");
+        let mut map = crate::lock_mx(&self.tenants);
         if let Some(t) = map.get(tenant) {
             return Arc::clone(t);
         }
@@ -250,10 +318,7 @@ impl Metrics {
 
     /// Point-in-time snapshot of every counter, histogram, and tenant.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let tenants = self
-            .tenants
-            .lock()
-            .expect("tenant metrics lock")
+        let tenants = crate::lock_mx(&self.tenants)
             .iter()
             .map(|(name, t)| {
                 (
@@ -264,6 +329,8 @@ impl Metrics {
                         shed_rate: t.shed_rate.load(Ordering::Relaxed),
                         shed_depth: t.shed_depth.load(Ordering::Relaxed),
                         invalid: t.invalid.load(Ordering::Relaxed),
+                        failed: t.failed.load(Ordering::Relaxed),
+                        retry_after_us: t.retry_after_us.load(Ordering::Relaxed),
                     },
                 )
             })
@@ -283,6 +350,19 @@ impl Metrics {
                 recycled: self.pool.recycled.load(Ordering::Relaxed),
                 reused_bytes: self.pool.reused_bytes.load(Ordering::Relaxed),
                 fresh_bytes: self.pool.fresh_bytes.load(Ordering::Relaxed),
+            },
+            faults: FaultSnapshot {
+                worker_panics: self.faults.worker_panics.load(Ordering::Relaxed),
+                worker_respawns: self.faults.worker_respawns.load(Ordering::Relaxed),
+                breaker_opens: self.faults.breaker_opens.load(Ordering::Relaxed),
+                breaker_rejections: self.faults.breaker_rejections.load(Ordering::Relaxed),
+                deadline_expired: self.faults.deadline_expired.load(Ordering::Relaxed),
+                model_faults: self.faults.model_faults.load(Ordering::Relaxed),
+                rollbacks: self.faults.rollbacks.load(Ordering::Relaxed),
+                internal_errors: self.faults.internal_errors.load(Ordering::Relaxed),
+                brownout_level: self.faults.brownout_level.load(Ordering::Relaxed),
+                brownout_raises: self.faults.brownout_raises.load(Ordering::Relaxed),
+                last_retry_after_us: self.faults.last_retry_after_us.load(Ordering::Relaxed),
             },
             plan_cache: plan_cache_stats(),
             tenants,
@@ -312,6 +392,8 @@ pub struct MetricsSnapshot {
     pub queue_wait_us: HistogramSnapshot,
     /// Aggregated buffer-pool behaviour (hits, misses, bytes) across workers.
     pub pool: PoolSnapshot,
+    /// Supervision, breaker, rollback, and brownout counters.
+    pub faults: FaultSnapshot,
     /// Process-wide plan-cache hit/miss counters.
     pub plan_cache: PlanCacheStats,
     /// Per-tenant counters, keyed by tenant name.
@@ -348,6 +430,10 @@ impl MetricsSnapshot {
              \"batch_size\": {}, \"latency_us\": {}, \"queue_wait_us\": {}, \
              \"pool\": {{\"reused\": {}, \"fresh\": {}, \"recycled\": {}, \
              \"reused_bytes\": {}, \"fresh_bytes\": {}, \"hit_rate\": {:.4}}}, \
+             \"faults\": {{\"worker_panics\": {}, \"worker_respawns\": {}, \
+             \"breaker_opens\": {}, \"breaker_rejections\": {}, \"deadline_expired\": {}, \
+             \"model_faults\": {}, \"rollbacks\": {}, \"internal_errors\": {}, \
+             \"brownout_level\": {}, \"brownout_raises\": {}, \"last_retry_after_us\": {}}}, \
              \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}, \
              \"tenants\": {{",
             self.queue_depth,
@@ -366,6 +452,17 @@ impl MetricsSnapshot {
             self.pool.reused_bytes,
             self.pool.fresh_bytes,
             self.pool.hit_rate(),
+            self.faults.worker_panics,
+            self.faults.worker_respawns,
+            self.faults.breaker_opens,
+            self.faults.breaker_rejections,
+            self.faults.deadline_expired,
+            self.faults.model_faults,
+            self.faults.rollbacks,
+            self.faults.internal_errors,
+            self.faults.brownout_level,
+            self.faults.brownout_raises,
+            self.faults.last_retry_after_us,
             self.plan_cache.hits,
             self.plan_cache.misses,
             self.plan_cache.hit_rate(),
@@ -375,13 +472,16 @@ impl MetricsSnapshot {
             let _ = write!(
                 s,
                 "\"{}\": {{\"accepted\": {}, \"served\": {}, \"shed_rate\": {}, \
-                 \"shed_depth\": {}, \"invalid\": {}}}{}",
+                 \"shed_depth\": {}, \"invalid\": {}, \"failed\": {}, \
+                 \"retry_after_us\": {}}}{}",
                 escape_json(name),
                 t.accepted,
                 t.served,
                 t.shed_rate,
                 t.shed_depth,
                 t.invalid,
+                t.failed,
+                t.retry_after_us,
                 comma
             );
         }
@@ -529,6 +629,9 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"t\\\"1\""), "{json}");
         assert!(json.contains("\"batch_size\""), "{json}");
+        assert!(json.contains("\"faults\""), "{json}");
+        assert!(json.contains("\"worker_panics\""), "{json}");
+        assert!(json.contains("\"retry_after_us\""), "{json}");
         // Balanced braces and quotes outside escapes.
         let depth = json.chars().fold(0i32, |d, c| d + (c == '{') as i32 - (c == '}') as i32);
         assert_eq!(depth, 0);

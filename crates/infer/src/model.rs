@@ -177,7 +177,7 @@ impl InferModel {
     /// plan is then audited by the independent static analyzer before it is cached:
     /// a plan the verifier rejects never reaches the executor.
     fn plan_for(&self, batch: usize, length: usize) -> Result<Arc<CachedPlan>, InferError> {
-        let mut plans = self.plans.lock().expect("plan cache lock");
+        let mut plans = crate::lock_mx(&self.plans);
         if let Some(p) = plans.get(&(batch, length)) {
             note_plan_cache(true);
             return Ok(p.clone());
@@ -197,7 +197,7 @@ impl InferModel {
 
     /// Number of compiled plans currently cached (one per `(batch, length)` bucket).
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        crate::lock_mx(&self.plans).len()
     }
 
     fn run(&self, x: &NdArray, target: rita_nn::graph::ValueId) -> Result<NdArray, InferError> {

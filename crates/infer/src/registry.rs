@@ -15,7 +15,22 @@
 //! `Arc`-shared with the checkpoint they came from, so archiving is cheap), and
 //! [`ModelRegistry::rollback`] or [`ModelRegistry::activate`] repoints the current
 //! version without reloading anything.
+//!
+//! ## Last-good pinning and quarantine
+//!
+//! The registry additionally tracks the **last-good** version: the most recent
+//! version that either survived a successful publish or was explicitly blessed via
+//! [`ModelRegistry::activate`]. When the serving tier detects a fault in a live model
+//! (non-finite logits, an executor error), it calls
+//! [`ModelRegistry::quarantine`] — the damaged version is barred from automatic
+//! re-selection and, if it was current, traffic atomically repoints to last-good.
+//! A failed publish (load, static verification, or — with the version-2 checkpoint
+//! format — a checksum mismatch) never touches the current pointer at all, so the
+//! "rollback" for publish-time corruption is simply that traffic keeps flowing from
+//! the pinned last-good version.
 
+use std::collections::HashSet;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use rita_core::checkpoint::{Checkpoint, CheckpointError};
@@ -76,6 +91,11 @@ struct RegistryInner {
     history: Vec<Published>,
     /// Index into `history` of the active version, `None` before the first publish.
     current: Option<usize>,
+    /// Index of the last version known good (successfully published or explicitly
+    /// activated, and not since quarantined).
+    last_good: Option<usize>,
+    /// History indices barred from automatic re-selection after a serve-time fault.
+    quarantined: HashSet<usize>,
 }
 
 /// A versioned store of servable models with atomic swap and rollback.
@@ -92,7 +112,14 @@ impl Default for ModelRegistry {
 impl ModelRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self { inner: RwLock::new(RegistryInner { history: Vec::new(), current: None }) }
+        Self {
+            inner: RwLock::new(RegistryInner {
+                history: Vec::new(),
+                current: None,
+                last_good: None,
+                quarantined: HashSet::new(),
+            }),
+        }
     }
 
     /// Loads `ckpt` into servable form, runs the full independent static analysis
@@ -110,16 +137,35 @@ impl ModelRegistry {
         if report.has_errors() {
             return Err(PublishError::Rejected(report));
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = crate::write_rw(&self.inner);
         let version = inner.history.len() as u64 + 1;
         inner.history.push(Published { version, model });
-        inner.current = Some(inner.history.len() - 1);
+        let idx = inner.history.len() - 1;
+        inner.current = Some(idx);
+        inner.last_good = Some(idx);
         Ok(version)
+    }
+
+    /// Reads, decodes, verifies, and publishes the checkpoint file at `path`.
+    ///
+    /// This is the full publish pipeline a deployment would run: bytes → format +
+    /// checksum check (`Checkpoint::from_bytes`, which with version-2 files rejects
+    /// any single flipped byte via the CRC trailer) → architecture load → static
+    /// analysis → atomic swap. Any failure leaves the registry untouched — traffic
+    /// keeps flowing from the pinned last-good version. The chaos point
+    /// `corrupt_publish` taps the byte buffer here, so `tests/fault_tolerance.rs` can
+    /// deterministically exercise the corrupt-artifact path end to end.
+    pub fn publish_path(&self, path: &Path) -> Result<u64, PublishError> {
+        let mut bytes =
+            std::fs::read(path).map_err(|e| PublishError::Checkpoint(CheckpointError::Io(e)))?;
+        crate::chaos::corrupt_publish(&mut bytes);
+        let ckpt = Checkpoint::from_bytes(&bytes)?;
+        self.publish(&ckpt)
     }
 
     /// The current model, if any version has been published.
     pub fn current(&self) -> Option<ModelHandle> {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = crate::read_rw(&self.inner);
         inner.current.map(|i| ModelHandle {
             version: inner.history[i].version,
             model: Arc::clone(&inner.history[i].model),
@@ -128,23 +174,29 @@ impl ModelRegistry {
 
     /// The active version id, if any.
     pub fn current_version(&self) -> Option<u64> {
-        self.inner.read().expect("registry lock").current.map(|i| i as u64 + 1)
+        crate::read_rw(&self.inner).current.map(|i| i as u64 + 1)
     }
 
     /// Every published version id, in publish order.
     pub fn versions(&self) -> Vec<u64> {
-        self.inner.read().expect("registry lock").history.iter().map(|p| p.version).collect()
+        crate::read_rw(&self.inner).history.iter().map(|p| p.version).collect()
     }
 
     /// Re-activates an archived `version` (from a previous [`ModelRegistry::publish`]).
     /// Returns `false` when no such version exists. The swap is atomic exactly like a
     /// publish — in-flight batches finish on the version they snapshotted.
+    ///
+    /// Activation is an operator blessing: it clears any quarantine on `version` and
+    /// pins it as the new last-good.
     pub fn activate(&self, version: u64) -> bool {
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = crate::write_rw(&self.inner);
         if version == 0 || version as usize > inner.history.len() {
             return false;
         }
-        inner.current = Some(version as usize - 1);
+        let idx = version as usize - 1;
+        inner.quarantined.remove(&idx);
+        inner.current = Some(idx);
+        inner.last_good = Some(idx);
         true
     }
 
@@ -152,7 +204,7 @@ impl ModelRegistry {
     /// Returns the version now active, or `None` when there is no earlier version to
     /// roll back to (the current version stays unchanged).
     pub fn rollback(&self) -> Option<u64> {
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = crate::write_rw(&self.inner);
         match inner.current {
             Some(i) if i > 0 => {
                 inner.current = Some(i - 1);
@@ -162,9 +214,59 @@ impl ModelRegistry {
         }
     }
 
+    /// The last-good version id: the most recent version that survived a publish or
+    /// was explicitly [`activate`](Self::activate)d, and has not since been
+    /// quarantined.
+    pub fn last_good(&self) -> Option<u64> {
+        let inner = crate::read_rw(&self.inner);
+        inner.last_good.map(|i| inner.history[i].version)
+    }
+
+    /// Whether `version` has been quarantined by a serve-time fault.
+    pub fn is_quarantined(&self, version: u64) -> bool {
+        version != 0 && crate::read_rw(&self.inner).quarantined.contains(&(version as usize - 1))
+    }
+
+    /// Marks `version` as faulty (non-finite logits, executor error observed at serve
+    /// time) and, when it was the current version, atomically repoints traffic to the
+    /// last-good version — or, failing that, the newest non-quarantined version.
+    ///
+    /// Returns `Some(now_active)` when the current pointer moved, `None` when it did
+    /// not (the version was not current, was already quarantined, or nothing healthy
+    /// remains to roll back to — in the last case the damaged version keeps serving
+    /// best-effort rather than going dark).
+    pub fn quarantine(&self, version: u64) -> Option<u64> {
+        let mut inner = crate::write_rw(&self.inner);
+        if version == 0 || version as usize > inner.history.len() {
+            return None;
+        }
+        let idx = version as usize - 1;
+        if !inner.quarantined.insert(idx) {
+            return None;
+        }
+        if inner.last_good == Some(idx) {
+            inner.last_good = None;
+        }
+        if inner.current != Some(idx) {
+            return None;
+        }
+        let fallback = inner
+            .last_good
+            .filter(|i| !inner.quarantined.contains(i))
+            .or_else(|| (0..inner.history.len()).rev().find(|i| !inner.quarantined.contains(i)));
+        match fallback {
+            Some(i) => {
+                inner.current = Some(i);
+                inner.last_good = Some(i);
+                Some(inner.history[i].version)
+            }
+            None => None,
+        }
+    }
+
     /// A specific archived version's handle, current or not.
     pub fn get(&self, version: u64) -> Option<ModelHandle> {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = crate::read_rw(&self.inner);
         if version == 0 || version as usize > inner.history.len() {
             return None;
         }
@@ -288,6 +390,40 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_rolls_current_back_to_last_good() {
+        let reg = ModelRegistry::new();
+        reg.publish(&checkpoint(1)).unwrap();
+        reg.publish(&checkpoint(2)).unwrap();
+        assert_eq!(reg.last_good(), Some(2));
+        // v2 faults at serve time: traffic must land on the newest healthy version.
+        assert_eq!(reg.quarantine(2), Some(1));
+        assert_eq!(reg.current_version(), Some(1));
+        assert_eq!(reg.last_good(), Some(1));
+        assert!(reg.is_quarantined(2));
+        assert!(!reg.is_quarantined(1));
+        // Quarantining a non-current version bars it without moving traffic...
+        reg.publish(&checkpoint(3)).unwrap();
+        assert_eq!(reg.quarantine(1), None);
+        assert_eq!(reg.current_version(), Some(3));
+        // ...and double-quarantine is a no-op.
+        assert_eq!(reg.quarantine(1), None);
+        // Operator blessing clears the mark and re-pins last-good.
+        assert!(reg.activate(2));
+        assert!(!reg.is_quarantined(2));
+        assert_eq!(reg.last_good(), Some(2));
+    }
+
+    #[test]
+    fn quarantining_the_only_version_keeps_serving_best_effort() {
+        let reg = ModelRegistry::new();
+        reg.publish(&checkpoint(1)).unwrap();
+        assert_eq!(reg.quarantine(1), None, "nothing healthy to fall back to");
+        // Going dark would be worse than serving a suspect model: current stays.
+        assert_eq!(reg.current_version(), Some(1));
+        assert_eq!(reg.last_good(), None);
+    }
+
+    #[test]
     fn bad_checkpoints_never_become_current() {
         let reg = ModelRegistry::new();
         reg.publish(&checkpoint(1)).unwrap();
@@ -300,6 +436,100 @@ mod tests {
         assert_eq!(after.version, before.version);
         assert!(Arc::ptr_eq(&after.model, &before.model));
         assert_eq!(reg.versions(), vec![1]);
+    }
+
+    /// PR 9's extension of the PR 8 stress pattern: publish / activate / rollback /
+    /// quarantine race freely across threads. Two invariants must hold at every
+    /// observation point: (a) any handle is internally consistent (its version id and
+    /// model pointer name the same published entry — the PR 8 property), and (b)
+    /// `last_good`, whenever set, names a published version that is not currently
+    /// quarantined (readers use it as the rollback target, so a stale or quarantined
+    /// last-good would re-route traffic onto a faulty model).
+    #[test]
+    fn concurrent_publish_activate_rollback_quarantine_stay_consistent() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish(&checkpoint(1)).unwrap();
+        reg.publish(&checkpoint(2)).unwrap();
+        reg.publish(&checkpoint(3)).unwrap();
+        let pinned: Vec<ModelHandle> = (1..=3).map(|v| reg.get(v).unwrap()).collect();
+
+        let mut workers = Vec::new();
+        // Publisher: keeps appending fresh versions.
+        workers.push({
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for s in 4..24u64 {
+                    reg.publish(&checkpoint(s)).unwrap();
+                }
+            })
+        });
+        // Flipper: activates among the first three versions.
+        workers.push({
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..1_500u64 {
+                    assert!(reg.activate(1 + i % 3));
+                }
+            })
+        });
+        // Roller: steps back whenever possible.
+        workers.push({
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..1_500 {
+                    let _ = reg.rollback();
+                }
+            })
+        });
+        // Fault reporter: quarantines whatever is current, as the serve path would.
+        workers.push({
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..400 {
+                    if let Some(v) = reg.current_version() {
+                        let _ = reg.quarantine(v);
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        });
+        // Readers: check both invariants continuously.
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let pinned = pinned.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        let h = reg.current().expect("published");
+                        if h.version <= 3 {
+                            let expected = &pinned[h.version as usize - 1];
+                            assert!(
+                                Arc::ptr_eq(&h.model, &expected.model),
+                                "handle version {} paired with another version's model",
+                                h.version
+                            );
+                        }
+                        // One read guard = one atomic observation of the invariant
+                        // (two separate calls could straddle a concurrent quarantine).
+                        let inner = crate::read_rw(&reg.inner);
+                        if let Some(lg) = inner.last_good {
+                            assert!(lg < inner.history.len(), "last_good names unpublished");
+                            assert!(
+                                !inner.quarantined.contains(&lg),
+                                "last_good {lg} is quarantined"
+                            );
+                        }
+                        drop(inner);
+                    }
+                })
+            })
+            .collect();
+        for t in workers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        // Terminal state: still serving something, and it is a real version.
+        let h = reg.current().expect("still serving");
+        assert!(reg.get(h.version).is_some());
     }
 
     #[test]

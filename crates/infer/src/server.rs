@@ -22,8 +22,29 @@
 //!
 //! Per-tenant token buckets (rate + burst) and queue-depth bounds shed load *at
 //! admission* with a typed [`ServeError::Overloaded`] instead of letting queues grow
-//! unbounded; requests with NaN/infinite values are rejected there too
+//! unbounded; a rate-limit shed carries a `retry_after` hint derived from the bucket's
+//! refill rate. Requests with NaN/infinite values are rejected there too
 //! (`RequestError::NonFinite`), before they can poison a mixed-tenant batch.
+//!
+//! ## Fault tolerance
+//!
+//! Workers are **panic-isolated and supervised**: each drains batches inside
+//! `catch_unwind`, so a panicking batch converts to per-request
+//! [`ServeError::Internal`] answers (a drop guard on every queued request guarantees
+//! no ticket is ever lost *or* answered twice) while a supervisor thread respawns the
+//! crashed worker with capped exponential backoff. Recurring crashes trip a
+//! **circuit breaker** ([`BreakerPolicy`]): submissions fail fast with
+//! [`ServeError::Unavailable`] and a `retry_after` hint until a cooldown passes, then
+//! a few half-open probes decide between closing the breaker and doubling the
+//! cooldown. Serve-time model faults (executor errors, non-finite logits) quarantine
+//! the faulty version in the registry, which atomically rolls traffic back to the
+//! pinned last-good checkpoint. Requests may carry a **hard deadline** past which
+//! they are cancelled with [`ServeError::DeadlineExceeded`] — never silently served
+//! stale — and sustained queue pressure triggers **brownout** ([`BrownoutPolicy`]):
+//! the latency budget handed to the §5.2 predictor shrinks level by level, trading
+//! batch quality for queue drain before load is shed outright. Every shared lock
+//! acquisition recovers from poisoning (see the crate-root helpers), so one crashed
+//! worker can never wedge the others.
 //!
 //! ## Worker-pool budget sharing
 //!
@@ -31,7 +52,7 @@
 //! `with_worker_threads` (the PR-2 budget-sharing pattern), so N serving workers × M
 //! kernel threads never multiply past the machine budget.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -65,6 +86,69 @@ impl Default for TenantPolicy {
     }
 }
 
+/// Circuit-breaker policy: when recurring worker crashes should flip the server to
+/// reject-fast, and how it probes its way back.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Crashes within [`window`](Self::window) that trip the breaker open
+    /// (`0` disables the breaker entirely).
+    pub threshold: usize,
+    /// Sliding window over which crashes are counted.
+    pub window: Duration,
+    /// How long the breaker stays open after tripping; doubles (up to
+    /// [`max_cooldown`](Self::max_cooldown)) every time a half-open probe crashes
+    /// again.
+    pub cooldown: Duration,
+    /// Ceiling on the doubling cooldown.
+    pub max_cooldown: Duration,
+    /// Requests admitted in the half-open state to test the waters; one surviving
+    /// batch closes the breaker.
+    pub probes: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            threshold: 5,
+            window: Duration::from_secs(2),
+            cooldown: Duration::from_millis(250),
+            max_cooldown: Duration::from_secs(5),
+            probes: 2,
+        }
+    }
+}
+
+/// Brownout policy: degrade the latency budget under sustained queue pressure before
+/// shedding load outright.
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutPolicy {
+    /// Queue depth (as a fraction of `max_queue_depth`) above which pressure counts
+    /// toward raising the brownout level.
+    pub high_fraction: f64,
+    /// Queue depth fraction below which the level decays back toward zero.
+    pub low_fraction: f64,
+    /// How long the queue must hold above/below a watermark before the level moves —
+    /// the hysteresis that keeps one spiky second from flapping the budget.
+    pub hold: Duration,
+    /// Deepest brownout level (`0` disables brownout).
+    pub max_level: u8,
+    /// Per-level multiplier on the predictor's `compute_fraction`: level `k` trains
+    /// its predictor against `compute_fraction × budget_factor^k`.
+    pub budget_factor: f32,
+}
+
+impl Default for BrownoutPolicy {
+    fn default() -> Self {
+        Self {
+            high_fraction: 0.75,
+            low_fraction: 0.25,
+            hold: Duration::from_millis(100),
+            max_level: 3,
+            budget_factor: 0.5,
+        }
+    }
+}
+
 /// Tunables of the serving core.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -88,6 +172,21 @@ pub struct ServerConfig {
     /// Calibrated serving throughput in cost-model bytes/second. `None` measures it at
     /// startup by timing a probe forward of the current model.
     pub bytes_per_sec: Option<f64>,
+    /// Hard per-request deadline applied at admission (`None` = requests wait as long
+    /// as it takes; the SLO still shapes batching). A request past its hard deadline
+    /// is cancelled with [`ServeError::DeadlineExceeded`] instead of served stale.
+    /// Per-request overrides: [`Server::submit_with_deadline`].
+    pub deadline: Option<Duration>,
+    /// Circuit-breaker policy for recurring worker crashes.
+    pub breaker: BreakerPolicy,
+    /// Brownout policy for sustained queue pressure.
+    pub brownout: BrownoutPolicy,
+    /// Supervisor backoff before respawning a worker that crashed twice in quick
+    /// succession (doubles per consecutive crash, capped at
+    /// [`respawn_backoff_max`](Self::respawn_backoff_max)).
+    pub respawn_backoff: Duration,
+    /// Ceiling on the respawn backoff.
+    pub respawn_backoff_max: Duration,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +200,11 @@ impl Default for ServerConfig {
             max_queue_depth: 1024,
             default_policy: TenantPolicy::default(),
             bytes_per_sec: None,
+            deadline: None,
+            breaker: BreakerPolicy::default(),
+            brownout: BrownoutPolicy::default(),
+            respawn_backoff: Duration::from_millis(10),
+            respawn_backoff_max: Duration::from_secs(1),
         }
     }
 }
@@ -125,6 +229,9 @@ pub enum ServeError {
         tenant: String,
         /// Which admission bound tripped.
         reason: ShedReason,
+        /// For rate-limit sheds: how long until the token bucket refills one token.
+        /// `None` for queue-bound sheds (drain time is not predictable from policy).
+        retry_after: Option<Duration>,
     },
     /// Rejected by request validation (shape, length, non-finite values, wrong head).
     Invalid(RequestError),
@@ -138,6 +245,26 @@ pub enum ServeError {
     /// diagnostic report rides along. With publish-time verification in front, this
     /// only fires if a corrupt plan slips past it for an unprobed shape bucket.
     Rejected(rita_verify::Report),
+    /// The worker serving this request's batch crashed, or the model produced
+    /// non-finite logits. The request was *answered*, not lost — resubmit freely; the
+    /// supervisor has already respawned the worker (and rolled the model back when
+    /// the fault was the model's).
+    Internal {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The request's hard deadline passed before a batch could serve it; it was
+    /// cancelled rather than silently served stale.
+    DeadlineExceeded {
+        /// How far past the deadline the cancellation happened.
+        late_by: Duration,
+    },
+    /// The circuit breaker is open after recurring worker crashes: the server is
+    /// rejecting fast instead of queueing into a crash loop.
+    Unavailable {
+        /// When the breaker will next admit probes.
+        retry_after: Duration,
+    },
     /// The server is shutting down and no longer admits requests.
     ShutDown,
 }
@@ -145,19 +272,34 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::Overloaded { tenant, reason } => {
+            ServeError::Overloaded { tenant, reason, retry_after } => {
                 let r = match reason {
                     ShedReason::RateLimited => "rate limited",
                     ShedReason::TenantQueueFull => "tenant queue full",
                     ShedReason::QueueFull => "server queue full",
                 };
-                write!(f, "overloaded ({r}) for tenant '{tenant}'")
+                write!(f, "overloaded ({r}) for tenant '{tenant}'")?;
+                if let Some(d) = retry_after {
+                    write!(f, ", retry after {:.1}ms", d.as_secs_f64() * 1e3)?;
+                }
+                Ok(())
             }
             ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
             ServeError::Infer(e) => write!(f, "forward pass failed: {e}"),
             ServeError::NoModel => write!(f, "no model published"),
             ServeError::Rejected(report) => {
                 write!(f, "rejected by static verification: {report}")
+            }
+            ServeError::Internal { detail } => write!(f, "internal server error: {detail}"),
+            ServeError::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded by {:.1}ms", late_by.as_secs_f64() * 1e3)
+            }
+            ServeError::Unavailable { retry_after } => {
+                write!(
+                    f,
+                    "unavailable (circuit breaker open), retry after {:.1}ms",
+                    retry_after.as_secs_f64() * 1e3
+                )
             }
             ServeError::ShutDown => write!(f, "server shutting down"),
         }
@@ -186,11 +328,11 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the request is served (or failed) and returns the outcome.
     pub fn wait(self) -> Result<ServedResponse, ServeError> {
-        let mut done = self.slot.done.lock().expect("ticket lock");
+        let mut done = crate::lock_mx(&self.slot.done);
         loop {
             match done.take() {
                 Some(result) => return result,
-                None => done = self.slot.cv.wait(done).expect("ticket lock"),
+                None => done = crate::wait_cv(&self.slot.cv, done),
             }
         }
     }
@@ -198,37 +340,80 @@ impl Ticket {
     /// Non-blocking poll: the outcome if the request has been served, else `None`
     /// (the ticket stays valid for a later [`Ticket::wait`]).
     pub fn try_wait(&self) -> Option<Result<ServedResponse, ServeError>> {
-        self.slot.done.lock().expect("ticket lock").take()
+        crate::lock_mx(&self.slot.done).take()
     }
 }
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ready = self.slot.done.lock().map(|d| d.is_some()).unwrap_or(false);
+        let ready = crate::lock_mx(&self.slot.done).is_some();
         f.debug_struct("Ticket").field("ready", &ready).finish()
     }
 }
 
 struct Slot {
+    /// Fill-once latch: the first `fill` wins, every later attempt is a no-op. This
+    /// is what makes "no request answered twice" structural — the happy path, the
+    /// error paths, and the drop guard all funnel through the same swap.
+    answered: AtomicBool,
     done: Mutex<Option<Result<ServedResponse, ServeError>>>,
     cv: Condvar,
 }
 
 impl Slot {
-    fn fill(&self, result: Result<ServedResponse, ServeError>) {
-        *self.done.lock().expect("slot lock") = Some(result);
+    /// Delivers `result` to the ticket if nothing was delivered before. Returns
+    /// whether this call was the one that answered.
+    fn fill(&self, result: Result<ServedResponse, ServeError>) -> bool {
+        if self.answered.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        *crate::lock_mx(&self.done) = Some(result);
         self.cv.notify_all();
+        true
     }
 }
 
 /// One queued request.
+///
+/// `Pending` is a **drop guard**: once a request is admitted, the only ways out are
+/// an explicit [`answer`](Self::answer) or — if a panic unwinds the worker that held
+/// it — the `Drop` impl, which answers [`ServeError::Internal`]. A client ticket can
+/// therefore never hang on a crashed batch, and (via the slot's fill-once latch)
+/// never observe two answers.
 struct Pending {
     tenant: Arc<str>,
     tenant_metrics: Arc<TenantMetrics>,
+    metrics: Arc<Metrics>,
     input: NdArray,
     enqueued: Instant,
-    deadline: Instant,
+    /// Soft deadline: shapes batch closing (SLO pressure), never cancels.
+    slo_deadline: Instant,
+    /// Hard deadline: past it the request is cancelled, never served stale.
+    hard_deadline: Option<Instant>,
     slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// Answers the ticket (first answer wins). Returns whether this was the first.
+    fn answer(&self, result: Result<ServedResponse, ServeError>) -> bool {
+        self.slot.fill(result)
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if self.slot.answered.load(Ordering::Acquire) {
+            return;
+        }
+        // Reached only when a panic unwound the worker mid-batch: convert the crash
+        // into a typed per-request error instead of a hung client.
+        if self.slot.fill(Err(ServeError::Internal {
+            detail: "worker crashed while serving this batch".into(),
+        })) {
+            self.metrics.faults.internal_errors.fetch_add(1, Ordering::Relaxed);
+            self.tenant_metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 struct TenantState {
@@ -253,10 +438,22 @@ impl TenantState {
             false
         }
     }
+
+    /// How long until the bucket refills one whole token at the sustained rate — the
+    /// `retry_after` hint attached to a rate-limit shed. `None` when the policy has
+    /// no (or a zero) rate: no refill time is derivable.
+    fn retry_after(&self) -> Option<Duration> {
+        let rate = self.policy.rate_per_sec?;
+        if rate <= 0.0 {
+            return None;
+        }
+        let deficit = (1.0 - self.tokens).max(0.0);
+        Some(Duration::from_secs_f64(deficit / rate))
+    }
 }
 
 struct QueueState {
-    pending: std::collections::VecDeque<Pending>,
+    pending: VecDeque<Pending>,
     tenants: HashMap<Arc<str>, TenantState>,
 }
 
@@ -268,6 +465,12 @@ struct Planner {
     memory: MemoryModel,
     /// Frozen mean scheduler group target (`None` for non-group checkpoints).
     groups: Option<usize>,
+    max_len: usize,
+    /// Per-level multiplier on the compute budget (from [`BrownoutPolicy`]).
+    budget_factor: f32,
+    /// Lazily trained brownout predictors, one per non-zero level; each is trained
+    /// against the level's shrunken compute budget the first time the level is hit.
+    browned: Mutex<HashMap<u8, Arc<BatchSizePredictor>>>,
 }
 
 impl Planner {
@@ -278,10 +481,18 @@ impl Planner {
             compute_fraction: config.compute_fraction,
             bytes_per_sec,
         };
-        let predictor =
-            budget.train_predictor(&memory, model.config().max_len.max(2), config.max_batch, 5, 3);
+        let max_len = model.config().max_len.max(2);
+        let predictor = budget.train_predictor(&memory, max_len, config.max_batch, 5, 3);
         let groups = model.mean_groups().map(|g| g.round().max(1.0) as usize);
-        Self { predictor, budget, memory, groups }
+        Self {
+            predictor,
+            budget,
+            memory,
+            groups,
+            max_len,
+            budget_factor: config.brownout.budget_factor,
+            browned: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The `N` plugged into `B = f(L, N)`: the checkpoint's frozen mean scheduler
@@ -291,10 +502,65 @@ impl Planner {
         self.groups.unwrap_or_else(|| self.memory.windows(len)).max(1)
     }
 
-    /// Target batch size for a length bucket, under the latency budget and the hard cap.
-    fn target(&self, len: usize, max_batch: usize) -> usize {
-        self.predictor.predict(len, self.groups_for(len)).clamp(1, max_batch.max(1))
+    /// Target batch size for a length bucket at a brownout level, under the latency
+    /// budget and the hard cap. Level 0 is the eagerly trained full-budget predictor;
+    /// deeper levels train (once) against a geometrically shrunken compute budget.
+    fn target(&self, len: usize, max_batch: usize, level: u8) -> usize {
+        let n = self.groups_for(len);
+        let b = if level == 0 {
+            self.predictor.predict(len, n)
+        } else {
+            self.level_predictor(level, max_batch).predict(len, n)
+        };
+        b.clamp(1, max_batch.max(1))
     }
+
+    fn level_predictor(&self, level: u8, max_batch: usize) -> Arc<BatchSizePredictor> {
+        let mut map = crate::lock_mx(&self.browned);
+        Arc::clone(map.entry(level).or_insert_with(|| {
+            let budget = LatencyBudget {
+                slo: self.budget.slo,
+                compute_fraction: self.budget.compute_fraction
+                    * self.budget_factor.powi(level as i32),
+                bytes_per_sec: self.budget.bytes_per_sec,
+            };
+            Arc::new(budget.train_predictor(&self.memory, self.max_len, max_batch, 5, 3))
+        }))
+    }
+}
+
+/// Circuit-breaker state machine (guarded by `Shared::breaker`).
+enum BreakerState {
+    /// Normal operation; `recent` tracks crashes inside the sliding window.
+    Closed,
+    /// Rejecting fast until `until`; `cooldown` is the open duration that produced
+    /// it (doubles on a failed probe).
+    Open { until: Instant, cooldown: Duration },
+    /// Admitting up to `probes_left` more probe requests; one served batch closes
+    /// the breaker, one more crash re-opens it with `cooldown × 2`.
+    HalfOpen { probes_left: u32, cooldown: Duration },
+}
+
+struct Breaker {
+    state: BreakerState,
+    recent: VecDeque<Instant>,
+}
+
+/// A worker thread's exit report, consumed by the supervisor.
+struct WorkerReport {
+    index: usize,
+    /// `Some(panic message)` when the worker died to a panic, `None` on clean exit.
+    crashed: Option<String>,
+}
+
+struct SupervisorState {
+    reports: VecDeque<WorkerReport>,
+}
+
+struct Brownout {
+    level: u8,
+    above_since: Option<Instant>,
+    below_since: Option<Instant>,
 }
 
 struct Shared {
@@ -308,18 +574,25 @@ struct Shared {
     shutdown: AtomicBool,
     /// Kernel-thread share of each worker (`worker_budget() / workers`, at least 1).
     kernel_cap: usize,
+    supervisor: Mutex<SupervisorState>,
+    supervisor_cv: Condvar,
+    breaker: Mutex<Breaker>,
+    /// Fast-path flag: `true` while the breaker is open or half-open, so the happy
+    /// path pays one relaxed load instead of a lock.
+    breaker_engaged: AtomicBool,
+    brownout: Mutex<Brownout>,
 }
 
 impl Shared {
     /// The planner for a model version, building (and calibrating, once per server)
     /// on first sight of the version.
     fn planner_for(&self, handle: &ModelHandle) -> Arc<Planner> {
-        if let Some(p) = self.planners.lock().expect("planner lock").get(&handle.version) {
+        if let Some(p) = crate::lock_mx(&self.planners).get(&handle.version) {
             return Arc::clone(p);
         }
         let bytes_per_sec = self.bytes_per_sec(&handle.model);
         let planner = Arc::new(Planner::build(&handle.model, &self.config, bytes_per_sec));
-        let mut planners = self.planners.lock().expect("planner lock");
+        let mut planners = crate::lock_mx(&self.planners);
         Arc::clone(planners.entry(handle.version).or_insert(planner))
     }
 
@@ -329,7 +602,7 @@ impl Shared {
         if let Some(b) = self.config.bytes_per_sec {
             return b;
         }
-        let mut calibrated = self.calibrated.lock().expect("calibration lock");
+        let mut calibrated = crate::lock_mx(&self.calibrated);
         if let Some(b) = *calibrated {
             return b;
         }
@@ -351,24 +624,160 @@ impl Shared {
             })
             .fold(f64::INFINITY, f64::min)
             .max(1e-9);
-        let n = model.mean_groups().map(|g| g.round().max(1.0) as usize).unwrap_or(usize::MAX);
+        // A model that reports no groups (non-group attention) must fall back to the
+        // cost model's saturation point, not a sentinel: `usize::MAX` groups would
+        // inflate the byte estimate and mis-train every predictor downstream.
+        let n = model
+            .mean_groups()
+            .map(|g| g.round().max(1.0) as usize)
+            .unwrap_or(usize::MAX)
+            .min(model.memory_model().windows(len))
+            .max(1);
         let bytes = model.memory_model().serve_bytes_for(1, len, n) as f64;
         let b = bytes / secs;
         *calibrated = Some(b);
         b
     }
+
+    /// Admission-side breaker gate (only consulted while `breaker_engaged`): `Ok` to
+    /// admit (possibly as a half-open probe), `Err(retry_after)` to reject fast.
+    fn breaker_admit(&self, now: Instant) -> Result<(), Duration> {
+        let mut b = crate::lock_mx(&self.breaker);
+        match b.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open { until, cooldown } => {
+                if now >= until {
+                    b.state = BreakerState::HalfOpen {
+                        probes_left: self.config.breaker.probes.saturating_sub(1),
+                        cooldown,
+                    };
+                    Ok(())
+                } else {
+                    Err(until.saturating_duration_since(now))
+                }
+            }
+            BreakerState::HalfOpen { probes_left, cooldown } => {
+                if probes_left > 0 {
+                    b.state = BreakerState::HalfOpen { probes_left: probes_left - 1, cooldown };
+                    Ok(())
+                } else {
+                    // Probes are in flight; tell the client to check back after
+                    // roughly the time a verdict needs.
+                    Err(cooldown)
+                }
+            }
+        }
+    }
+
+    /// Supervisor-side: records one worker crash and trips/extends the breaker.
+    fn breaker_on_crash(&self, now: Instant) {
+        let policy = self.config.breaker;
+        if policy.threshold == 0 {
+            return;
+        }
+        let mut b = crate::lock_mx(&self.breaker);
+        match b.state {
+            BreakerState::Closed => {
+                b.recent.push_back(now);
+                while b
+                    .recent
+                    .front()
+                    .is_some_and(|t| now.saturating_duration_since(*t) > policy.window)
+                {
+                    b.recent.pop_front();
+                }
+                if b.recent.len() >= policy.threshold {
+                    b.recent.clear();
+                    b.state = BreakerState::Open {
+                        until: now + policy.cooldown,
+                        cooldown: policy.cooldown,
+                    };
+                    self.metrics.faults.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                    self.breaker_engaged.store(true, Ordering::Release);
+                }
+            }
+            BreakerState::HalfOpen { cooldown, .. } => {
+                // The probe crashed: back to open, twice as patient.
+                let cd = cooldown.saturating_mul(2).min(policy.max_cooldown);
+                b.state = BreakerState::Open { until: now + cd, cooldown: cd };
+                self.metrics.faults.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open { until, cooldown } => {
+                b.state = BreakerState::Open { until: until.max(now + cooldown), cooldown };
+            }
+        }
+    }
+
+    /// Worker-side: a batch served to completion; a half-open breaker closes.
+    fn breaker_on_success(&self) {
+        if !self.breaker_engaged.load(Ordering::Acquire) {
+            return;
+        }
+        let mut b = crate::lock_mx(&self.breaker);
+        if matches!(b.state, BreakerState::HalfOpen { .. }) {
+            b.state = BreakerState::Closed;
+            b.recent.clear();
+            self.breaker_engaged.store(false, Ordering::Release);
+        }
+    }
+
+    /// Brownout watermark tracking: called with the queue depth after every
+    /// enqueue/dequeue. Raises the level after `hold` above the high watermark,
+    /// decays it after `hold` below the low watermark.
+    fn note_queue_depth(&self, depth: usize, now: Instant) {
+        let policy = self.config.brownout;
+        if policy.max_level == 0 {
+            return;
+        }
+        let cap = self.config.max_queue_depth as f64;
+        let high = (cap * policy.high_fraction).ceil() as usize;
+        let low = (cap * policy.low_fraction).floor() as usize;
+        let mut b = crate::lock_mx(&self.brownout);
+        if depth >= high.max(1) {
+            b.below_since = None;
+            let since = *b.above_since.get_or_insert(now);
+            if now.saturating_duration_since(since) >= policy.hold && b.level < policy.max_level {
+                b.level += 1;
+                b.above_since = Some(now); // restart the hold for the next raise
+                self.metrics.faults.brownout_level.store(b.level as u64, Ordering::Relaxed);
+                self.metrics.faults.brownout_raises.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if depth <= low {
+            b.above_since = None;
+            let since = *b.below_since.get_or_insert(now);
+            if now.saturating_duration_since(since) >= policy.hold && b.level > 0 {
+                b.level -= 1;
+                b.below_since = Some(now);
+                self.metrics.faults.brownout_level.store(b.level as u64, Ordering::Relaxed);
+            }
+        } else {
+            b.above_since = None;
+            b.below_since = None;
+        }
+    }
+}
+
+/// A serve-time model fault (executor error, non-finite logits): count it and
+/// quarantine the version — the registry atomically repoints traffic to last-good.
+fn note_model_fault(shared: &Shared, version: u64) {
+    shared.metrics.faults.model_faults.fetch_add(1, Ordering::Relaxed);
+    if shared.registry.quarantine(version).is_some() {
+        shared.metrics.faults.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// The serving core: an admission-controlled request queue over continuous-batching
-/// worker threads. See the module docs for the batching and SLO semantics.
+/// worker threads, supervised for fault tolerance. See the module docs for the
+/// batching, SLO, and failure semantics.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts `config.workers` worker threads over `registry`. The registry may still
-    /// be empty; submissions are rejected with [`ServeError::NoModel`] until the first
+    /// Starts `config.workers` worker threads over `registry`, plus the supervisor
+    /// that respawns them on crashes. The registry may still be empty; submissions
+    /// are rejected with [`ServeError::NoModel`] until the first
     /// [`ModelRegistry::publish`].
     pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> Server {
         assert!(config.workers > 0, "a server needs at least one worker");
@@ -387,17 +796,22 @@ impl Server {
             calibrated: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             kernel_cap,
+            supervisor: Mutex::new(SupervisorState { reports: VecDeque::new() }),
+            supervisor_cv: Condvar::new(),
+            breaker: Mutex::new(Breaker { state: BreakerState::Closed, recent: VecDeque::new() }),
+            breaker_engaged: AtomicBool::new(false),
+            brownout: Mutex::new(Brownout { level: 0, above_since: None, below_since: None }),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rita-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serving worker")
-            })
-            .collect();
-        Server { shared, workers }
+        let handles: Vec<Option<std::thread::JoinHandle<()>>> =
+            (0..config.workers).map(|i| Some(spawn_worker(&shared, i, 0))).collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rita-serve-sup".into())
+                .spawn(move || supervisor_loop(&shared, handles))
+                .expect("spawn serving supervisor")
+        };
+        Server { shared, supervisor: Some(supervisor) }
     }
 
     /// The server's model registry (publish/rollback while serving).
@@ -413,7 +827,7 @@ impl Server {
     /// Sets (or replaces) the admission policy of one tenant. Existing queued requests
     /// are unaffected; the token bucket restarts full to `burst`.
     pub fn set_tenant_policy(&self, tenant: &str, policy: TenantPolicy) {
-        let mut st = self.shared.state.lock().expect("server queue lock");
+        let mut st = crate::lock_mx(&self.shared.state);
         let metrics = self.shared.metrics.tenant(tenant);
         let entry = st.tenants.entry(Arc::from(tenant)).or_insert_with(|| TenantState {
             policy,
@@ -428,10 +842,45 @@ impl Server {
 
     /// Submits one `(channels, length)` classification request for `tenant`. Returns a
     /// [`Ticket`] immediately; the answer is produced by a worker batch. Rejections
-    /// (validation, rate limit, queue bounds) are synchronous and typed.
+    /// (validation, rate limit, queue bounds, open breaker) are synchronous and typed.
+    /// The hard deadline, if any, comes from [`ServerConfig::deadline`].
     pub fn submit(&self, tenant: &str, input: NdArray) -> Result<Ticket, ServeError> {
+        self.submit_inner(tenant, input, self.shared.config.deadline)
+    }
+
+    /// [`submit`](Self::submit) with an explicit per-request hard deadline measured
+    /// from now, overriding [`ServerConfig::deadline`]. Past it the request is
+    /// cancelled with [`ServeError::DeadlineExceeded`] instead of served stale.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        input: NdArray,
+        deadline: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(tenant, input, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: &str,
+        input: NdArray,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShutDown);
+        }
+        let now = Instant::now();
+        // Breaker fast path: one relaxed load while healthy.
+        if self.shared.breaker_engaged.load(Ordering::Acquire) {
+            if let Err(retry_after) = self.shared.breaker_admit(now) {
+                self.shared.metrics.faults.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .metrics
+                    .faults
+                    .last_retry_after_us
+                    .store(retry_after.as_micros() as u64, Ordering::Relaxed);
+                return Err(ServeError::Unavailable { retry_after });
+            }
         }
         let Some(handle) = self.shared.registry.current() else {
             return Err(ServeError::NoModel);
@@ -444,8 +893,7 @@ impl Server {
             tenant_metrics.invalid.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Invalid(e));
         }
-        let now = Instant::now();
-        let mut st = self.shared.state.lock().expect("server queue lock");
+        let mut st = crate::lock_mx(&self.shared.state);
         // Re-check under the lock: a request enqueued here is guaranteed to be drained
         // by a worker (shutdown drains under this same lock), so a ticket can never be
         // orphaned by a concurrent shutdown.
@@ -457,6 +905,7 @@ impl Server {
             return Err(ServeError::Overloaded {
                 tenant: tenant.to_string(),
                 reason: ShedReason::QueueFull,
+                retry_after: None,
             });
         }
         let default_policy = self.shared.config.default_policy;
@@ -473,28 +922,42 @@ impl Server {
             return Err(ServeError::Overloaded {
                 tenant: tenant.to_string(),
                 reason: ShedReason::TenantQueueFull,
+                retry_after: None,
             });
         }
         if !state.admit_token(now) {
+            let retry_after = state.retry_after();
+            if let Some(d) = retry_after {
+                state.metrics.retry_after_us.store(d.as_micros() as u64, Ordering::Relaxed);
+            }
             state.metrics.shed_rate.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded {
                 tenant: tenant.to_string(),
                 reason: ShedReason::RateLimited,
+                retry_after,
             });
         }
         state.queued += 1;
         state.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() });
+        let slot = Arc::new(Slot {
+            answered: AtomicBool::new(false),
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
         st.pending.push_back(Pending {
             tenant: key,
             tenant_metrics,
+            metrics: Arc::clone(&self.shared.metrics),
             input,
             enqueued: now,
-            deadline: now + self.shared.config.slo,
+            slo_deadline: now + self.shared.config.slo,
+            hard_deadline: deadline.map(|d| now + d),
             slot: Arc::clone(&slot),
         });
-        self.shared.metrics.queue_depth.store(st.pending.len() as u64, Ordering::Relaxed);
+        let depth = st.pending.len();
+        self.shared.metrics.queue_depth.store(depth as u64, Ordering::Relaxed);
         drop(st);
+        self.shared.note_queue_depth(depth, now);
         self.shared.work_cv.notify_one();
         Ok(Ticket { slot })
     }
@@ -506,11 +969,16 @@ impl Server {
 
     /// Requests currently queued.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("server queue lock").pending.len()
+        crate::lock_mx(&self.shared.state).pending.len()
+    }
+
+    /// Current brownout level (0 = full latency budget).
+    pub fn brownout_level(&self) -> u8 {
+        self.shared.metrics.faults.brownout_level.load(Ordering::Relaxed) as u8
     }
 
     /// Stops admitting requests, drains the queue (every already-admitted request is
-    /// still served), and joins the workers.
+    /// still served), and joins the workers via the supervisor.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -518,17 +986,119 @@ impl Server {
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_cv.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.shared.supervisor_cv.notify_all();
+        if let Some(sup) = self.supervisor.take() {
+            let _ = sup.join();
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
+        if self.supervisor.is_some() {
             self.shutdown_inner();
         }
+    }
+}
+
+/// Spawns one panic-isolated worker thread. The wrapper catches any unwind from the
+/// serve loop and reports the exit (clean or crashed) to the supervisor; unanswered
+/// requests of a crashed batch are answered by their drop guards during the unwind,
+/// *before* the report is filed.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    index: usize,
+    generation: u64,
+) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let name = if generation == 0 {
+        format!("rita-serve-{index}")
+    } else {
+        format!("rita-serve-{index}-r{generation}")
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let crashed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(&shared)))
+                    .err()
+                    .map(|payload| panic_message(payload.as_ref()));
+            let mut sup = crate::lock_mx(&shared.supervisor);
+            sup.reports.push_back(WorkerReport { index, crashed });
+            drop(sup);
+            shared.supervisor_cv.notify_all();
+        })
+        .expect("spawn serving worker")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// The supervision loop: reaps worker exit reports, counts crashes into the circuit
+/// breaker, and respawns crashed workers with capped exponential backoff (per-worker
+/// crash streaks reset after a quiet [`BreakerPolicy::window`]). Runs until shutdown
+/// has drained every worker.
+fn supervisor_loop(shared: &Arc<Shared>, mut handles: Vec<Option<std::thread::JoinHandle<()>>>) {
+    let mut live = handles.len();
+    let mut streaks: Vec<(u32, Option<Instant>)> = vec![(0, None); handles.len()];
+    let mut generations: Vec<u64> = vec![0; handles.len()];
+    loop {
+        let report = {
+            let mut sup = crate::lock_mx(&shared.supervisor);
+            loop {
+                if let Some(r) = sup.reports.pop_front() {
+                    break Some(r);
+                }
+                if live == 0 {
+                    break None;
+                }
+                // Timed wait: shutdown may be flagged without a report in flight.
+                sup = crate::wait_cv_timeout(&shared.supervisor_cv, sup, Duration::from_millis(50));
+            }
+        };
+        let Some(report) = report else { return };
+        if let Some(h) = handles[report.index].take() {
+            let _ = h.join();
+        }
+        let Some(message) = report.crashed else {
+            live -= 1;
+            continue;
+        };
+        let now = Instant::now();
+        let _ = message; // the panic payload is already surfaced via ticket errors
+        shared.metrics.faults.worker_panics.fetch_add(1, Ordering::Relaxed);
+        shared.breaker_on_crash(now);
+        let (streak, last) = &mut streaks[report.index];
+        if last.is_some_and(|l| now.saturating_duration_since(l) > shared.config.breaker.window) {
+            *streak = 0;
+        }
+        *streak += 1;
+        *last = Some(now);
+        // During shutdown with nothing left queued there is nothing to respawn for.
+        if shared.shutdown.load(Ordering::Acquire)
+            && crate::lock_mx(&shared.state).pending.is_empty()
+        {
+            live -= 1;
+            continue;
+        }
+        if *streak > 1 && !shared.shutdown.load(Ordering::Acquire) {
+            let backoff = shared
+                .config
+                .respawn_backoff
+                .saturating_mul(1u32 << (*streak - 2).min(16))
+                .min(shared.config.respawn_backoff_max);
+            std::thread::sleep(backoff);
+        }
+        generations[report.index] += 1;
+        handles[report.index] = Some(spawn_worker(shared, report.index, generations[report.index]));
+        shared.metrics.faults.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -552,22 +1122,44 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Cancels every queued request whose hard deadline has passed (answering
+/// [`ServeError::DeadlineExceeded`]) before any batch is closed over the queue.
+fn sweep_expired(shared: &Shared, st: &mut QueueState, now: Instant) {
+    let mut i = 0;
+    while i < st.pending.len() {
+        let expired = st.pending[i].hard_deadline.is_some_and(|d| now >= d);
+        if !expired {
+            i += 1;
+            continue;
+        }
+        let p = st.pending.remove(i).expect("index in bounds");
+        note_dequeued(st, &shared.metrics, &[&p]);
+        let late_by =
+            now.saturating_duration_since(p.hard_deadline.expect("expired implies deadline"));
+        shared.metrics.faults.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        p.tenant_metrics.failed.fetch_add(1, Ordering::Relaxed);
+        p.answer(Err(ServeError::DeadlineExceeded { late_by }));
+    }
+}
+
 /// Blocks until a batch can be closed (returning `None` on drained shutdown).
 ///
 /// The close policy, evaluated under the queue lock against the *oldest* request:
-/// its length anchors the bucket, the §5.2 planner sets the bucket's target `B`, and
-/// the batch closes as soon as (a) `B` same-length requests are queued, (b) the
-/// `linger` window since the oldest enqueue expires, or (c) the oldest request's
-/// remaining SLO slack shrinks to the compute slice one batch needs — the early close
-/// that keeps tail latencies inside the SLO instead of waiting for batch-mates.
+/// its length anchors the bucket, the §5.2 planner sets the bucket's target `B` (at
+/// the current brownout level), and the batch closes as soon as (a) `B` same-length
+/// requests are queued, (b) the `linger` window since the oldest enqueue expires, or
+/// (c) the oldest request's remaining SLO slack shrinks to the compute slice one
+/// batch needs — the early close that keeps tail latencies inside the SLO instead of
+/// waiting for batch-mates.
 fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
-    let mut st: MutexGuard<'_, QueueState> = shared.state.lock().expect("server queue lock");
+    let mut st: MutexGuard<'_, QueueState> = crate::lock_mx(&shared.state);
     loop {
+        sweep_expired(shared, &mut st, Instant::now());
         if st.pending.is_empty() {
             if shared.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            st = shared.work_cv.wait(st).expect("server queue lock");
+            st = crate::wait_cv(&shared.work_cv, st);
             continue;
         }
         let Some(handle) = shared.registry.current() else {
@@ -576,8 +1168,9 @@ fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
             let p = st.pending.pop_front().expect("non-empty queue");
             note_dequeued(&mut st, &shared.metrics, &[&p]);
             drop(st);
-            p.slot.fill(Err(ServeError::NoModel));
-            st = shared.state.lock().expect("server queue lock");
+            p.answer(Err(ServeError::NoModel));
+            drop(p);
+            st = crate::lock_mx(&shared.state);
             continue;
         };
         // planner_for never blocks on queue work (separate lock), but it can be slow
@@ -585,15 +1178,17 @@ fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
         // admissions keep flowing during it.
         drop(st);
         let planner = shared.planner_for(&handle);
-        st = shared.state.lock().expect("server queue lock");
+        st = crate::lock_mx(&shared.state);
+        sweep_expired(shared, &mut st, Instant::now());
         if st.pending.is_empty() {
             continue; // another worker drained the queue while we planned
         }
 
+        let level = shared.metrics.faults.brownout_level.load(Ordering::Relaxed).min(255) as u8;
         let now = Instant::now();
         let oldest = &st.pending[0];
         let anchor_len = oldest.input.shape()[1];
-        let target = planner.target(anchor_len, shared.config.max_batch);
+        let target = planner.target(anchor_len, shared.config.max_batch, level);
         let matching = st.pending.iter().filter(|p| p.input.shape()[1] == anchor_len).count();
         let fill_by = oldest.enqueued + shared.config.linger;
         // Close early once the oldest request's slack can only just cover one batch's
@@ -604,17 +1199,19 @@ fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
             anchor_len,
             planner.groups_for(anchor_len),
         );
-        let close_by = oldest.deadline.checked_sub(compute).unwrap_or(oldest.enqueued);
+        let close_by = oldest.slo_deadline.checked_sub(compute).unwrap_or(oldest.enqueued);
         let slo_pressed = now >= close_by;
         let ready = matching >= target
             || now >= fill_by
             || slo_pressed
             || shared.shutdown.load(Ordering::Acquire);
         if !ready {
-            let wake_at = fill_by.min(close_by);
+            let mut wake_at = fill_by.min(close_by);
+            if let Some(hd) = st.pending.iter().filter_map(|p| p.hard_deadline).min() {
+                wake_at = wake_at.min(hd); // wake in time to cancel, not just to batch
+            }
             let timeout = wake_at.saturating_duration_since(now);
-            let (guard, _) = shared.work_cv.wait_timeout(st, timeout).expect("server queue lock");
-            st = guard;
+            st = crate::wait_cv_timeout(&shared.work_cv, st, timeout);
             continue;
         }
 
@@ -626,7 +1223,7 @@ fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
         let mut rng = SeedableRng64::seed_from_u64(0); // shuffle off: never consulted
         let batches = batch_indices_by_length(
             &lengths,
-            |len| planner.target(len, shared.config.max_batch),
+            |len| planner.target(len, shared.config.max_batch, level),
             false,
             &mut rng,
         );
@@ -641,10 +1238,13 @@ fn next_batch(shared: &Shared) -> Option<ClosedBatch> {
         requests.reverse();
         let refs: Vec<&Pending> = requests.iter().collect();
         note_dequeued(&mut st, &shared.metrics, &refs);
-        if !st.pending.is_empty() {
+        let depth = st.pending.len();
+        if depth > 0 {
             // Leftover work: hand it to a sibling worker while we compute.
             shared.work_cv.notify_one();
         }
+        drop(st);
+        shared.note_queue_depth(depth, now);
         return Some(ClosedBatch { handle, requests, early_close });
     }
 }
@@ -660,11 +1260,19 @@ fn note_dequeued(st: &mut QueueState, metrics: &Metrics, leaving: &[&Pending]) {
 }
 
 /// Runs one closed batch on its model snapshot and fills every ticket. Kernel
-/// parallelism is capped at this worker's share of the machine budget. A forward
-/// failure (malformed checkpoint tensor caught at plan compile, kernel error) fails
-/// every ticket in the batch with a typed [`ServeError::Infer`] — the worker survives.
+/// parallelism is capped at this worker's share of the machine budget.
+///
+/// Failure semantics: a forward error or non-finite logits fail every ticket in the
+/// batch with a typed error *and* quarantine the model version (rolling traffic back
+/// to last-good); a panic anywhere in here unwinds through the drop guards, which
+/// answer [`ServeError::Internal`] on every unanswered ticket before the supervisor
+/// learns of the crash. Requests whose hard deadline passed during compute are
+/// cancelled, never served stale.
 fn serve_batch(shared: &Shared, batch: ClosedBatch) {
     let ClosedBatch { handle, requests, early_close } = batch;
+    // Chaos injection point: may sleep (slow batch) and may panic (worker crash) —
+    // compiled in, armed only inside `chaos::inject` scopes.
+    crate::chaos::before_batch();
     let closed_at = Instant::now();
     let samples: Vec<NdArray> = requests.iter().map(|p| p.input.clone()).collect();
     let stacked = stack_samples(&samples);
@@ -683,26 +1291,61 @@ fn serve_batch(shared: &Shared, batch: ClosedBatch) {
     let logits = match logits {
         Ok(logits) => logits,
         Err(e) => {
-            for p in requests {
+            note_model_fault(shared, handle.version);
+            for p in &requests {
                 let err = match &e {
                     crate::InferError::Rejected(report) => ServeError::Rejected(report.clone()),
                     other => ServeError::Infer(other.clone()),
                 };
-                p.slot.fill(Err(err));
+                p.tenant_metrics.failed.fetch_add(1, Ordering::Relaxed);
+                p.answer(Err(err));
             }
             return;
         }
     };
+    // Chaos injection point: replaces the batch output with NaN when armed.
+    let logits = crate::chaos::poison_logits(logits);
+    // Non-finite logits mean the model (or a kernel) is damaged: failing the batch is
+    // not enough — quarantine the version so traffic rolls back to last-good.
+    let flat = logits.materialize();
+    if !flat.as_slice().iter().all(|v| v.is_finite()) {
+        note_model_fault(shared, handle.version);
+        let detail = format!("model v{} produced non-finite logits", handle.version);
+        for p in &requests {
+            p.tenant_metrics.failed.fetch_add(1, Ordering::Relaxed);
+            p.answer(Err(ServeError::Internal { detail: detail.clone() }));
+        }
+        crate::reclaim(flat);
+        crate::reclaim(logits);
+        return;
+    }
+    crate::reclaim(flat);
     let classes = logits.argmax_last();
     let done = Instant::now();
-    for (i, p) in requests.into_iter().enumerate() {
+    // A fully computed batch is the breaker's recovery signal. Record it *before*
+    // delivering answers: a client that just received a success must not race a
+    // stale half-open state on its next submit.
+    shared.breaker_on_success();
+    for (i, p) in requests.iter().enumerate() {
+        // Hard deadline re-check after compute: a slow batch must cancel, not serve
+        // stale ("never silently served stale").
+        if let Some(hd) = p.hard_deadline {
+            if done >= hd {
+                shared.metrics.faults.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                p.tenant_metrics.failed.fetch_add(1, Ordering::Relaxed);
+                p.answer(Err(ServeError::DeadlineExceeded {
+                    late_by: done.saturating_duration_since(hd),
+                }));
+                continue;
+            }
+        }
         let row = logits.index_axis(0, i).expect("logits row").materialize();
         shared.metrics.record_served(
             &p.tenant_metrics,
             done.saturating_duration_since(p.enqueued),
             closed_at.saturating_duration_since(p.enqueued),
         );
-        p.slot.fill(Ok(ServedResponse {
+        p.answer(Ok(ServedResponse {
             class: classes[i],
             logits: row.as_slice().to_vec(),
             model_version: handle.version,

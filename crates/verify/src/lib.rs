@@ -40,7 +40,7 @@ pub use checks::{
     verify_bindings, verify_lifetimes, verify_schedule, verify_shapes, verify_structure,
 };
 pub use fusion::verify_fusion;
-pub use mutate::{Corruption, Target, ALL};
+pub use mutate::{flip_byte, Corruption, Target, ALL};
 pub use report::{Analysis, Diagnostic, Report, Severity, VerifyError};
 
 /// Audits one compiled plan against its graph: structure, schedule, shapes, and

@@ -45,6 +45,20 @@ pub enum Corruption {
     RetargetParam,
 }
 
+/// Flips every bit of one byte (`site` taken modulo `buf.len()`) in place — the
+/// byte-level twin of [`Corruption`] for serialized artifacts with integrity
+/// trailers (the version-2 checkpoint format). A sweep over sites exercises damage
+/// in every file region: header, counts, tensor data, and the checksum trailer
+/// itself. Returns `false` on an empty buffer (no site to damage).
+pub fn flip_byte(buf: &mut [u8], site: usize) -> bool {
+    if buf.is_empty() {
+        return false;
+    }
+    let i = site % buf.len();
+    buf[i] ^= 0xFF;
+    true
+}
+
 /// Every corruption class, for sweeping.
 pub const ALL: [Corruption; 7] = [
     Corruption::SwapSchedule,

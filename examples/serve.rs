@@ -142,6 +142,32 @@ fn main() {
         served as f64 / seconds.max(1e-9),
     );
 
+    // 4. Fault drill: inject one worker panic mid-stream. The crashed batch fails
+    //    with a typed error instead of hanging its clients, the supervisor respawns
+    //    the worker, and traffic resumes on the same weights.
+    {
+        use rita::infer::chaos::{self, ChaosConfig, Injection};
+        let _chaos =
+            chaos::inject(ChaosConfig { worker_panic: Injection::once(), ..Default::default() });
+        let drill = if quick { 12 } else { 60 };
+        let (mut ok, mut crashed) = (0usize, 0usize);
+        for r in requests.iter().take(drill) {
+            match server.classify("tenant-a", r.clone()) {
+                Ok(_) => ok += 1,
+                Err(ServeError::Internal { .. }) => crashed += 1,
+                Err(e) => panic!("unexpected serve error during the fault drill: {e}"),
+            }
+        }
+        let faults = server.metrics().snapshot().faults;
+        println!(
+            "fault drill: {crashed} request(s) failed on an injected worker panic, {ok} served \
+             through recovery ({} panic(s) caught, {} worker respawn(s) so far)",
+            faults.worker_panics, faults.worker_respawns
+        );
+        assert!(crashed >= 1, "the injected panic never fired");
+        assert!(ok >= drill - 2, "recovery lost more than the crashed batch");
+    }
+
     let snap = server.metrics().snapshot();
     println!(
         "batches: {} (mean size {:.1}, {} early closes), latency p50 {}us p99 {}us",

@@ -329,9 +329,11 @@ fn admission_control_sheds_with_typed_reasons() {
     let reqs = mixed_requests(60, &[32, 32, 32]);
     let first = server.submit("metered", reqs[0].clone()).unwrap();
     match server.submit("metered", reqs[1].clone()) {
-        Err(ServeError::Overloaded { tenant, reason }) => {
+        Err(ServeError::Overloaded { tenant, reason, retry_after }) => {
             assert_eq!(tenant, "metered");
             assert_eq!(reason, ShedReason::RateLimited);
+            // rate 0.0: no refill time is derivable, so no hint.
+            assert_eq!(retry_after, None);
         }
         other => panic!("expected rate-limit shed, got {other:?}"),
     }
@@ -364,6 +366,71 @@ fn admission_control_sheds_with_typed_reasons() {
         other => panic!("expected global-queue shed, got {other:?}"),
     }
     assert_eq!(server.metrics().snapshot().shed_queue_full, 1);
+    server.shutdown();
+}
+
+/// Satellite (PR 9): a rate-limit shed carries a `retry_after` hint derived from the
+/// token bucket's refill rate, and the hint is surfaced in the metrics JSON.
+#[test]
+fn rate_limit_sheds_carry_retry_after_hints() {
+    let server = Server::start(registry_with(13), fast_config(1));
+    // 10 req/s sustained, burst 1: the second immediate submission sheds and the
+    // bucket needs ~1/10 s to refill one token.
+    server.set_tenant_policy(
+        "hinted",
+        TenantPolicy { rate_per_sec: Some(10.0), burst: 1.0, max_queue_depth: 64 },
+    );
+    let reqs = mixed_requests(77, &[32, 32]);
+    let first = server.submit("hinted", reqs[0].clone()).unwrap();
+    match server.submit("hinted", reqs[1].clone()) {
+        Err(ServeError::Overloaded { reason, retry_after, .. }) => {
+            assert_eq!(reason, ShedReason::RateLimited);
+            let hint = retry_after.expect("a finite rate must yield a refill hint");
+            assert!(
+                hint > Duration::ZERO && hint <= Duration::from_millis(100),
+                "hint {hint:?} outside one token's refill time at 10 req/s"
+            );
+        }
+        other => panic!("expected rate-limit shed with hint, got {other:?}"),
+    }
+    first.wait().unwrap();
+    let snap = server.metrics().snapshot();
+    let hinted = snap.tenants.iter().find(|(n, _)| n == "hinted").unwrap();
+    assert!(hinted.1.retry_after_us > 0, "hint gauge never recorded");
+    assert!(snap.to_json().contains("\"retry_after_us\""), "hint missing from metrics JSON");
+    server.shutdown();
+}
+
+/// Satellite (PR 9): regression for the `mean_groups()` fallback. A non-group
+/// (vanilla-attention) checkpoint reports no groups; startup calibration used to
+/// plug `usize::MAX` into the cost model's byte estimate, overflowing it. The
+/// fallback must clamp to the memory model's window count and serve normally.
+#[test]
+fn vanilla_attention_calibrates_and_serves_without_group_counts() {
+    let mut rng = SeedableRng64::seed_from_u64(71);
+    let config = RitaConfig { attention: AttentionKind::Vanilla, ..test_config() };
+    let ckpt = Checkpoint::of_classifier(&Classifier::new(config, 4, &mut rng), None);
+    let session = InferSession::from_checkpoint(&ckpt).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&ckpt).unwrap();
+    assert!(registry.current().unwrap().model.mean_groups().is_none(), "vanilla has no groups");
+
+    // bytes_per_sec: None forces the probe-forward calibration that hit the bug.
+    let server_config = ServerConfig {
+        workers: 1,
+        max_batch: 8,
+        slo: Duration::from_secs(2),
+        linger: Duration::from_millis(1),
+        bytes_per_sec: None,
+        ..Default::default()
+    };
+    let server = Server::start(registry, server_config);
+    let requests = mixed_requests(72, &[32, 48, 64]);
+    for r in &requests {
+        let got = server.classify("vanilla", r.clone()).unwrap();
+        let expected = session.classify_logits(std::slice::from_ref(r)).unwrap();
+        assert_eq!(got.logits.as_slice(), expected[0].as_slice(), "calibration broke parity");
+    }
     server.shutdown();
 }
 
