@@ -32,7 +32,9 @@ use rita_core::checkpoint::Checkpoint;
 use rita_core::model::RitaConfig;
 use rita_core::tasks::Classifier;
 use rita_infer::chaos::{self, ChaosConfig, Injection};
-use rita_infer::{BreakerPolicy, InferSession, ModelRegistry, ServeError, Server, ServerConfig};
+use rita_infer::{
+    BreakerPolicy, InferSession, ModelRegistry, Precision, ServeError, Server, ServerConfig,
+};
 use rita_tensor::{worker_budget, NdArray, SeedableRng64};
 
 fn quick() -> bool {
@@ -49,6 +51,25 @@ fn checkpoint() -> Checkpoint {
         d_model: 32,
         n_layers: 2,
         ff_hidden: 64,
+        dropout: 0.0,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 8, adaptive: false },
+        ..Default::default()
+    };
+    Checkpoint::of_classifier(&Classifier::new(config, 5, &mut rng), None)
+}
+
+/// A quantization-sized classifier (d_model 256): at this width the projection and
+/// FFN GEMMs dominate each batch, so the f32-vs-int8 serving rows measure the
+/// kernels rather than batching overhead.
+fn large_checkpoint() -> Checkpoint {
+    let mut rng = SeedableRng64::seed_from_u64(7);
+    let config = RitaConfig {
+        channels: 3,
+        max_len: 120,
+        d_model: 256,
+        n_heads: 8,
+        n_layers: 2,
+        ff_hidden: 1024,
         dropout: 0.0,
         attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 8, adaptive: false },
         ..Default::default()
@@ -285,6 +306,54 @@ fn main() {
         );
     }
 
+    // Precision rows (ISSUE 10): the d_model-256 model served f32 against int8 at
+    // the top load point. Both servers run the same continuous-batching discipline
+    // over identical traffic; the only difference is the precision the registry
+    // binds at publish, so the throughput ratio isolates the quantized kernels.
+    let top = loads.iter().copied().max().unwrap();
+    let large = large_checkpoint();
+    for (mix, requests) in &request_sets {
+        for (mode, precision) in
+            [("continuous_f32_d256", Precision::F32), ("continuous_int8_d256", Precision::Int8)]
+        {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.publish_with(&large, precision).expect("publish d256 checkpoint");
+            let server = Server::start(Arc::clone(&registry), server_config);
+            // Sanity before timing: the served answer must be finite at this
+            // precision (bit-parity is an f32-only guarantee).
+            let probe = server.classify("parity", requests[0].clone()).expect("probe request");
+            assert!(
+                probe.logits.as_slice().iter().all(|v| v.is_finite()),
+                "{mode}: served logits must be finite"
+            );
+            let (served, lat, secs) = closed_loop(top, requests, warmup, window, |c, r| {
+                let tenant = ["tenant-a", "tenant-b", "tenant-c"][c % 3];
+                server.classify(tenant, r.clone()).is_ok()
+            });
+            let snap = server.metrics().snapshot();
+            rows.push(Row {
+                mix,
+                mode,
+                clients: top,
+                duration_s: secs,
+                served,
+                shed: snap.shed(),
+                throughput_rps: served as f64 / secs,
+                p50_us: percentile(&lat, 0.5),
+                p99_us: percentile(&lat, 0.99),
+                mean_batch: snap.batch_size.mean,
+                failed: snap.tenants.iter().map(|(_, t)| t.failed).sum(),
+                panics: 0,
+            });
+            server.shutdown();
+            let r = rows.last().unwrap();
+            println!(
+                "{mix:>5} x{top:<2} {mode:<20} {:>7.0} r/s (p99 {:>6}us, mean batch {:.1})",
+                r.throughput_rps, r.p99_us, r.mean_batch
+            );
+        }
+    }
+
     // The headline the sweep exists for: at the highest load point, batching wins.
     for (mix, _) in &request_sets {
         let top = loads.iter().copied().max().unwrap();
@@ -303,6 +372,14 @@ fn main() {
             "mix {mix}: chaos/clean throughput at {top} clients = {:.2}x ({} crashed batches)",
             faulted.throughput_rps / continuous.throughput_rps,
             faulted.failed
+        );
+        let (f32_row, int8_row) = (find("continuous_f32_d256"), find("continuous_int8_d256"));
+        let speedup = int8_row.throughput_rps / f32_row.throughput_rps;
+        println!("mix {mix}: int8/f32 d256 throughput at {top} clients = {speedup:.2}x");
+        // ISSUE 10's serving acceptance bar; quick CI smoke runs only report.
+        assert!(
+            quick || speedup >= 1.2,
+            "quantized serving must be >= 1.2x f32 at the top load point, got {speedup:.2}x"
         );
     }
 

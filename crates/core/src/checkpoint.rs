@@ -1,7 +1,7 @@
 //! Versioned binary checkpoints: save a trained model (and optionally its optimiser and
 //! scheduler state) to a single file, load it in a fresh process, and resume.
 //!
-//! ## Format (version 2)
+//! ## Format (version 3)
 //!
 //! Hand-rolled little-endian binary — the workspace is offline, so no serde. All
 //! multi-byte integers are `u32`/`u64` LE, floats are IEEE-754 `f32` LE bit patterns
@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! magic    8 bytes  b"RITACKPT"
-//! version  u32      currently 2 (version-1 files, which stop after `optim`, still load)
+//! version  u32      currently 3 (version-1/2 files still load bit-exactly)
 //! task     u8       0 = backbone, 1 = classifier, 2 = imputer
 //! classes  u32      number of classes (classifier only; 0 otherwise)
 //! config            channels, max_len, window, stride, d_model, n_heads, n_layers,
@@ -18,13 +18,24 @@
 //!                     | 2 performer (features u32) | 3 linformer (proj_dim u32)
 //! sched    u32 n    then n × (present u8, target f32): the per-layer persistent §5.1
 //!                   group-count targets, so a restart resumes the exact schedule
-//! tensors  u32 n    then n × (path_len u32, path utf-8, ndim u32, dims u32…, data f32…)
-//!                   — every named parameter followed by every named buffer, in
-//!                   visitor order
+//! tensors  u32 n    then n records. A v3 record is
+//!                     path_len u32, path utf-8
+//!                     dtype    u8   0 = f32 | 1 = int8 (per-channel scales) | 2 = bf16
+//!                     ndim u32, dims u32…
+//!                     scales   u32  (int8 only) per-channel scale count — must equal
+//!                                   the last dim (one scale per output column)
+//!                     paylen   u64  payload byte length; the reader cross-checks it
+//!                                   against dtype × numel (+ scales) before parsing,
+//!                                   so a dtype/payload mismatch is structural damage
+//!                     payload       f32 LE data | i8 codes then f32 LE scales |
+//!                                   bf16 (u16 LE) data
+//!                   (v1/v2 records have no dtype/paylen fields and are always f32.)
+//!                   Every named parameter followed by every named buffer, in
+//!                   visitor order.
 //! optim    u8       0 = absent; 1 = steps u64, lr β₁ β₂ ε wd (f32 each), u32 n,
 //!                   then n × (path, ndim, dims, first-moment f32…, second-moment f32…)
 //! crcs     u32 n    then n × u32: CRC-32 of each tensor record (path length through
-//!                   data), in tensor order — pinpoints *which* tensor rotted
+//!                   payload), in tensor order — pinpoints *which* tensor rotted
 //! filecrc  u32      CRC-32 of every preceding byte of the file — any single flipped
 //!                   bit anywhere fails the load before a tensor is parsed
 //! ```
@@ -35,8 +46,18 @@
 //! unknown versions with [`CheckpointError::UnsupportedVersion`] instead of guessing.
 //! Adding new trailing sections is a version bump too — v1 readers must be able to
 //! assume they consumed the whole buffer. This reader accepts version 1 (no checksum
-//! trailer — integrity is the caller's problem, as it always was) and version 2
-//! (trailer verified; any mismatch is [`CheckpointError::ChecksumMismatch`]).
+//! trailer — integrity is the caller's problem, as it always was), version 2 (trailer
+//! verified; any mismatch is [`CheckpointError::ChecksumMismatch`]), and version 3
+//! (per-tensor dtype tags). [`Checkpoint::to_bytes_versioned`] still emits v1/v2 for
+//! all-f32 checkpoints, so downgrade paths stay testable byte-for-byte.
+//!
+//! ## Scale values are not validated here
+//!
+//! The reader enforces *structure* (dtype/payload-length agreement, scale counts); it
+//! deliberately does **not** judge scale *values* (finite, positive). That semantic
+//! check lives in `rita-verify`'s independent checkpoint analysis, keeping the
+//! second-implementation discipline: a checkpoint whose scales rotted to NaN parses
+//! here and is rejected by the verifier before the registry activates it.
 //!
 //! ## Failure behaviour
 //!
@@ -59,7 +80,93 @@ use rita_nn::{BufferVisitorMut, Module, ParamPath};
 use rita_tensor::NdArray;
 
 const MAGIC: &[u8; 8] = b"RITACKPT";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+
+/// Dtype tags of version-3 tensor records.
+const DTYPE_F32: u8 = 0;
+const DTYPE_INT8: u8 = 1;
+const DTYPE_BF16: u8 = 2;
+
+/// One named tensor as stored in a checkpoint: full-precision, int8-quantized with
+/// per-channel scales, or bf16.
+///
+/// Quantized records keep their compact payload in memory — the inference tier binds
+/// them directly (packing int8 codes into GEMM panels without ever inflating to f32);
+/// [`TensorRecord::to_f32`] is the explicit, lossless-for-f32 widening everything else
+/// (training restore, verification probes, non-GEMM consumers) goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorRecord {
+    /// Full-precision tensor — what v1/v2 checkpoints contain exclusively.
+    F32(NdArray),
+    /// Int8 per-channel quantized rank-2 weight: `data[p * n + j]` is the code of
+    /// element `(p, j)` and dequantizes to `data[p * n + j] as f32 * scales[j]` — one
+    /// scale per output column `j` (`scales.len() == shape[1]`).
+    Int8 {
+        /// Logical shape `[k, n]`.
+        shape: Vec<usize>,
+        /// Row-major int8 codes, `k · n` of them.
+        data: Vec<i8>,
+        /// Per-output-column dequantization scales, `n` of them.
+        scales: Vec<f32>,
+    },
+    /// bf16 storage (upper 16 bits of each f32, round-to-nearest-even).
+    Bf16 {
+        /// Logical shape.
+        shape: Vec<usize>,
+        /// bf16 bit patterns, row-major.
+        data: Vec<u16>,
+    },
+}
+
+impl TensorRecord {
+    /// Logical shape of the stored tensor.
+    pub fn shape(&self) -> &[usize] {
+        match self {
+            TensorRecord::F32(t) => t.shape(),
+            TensorRecord::Int8 { shape, .. } | TensorRecord::Bf16 { shape, .. } => shape,
+        }
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.shape().iter().product()
+    }
+
+    /// Human-readable dtype name (matches the metrics/report vocabulary).
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            TensorRecord::F32(_) => "f32",
+            TensorRecord::Int8 { .. } => "int8",
+            TensorRecord::Bf16 { .. } => "bf16",
+        }
+    }
+
+    /// Payload size in bytes as serialized (codes + scales for int8).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            TensorRecord::F32(t) => 4 * t.len(),
+            TensorRecord::Int8 { data, scales, .. } => data.len() + 4 * scales.len(),
+            TensorRecord::Bf16 { data, .. } => 2 * data.len(),
+        }
+    }
+
+    /// Widens/dequantizes to a dense f32 array. Exact for `F32` (shares storage), the
+    /// per-channel dequantization for `Int8`, the exact bf16 widening for `Bf16`.
+    pub fn to_f32(&self) -> NdArray {
+        match self {
+            TensorRecord::F32(t) => t.clone(),
+            TensorRecord::Int8 { shape, data, scales } => {
+                let w = rita_tensor::dequantize_columns(data, scales, shape[0], shape[1]);
+                NdArray::from_vec(w, shape).expect("int8 record shape matches its data")
+            }
+            TensorRecord::Bf16 { shape, data } => {
+                let mut w = Vec::new();
+                rita_tensor::decode_bf16(data, &mut w);
+                NdArray::from_vec(w, shape).expect("bf16 record shape matches its data")
+            }
+        }
+    }
+}
 
 /// CRC-32 lookup table for the reflected IEEE 802.3 polynomial `0xEDB88320`, built at
 /// compile time (the workspace is offline; no crc crate).
@@ -222,20 +329,23 @@ pub struct Checkpoint {
     /// non-group layers).
     pub scheduler: Vec<Option<f32>>,
     /// Named tensors: every parameter, then every buffer, in visitor order.
-    pub tensors: Vec<(String, NdArray)>,
+    pub tensors: Vec<(String, TensorRecord)>,
     /// AdamW moment state keyed by parameter path, when saved for resumption.
     pub optimizer: Option<AdamWState>,
 }
 
 /// Collects a module's parameters and buffers into the checkpoint tensor list.
-fn collect_tensors(module: &impl Module) -> Vec<(String, NdArray)> {
-    let mut tensors: Vec<(String, NdArray)> = module
+fn collect_tensors(module: &impl Module) -> Vec<(String, TensorRecord)> {
+    let mut tensors: Vec<(String, TensorRecord)> = module
         .named_parameters()
         .into_iter()
-        .map(|(path, var)| (path.to_string(), var.to_array()))
+        .map(|(path, var)| (path.to_string(), TensorRecord::F32(var.to_array())))
         .collect();
     tensors.extend(
-        module.named_buffers().into_iter().map(|(path, buf)| (path.to_string(), buf.clone())),
+        module
+            .named_buffers()
+            .into_iter()
+            .map(|(path, buf)| (path.to_string(), TensorRecord::F32(buf.clone()))),
     );
     tensors
 }
@@ -342,7 +452,7 @@ impl Checkpoint {
     /// Overwrites every parameter and buffer of `module` from the stored tensors.
     /// Errors when a tensor is missing, has the wrong shape, or is left over.
     fn restore_module(&self, module: &mut (impl Module + ?Sized)) -> Result<(), CheckpointError> {
-        let by_path: HashMap<&str, &NdArray> =
+        let by_path: HashMap<&str, &TensorRecord> =
             self.tensors.iter().map(|(p, t)| (p.as_str(), t)).collect();
         if by_path.len() != self.tensors.len() {
             return Err(CheckpointError::Corrupted("duplicate tensor paths".into()));
@@ -360,7 +470,7 @@ impl Checkpoint {
                     found: tensor.shape().to_vec(),
                 });
             }
-            var.set_value(tensor.clone());
+            var.set_value(tensor.to_f32());
             used.insert(by_path.get_key_value(path.as_str()).expect("present").0);
         }
 
@@ -381,7 +491,7 @@ impl Checkpoint {
                 });
                 return;
             }
-            *buf = tensor.clone();
+            *buf = tensor.to_f32();
             used.insert(by_path.get_key_value(path.as_str()).expect("present").0);
         };
         module.visit_buffers_mut(&mut BufferVisitorMut::new(&mut visit));
@@ -401,13 +511,72 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// The offline int8 quantization pass: converts every rank-2 `.weight` parameter
+    /// to [`TensorRecord::Int8`] with per-output-column scales and drops the optimizer
+    /// section (a quantized checkpoint is a serving artifact, not a training resume
+    /// point). Biases, norms, buffers, and higher-rank tensors stay f32 — they are
+    /// tiny and numerically load-bearing. Weights whose reduction depth exceeds
+    /// [`rita_tensor::MAX_QUANT_K`] (i32 accumulation could overflow) also stay f32.
+    ///
+    /// Already-quantized records pass through unchanged, so the pass is idempotent.
+    pub fn quantize(&self) -> Checkpoint {
+        let tensors = self
+            .tensors
+            .iter()
+            .map(|(path, rec)| {
+                let rec = match rec {
+                    TensorRecord::F32(a)
+                        if path.ends_with(".weight")
+                            && a.shape().len() == 2
+                            && a.shape()[0] <= rita_tensor::MAX_QUANT_K =>
+                    {
+                        let (k, n) = (a.shape()[0], a.shape()[1]);
+                        let w = a.materialize();
+                        let (data, scales) = rita_tensor::quantize_columns(w.as_slice(), k, n);
+                        TensorRecord::Int8 { shape: vec![k, n], data, scales }
+                    }
+                    other => other.clone(),
+                };
+                (path.clone(), rec)
+            })
+            .collect();
+        Checkpoint {
+            task: self.task,
+            config: self.config,
+            scheduler: self.scheduler.clone(),
+            tensors,
+            optimizer: None,
+        }
+    }
+
     // ------------------------------------------------------------------ serialization
 
-    /// Serialises to the version-2 byte format (checksum trailer included).
+    /// Serialises to the current (version-3) byte format, checksum trailer included.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_versioned(VERSION).expect("the current version encodes every record")
+    }
+
+    /// Serialises to a specific format version. Versions 1 and 2 have no dtype-tagged
+    /// records, so they can only encode all-f32 checkpoints — asking for one with a
+    /// quantized record is a `Corrupted` error. This keeps genuine old-format bytes
+    /// producible (compat tests, downgrade tooling) from the current writer.
+    pub fn to_bytes_versioned(&self, version: u32) -> Result<Vec<u8>, CheckpointError> {
+        if !(1..=VERSION).contains(&version) {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        if version < 3 {
+            if let Some((path, rec)) =
+                self.tensors.iter().find(|(_, r)| !matches!(r, TensorRecord::F32(_)))
+            {
+                return Err(CheckpointError::Corrupted(format!(
+                    "tensor '{path}' is {} — version {version} encodes f32 only",
+                    rec.dtype()
+                )));
+            }
+        }
         let mut w = Writer::default();
         w.bytes(MAGIC);
-        w.u32(VERSION);
+        w.u32(version);
         match self.task {
             TaskKind::Backbone => {
                 w.u8(0);
@@ -468,10 +637,15 @@ impl Checkpoint {
         }
         w.u32(self.tensors.len() as u32);
         let mut tensor_crcs = Vec::with_capacity(self.tensors.len());
-        for (path, tensor) in &self.tensors {
+        for (path, record) in &self.tensors {
             let start = w.0.len();
             w.str(path);
-            w.tensor(tensor);
+            if version >= 3 {
+                w.record(record);
+            } else {
+                let TensorRecord::F32(tensor) = record else { unreachable!("checked above") };
+                w.tensor(tensor);
+            }
             tensor_crcs.push(crc32(&w.0[start..]));
         }
         match &self.optimizer {
@@ -494,19 +668,21 @@ impl Checkpoint {
                 }
             }
         }
-        // Version-2 trailer: per-tensor CRCs, then the whole-file CRC over everything
-        // written so far (trailer counts and tensor CRCs included).
-        w.u32(tensor_crcs.len() as u32);
-        for crc in &tensor_crcs {
-            w.u32(*crc);
+        // Version ≥ 2 trailer: per-tensor CRCs, then the whole-file CRC over
+        // everything written so far (trailer counts and tensor CRCs included).
+        if version >= 2 {
+            w.u32(tensor_crcs.len() as u32);
+            for crc in &tensor_crcs {
+                w.u32(*crc);
+            }
+            let file_crc = crc32(&w.0);
+            w.u32(file_crc);
         }
-        let file_crc = crc32(&w.0);
-        w.u32(file_crc);
-        w.0
+        Ok(w.0)
     }
 
-    /// Parses the byte format, accepting versions 1 (no checksum trailer) and 2
-    /// (trailer verified). Never panics on malformed input.
+    /// Parses the byte format, accepting versions 1 (no checksum trailer), 2 (trailer
+    /// verified), and 3 (dtype-tagged records). Never panics on malformed input.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, CheckpointError> {
         let mut r = Reader { buf, pos: 0 };
         let magic = r.bytes(8, "magic")?;
@@ -631,9 +807,10 @@ impl Checkpoint {
         for _ in 0..n_tensors {
             let start = r.pos;
             let path = r.str("tensor path")?;
-            let tensor = r.tensor(&path)?;
+            let record =
+                if version >= 3 { r.record(&path)? } else { TensorRecord::F32(r.tensor(&path)?) };
             tensor_spans.push(start..r.pos);
-            tensors.push((path, tensor));
+            tensors.push((path, record));
         }
 
         let optimizer = match r.u8("optimizer flag")? {
@@ -771,6 +948,47 @@ impl Writer {
         }
         self.f32_slice(&t.materialize().into_vec());
     }
+
+    /// Writes one version-3 dtype-tagged record (dtype, dims, scale count for int8,
+    /// payload length, payload). The payload length is redundant with dtype × dims on
+    /// purpose: the reader cross-checks them, turning a rotted dtype tag or payload
+    /// into structural damage instead of misparsed weights.
+    fn record(&mut self, rec: &TensorRecord) {
+        match rec {
+            TensorRecord::F32(t) => {
+                self.u8(DTYPE_F32);
+                self.u32(t.shape().len() as u32);
+                for &d in t.shape() {
+                    self.u32(d as u32);
+                }
+                self.u64(4 * t.len() as u64);
+                self.f32_slice(&t.materialize().into_vec());
+            }
+            TensorRecord::Int8 { shape, data, scales } => {
+                self.u8(DTYPE_INT8);
+                self.u32(shape.len() as u32);
+                for &d in shape {
+                    self.u32(d as u32);
+                }
+                self.u32(scales.len() as u32);
+                self.u64((data.len() + 4 * scales.len()) as u64);
+                self.0.extend(data.iter().map(|&c| c as u8));
+                self.f32_slice(scales);
+            }
+            TensorRecord::Bf16 { shape, data } => {
+                self.u8(DTYPE_BF16);
+                self.u32(shape.len() as u32);
+                for &d in shape {
+                    self.u32(d as u32);
+                }
+                self.u64(2 * data.len() as u64);
+                self.0.reserve(data.len() * 2);
+                for &b in data {
+                    self.0.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -818,6 +1036,13 @@ impl Reader<'_> {
     }
 
     fn shape(&mut self, path: &str) -> Result<Vec<usize>, CheckpointError> {
+        self.shape_with_width(path, 4)
+    }
+
+    /// Reads a rank + dims prefix, bounding the implied element count by what the
+    /// remaining buffer could hold at `width` bytes per element — before any
+    /// allocation trusts it.
+    fn shape_with_width(&mut self, path: &str, width: u64) -> Result<Vec<usize>, CheckpointError> {
         let ndim = self.u32("tensor rank")?;
         if ndim > MAX_NDIM {
             return Err(CheckpointError::Corrupted(format!("tensor '{path}' has rank {ndim}")));
@@ -829,9 +1054,7 @@ impl Reader<'_> {
             len = len.saturating_mul(d.max(1));
             shape.push(d as usize);
         }
-        // Bound the element count by what the remaining buffer could possibly hold,
-        // before any allocation trusts it.
-        if len > (self.buf.len() as u64) / 4 + 1 {
+        if len > (self.buf.len() as u64) / width + 1 {
             return Err(CheckpointError::Truncated(format!("tensor '{path}' data")));
         }
         Ok(shape)
@@ -856,6 +1079,67 @@ impl Reader<'_> {
         let shape = self.shape(path)?;
         let len: usize = shape.iter().product();
         self.tensor_data(len, &shape, path)
+    }
+
+    /// Reads one version-3 dtype-tagged record, cross-checking the stored payload
+    /// length against the one the dtype and dims imply. Scale *values* are not judged
+    /// here — that is the verifier's job (see the module docs).
+    fn record(&mut self, path: &str) -> Result<TensorRecord, CheckpointError> {
+        let dtype = self.u8("tensor dtype")?;
+        let width: u64 = match dtype {
+            DTYPE_F32 => 4,
+            DTYPE_INT8 => 1,
+            DTYPE_BF16 => 2,
+            t => {
+                return Err(CheckpointError::Corrupted(format!(
+                    "tensor '{path}' has unknown dtype tag {t}"
+                )))
+            }
+        };
+        let shape = self.shape_with_width(path, width)?;
+        let numel: usize = shape.iter().product();
+        let scales_len = if dtype == DTYPE_INT8 {
+            let n = self.u32("tensor scale count")? as usize;
+            let channels = shape.last().copied().unwrap_or(0);
+            if shape.len() != 2 || n != channels {
+                return Err(CheckpointError::Corrupted(format!(
+                    "int8 tensor '{path}' (shape {shape:?}) declares {n} scales — expected one                      per output column"
+                )));
+            }
+            n
+        } else {
+            0
+        };
+        let expect = match dtype {
+            DTYPE_F32 => 4 * numel as u64,
+            DTYPE_INT8 => numel as u64 + 4 * scales_len as u64,
+            _ => 2 * numel as u64,
+        };
+        let paylen = self.u64("tensor payload length")?;
+        if paylen != expect {
+            return Err(CheckpointError::Corrupted(format!(
+                "tensor '{path}' stores a {paylen}-byte payload but its dtype and shape imply                  {expect} bytes — dtype tag and payload disagree"
+            )));
+        }
+        match dtype {
+            DTYPE_F32 => Ok(TensorRecord::F32(self.tensor_data(numel, &shape, path)?)),
+            DTYPE_INT8 => {
+                let raw = self.bytes(numel, &format!("tensor '{path}' int8 codes"))?;
+                let data: Vec<i8> = raw.iter().map(|&b| b as i8).collect();
+                let sraw = self.bytes(4 * scales_len, &format!("tensor '{path}' scales"))?;
+                let scales: Vec<f32> = sraw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                Ok(TensorRecord::Int8 { shape, data, scales })
+            }
+            _ => {
+                let raw = self.bytes(2 * numel, &format!("tensor '{path}' bf16 data"))?;
+                let data: Vec<u16> =
+                    raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+                Ok(TensorRecord::Bf16 { shape, data })
+            }
+        }
     }
 }
 
@@ -885,7 +1169,7 @@ mod tests {
         for ((pa, ta), (pb, tb)) in ckpt.tensors.iter().zip(&restored.tensors) {
             assert_eq!(pa, pb);
             assert_eq!(ta.shape(), tb.shape());
-            assert_eq!(ta.as_slice(), tb.as_slice(), "bit-exact tensor roundtrip for {pa}");
+            assert_eq!(ta, tb, "bit-exact tensor roundtrip for {pa}");
         }
     }
 
@@ -987,7 +1271,7 @@ mod tests {
             .windows(needle.len())
             .position(|w| w == needle)
             .expect("head.weight path present");
-        let in_data = at + needle.len() + 16; // past the path + rank + dims
+        let in_data = at + needle.len() + 25; // past the dtype + rank + dims + paylen
         bytes[in_data] ^= 0xFF;
         refresh_file_crc(&mut bytes);
         match Checkpoint::from_bytes(&bytes) {
@@ -1002,18 +1286,15 @@ mod tests {
     fn version_1_files_without_a_trailer_still_load() {
         let clf = classifier(AttentionKind::default_group(), 14);
         let ckpt = Checkpoint::of_classifier(&clf, None);
-        let mut v1 = ckpt.to_bytes();
-        // Rewind a v2 file to v1: strip the trailer (count + per-tensor CRCs + file
-        // CRC) and patch the version field. This is byte-for-byte what a version-1
-        // writer produced.
-        let trailer = 4 + ckpt.tensors.len() * 4 + 4;
-        v1.truncate(v1.len() - trailer);
-        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        // Genuine v1 bytes from the versioned writer: untagged f32 tensor records,
+        // no integrity trailer — byte-for-byte what a version-1 writer produced.
+        let v1 = ckpt.to_bytes_versioned(1).expect("all-f32 checkpoints downgrade");
+        assert_eq!(&v1[8..12], &1u32.to_le_bytes());
         let restored = Checkpoint::from_bytes(&v1).expect("v1 files must keep loading");
         assert_eq!(restored.tensors.len(), ckpt.tensors.len());
         for ((pa, ta), (pb, tb)) in ckpt.tensors.iter().zip(&restored.tensors) {
             assert_eq!(pa, pb);
-            assert_eq!(ta.as_slice(), tb.as_slice(), "bit-exact v1 tensor {pa}");
+            assert_eq!(ta, tb, "bit-exact v1 tensor {pa}");
         }
         // A v1 file is *not* integrity-checked: the same flip loads fine, which is
         // exactly why the version was bumped.
@@ -1056,8 +1337,194 @@ mod tests {
     fn shape_mismatch_is_reported() {
         let clf = classifier(AttentionKind::Vanilla, 10);
         let mut ckpt = Checkpoint::of_classifier(&clf, None);
-        ckpt.tensors[0].1 = NdArray::zeros(&[1, 1]);
+        ckpt.tensors[0].1 = TensorRecord::F32(NdArray::zeros(&[1, 1]));
         let err = ckpt.restore_classifier(&mut rng(11)).err().unwrap();
         assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+    }
+
+    // ------------------------------------------------------------ v3 dtype records
+
+    #[test]
+    fn quantize_pass_targets_rank2_weights_and_is_idempotent() {
+        let clf = classifier(AttentionKind::default_group(), 20);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let q = ckpt.quantize();
+        assert!(q.optimizer.is_none(), "a quantized checkpoint is a serving artifact");
+        let mut converted = 0;
+        for ((path, orig), (_, rec)) in ckpt.tensors.iter().zip(&q.tensors) {
+            let expect_int8 = path.ends_with(".weight") && orig.shape().len() == 2;
+            match rec {
+                TensorRecord::Int8 { shape, data, scales } => {
+                    assert!(expect_int8, "{path} should have stayed f32");
+                    assert_eq!(shape, orig.shape());
+                    assert_eq!(data.len(), shape[0] * shape[1]);
+                    assert_eq!(scales.len(), shape[1], "one scale per output column");
+                    converted += 1;
+                    // Dequantization error is bounded by half a scale step per element.
+                    let back = rec.to_f32();
+                    let w = orig.to_f32();
+                    for (j, &sj) in scales.iter().enumerate() {
+                        for p in 0..shape[0] {
+                            let err = (w.as_slice()[p * shape[1] + j]
+                                - back.as_slice()[p * shape[1] + j])
+                                .abs();
+                            assert!(err <= sj * 0.5 + 1e-12, "{path} ({p},{j}): {err}");
+                        }
+                    }
+                }
+                TensorRecord::F32(_) => assert!(!expect_int8, "{path} should be int8"),
+                TensorRecord::Bf16 { .. } => panic!("the pass never emits bf16"),
+            }
+        }
+        assert!(converted > 0, "a classifier carries quantizable weights");
+        // Idempotent: re-running converts nothing further.
+        let qq = q.quantize();
+        for ((pa, ta), (pb, tb)) in q.tensors.iter().zip(&qq.tensors) {
+            assert_eq!(pa, pb);
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn v3_int8_and_bf16_records_roundtrip_bit_exactly() {
+        let clf = classifier(AttentionKind::default_group(), 21);
+        let mut ckpt = Checkpoint::of_classifier(&clf, None).quantize();
+        // Re-encode one remaining f32 record as bf16 so every dtype arm rides along.
+        let slot = ckpt
+            .tensors
+            .iter_mut()
+            .find(|(_, t)| matches!(t, TensorRecord::F32(_)))
+            .expect("some records stay f32");
+        if let TensorRecord::F32(a) = &slot.1 {
+            let mut data = Vec::new();
+            rita_tensor::encode_bf16(a.materialize().as_slice(), &mut data);
+            slot.1 = TensorRecord::Bf16 { shape: a.shape().to_vec(), data };
+        }
+        let restored = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert!(restored.tensors.iter().any(|(_, t)| matches!(t, TensorRecord::Int8 { .. })));
+        assert!(restored.tensors.iter().any(|(_, t)| matches!(t, TensorRecord::Bf16 { .. })));
+        for ((pa, ta), (pb, tb)) in ckpt.tensors.iter().zip(&restored.tensors) {
+            assert_eq!(pa, pb);
+            assert_eq!(ta, tb, "bit-exact v3 record roundtrip for {pa}");
+        }
+    }
+
+    #[test]
+    fn old_versions_refuse_to_encode_quantized_records() {
+        let clf = classifier(AttentionKind::Vanilla, 22);
+        let q = Checkpoint::of_classifier(&clf, None).quantize();
+        for v in [1, 2] {
+            let err = q.to_bytes_versioned(v).unwrap_err();
+            assert!(matches!(err, CheckpointError::Corrupted(_)), "v{v}: {err}");
+        }
+        assert!(matches!(q.to_bytes_versioned(0), Err(CheckpointError::UnsupportedVersion(0))));
+        assert!(matches!(
+            q.to_bytes_versioned(VERSION + 1),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn v2_bytes_from_the_versioned_writer_load_bit_exactly() {
+        let clf = classifier(AttentionKind::default_group(), 23);
+        let ckpt = Checkpoint::of_classifier(&clf, None);
+        let v2 = ckpt.to_bytes_versioned(2).unwrap();
+        assert_eq!(&v2[8..12], &2u32.to_le_bytes());
+        let restored = Checkpoint::from_bytes(&v2).expect("v2 files must keep loading");
+        for ((pa, ta), (pb, tb)) in ckpt.tensors.iter().zip(&restored.tensors) {
+            assert_eq!(pa, pb);
+            assert_eq!(ta, tb, "bit-exact v2 tensor {pa}");
+        }
+        // v2 is still integrity-checked: a flipped data byte is caught.
+        let mut damaged = v2.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0xFF;
+        assert!(Checkpoint::from_bytes(&damaged).is_err());
+    }
+
+    /// Byte span of each serialized tensor record (path length field through payload),
+    /// computed from the in-memory checkpoint — used to corrupt records surgically
+    /// while keeping both CRC layers consistent.
+    fn record_spans(ckpt: &Checkpoint) -> Vec<std::ops::Range<usize>> {
+        let attn_extra = match ckpt.config.attention {
+            AttentionKind::Vanilla => 0,
+            AttentionKind::Group { .. } => 9,
+            AttentionKind::Performer { .. } | AttentionKind::Linformer { .. } => 4,
+        };
+        let sched_bytes = 4 + ckpt.scheduler.len() * 5;
+        let mut pos = 8 + 4 + 1 + 4 + 8 * 4 + 4 + 1 + attn_extra + sched_bytes + 4;
+        ckpt.tensors
+            .iter()
+            .map(|(p, t)| {
+                let extra = match t {
+                    TensorRecord::Int8 { .. } => 4, // the scale-count field
+                    _ => 0,
+                };
+                let len = 4 + p.len() + 1 + 4 + 4 * t.shape().len() + extra + 8 + t.payload_bytes();
+                let start = pos;
+                pos += len;
+                start..pos
+            })
+            .collect()
+    }
+
+    /// Re-stamps tensor CRC `idx` and the whole-file CRC after a surgical edit, so the
+    /// bytes reach the structural guards *behind* both checksum gates.
+    fn refresh_crcs(bytes: &mut [u8], spans: &[std::ops::Range<usize>], idx: usize) {
+        let n = spans.len();
+        let at = bytes.len() - 4 - 4 * (n - idx);
+        let crc = crc32(&bytes[spans[idx].clone()]);
+        bytes[at..at + 4].copy_from_slice(&crc.to_le_bytes());
+        refresh_file_crc(bytes);
+    }
+
+    #[test]
+    fn rotted_dtype_tag_is_structural_damage_not_misparsed_weights() {
+        let clf = classifier(AttentionKind::Vanilla, 24);
+        let ckpt = Checkpoint::of_classifier(&clf, None).quantize();
+        let bytes = ckpt.to_bytes();
+        let spans = record_spans(&ckpt);
+        let idx = ckpt
+            .tensors
+            .iter()
+            .position(|(_, t)| matches!(t, TensorRecord::Int8 { .. }))
+            .expect("quantized checkpoint has int8 records");
+        let (path, _) = &ckpt.tensors[idx];
+        // The dtype byte sits right after the length-prefixed path.
+        let dtype_at = spans[idx].start + 4 + path.len();
+        assert_eq!(bytes[dtype_at], DTYPE_INT8);
+        for wrong in [DTYPE_F32, DTYPE_BF16, 7u8] {
+            let mut damaged = bytes.clone();
+            damaged[dtype_at] = wrong;
+            refresh_crcs(&mut damaged, &spans, idx);
+            let err = Checkpoint::from_bytes(&damaged).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Corrupted(_) | CheckpointError::Truncated(_)),
+                "dtype {wrong}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_length_disagreeing_with_dtype_is_rejected() {
+        let clf = classifier(AttentionKind::Vanilla, 25);
+        let ckpt = Checkpoint::of_classifier(&clf, None).quantize();
+        let bytes = ckpt.to_bytes();
+        let spans = record_spans(&ckpt);
+        let idx =
+            ckpt.tensors.iter().position(|(_, t)| matches!(t, TensorRecord::Int8 { .. })).unwrap();
+        let (path, rec) = &ckpt.tensors[idx];
+        // paylen (u64) sits after path, dtype, rank, dims, and the scale count.
+        let paylen_at = spans[idx].start + 4 + path.len() + 1 + 4 + 4 * rec.shape().len() + 4;
+        let stored = u64::from_le_bytes(bytes[paylen_at..paylen_at + 8].try_into().unwrap());
+        assert_eq!(stored as usize, rec.payload_bytes(), "span arithmetic is right");
+        let mut damaged = bytes.clone();
+        damaged[paylen_at..paylen_at + 8].copy_from_slice(&(stored + 4).to_le_bytes());
+        refresh_crcs(&mut damaged, &spans, idx);
+        let err = Checkpoint::from_bytes(&damaged).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupted(_) | CheckpointError::Truncated(_)),
+            "{err}"
+        );
     }
 }

@@ -360,7 +360,7 @@ mod tests {
                 if name == POSITIONAL {
                     return Some(table.clone());
                 }
-                ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.clone())
+                ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.to_f32())
             })
             .expect("oracle run");
             assert_eq!(
@@ -388,7 +388,7 @@ mod tests {
             if name == POSITIONAL {
                 return Some(table.clone());
             }
-            ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.clone())
+            ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.to_f32())
         };
 
         let unfused = build_graph(&config, ckpt.task, &ckpt.scheduler);

@@ -79,7 +79,7 @@ pub use metrics::{
     FaultCounters, FaultSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
     PoolCounters, PoolSnapshot, TenantMetrics, TenantSnapshot,
 };
-pub use model::InferModel;
+pub use model::{InferModel, Precision};
 pub use plan::{plan_cache_stats, InferError, PlanCacheStats};
 pub use registry::{ModelHandle, ModelRegistry, PublishError};
 pub use rita_tensor::{pool_reset, pool_stats, PoolStats};

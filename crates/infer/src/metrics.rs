@@ -281,6 +281,9 @@ pub struct Metrics {
     /// Supervision, breaker, rollback, and brownout counters.
     pub faults: FaultCounters,
     tenants: Mutex<BTreeMap<String, Arc<TenantMetrics>>>,
+    /// Numeric precision of every model version a worker has served a batch on, so a
+    /// mixed-precision rollout (f32 current, int8 canary) is observable per version.
+    versions: Mutex<BTreeMap<u64, &'static str>>,
 }
 
 impl Metrics {
@@ -294,6 +297,12 @@ impl Metrics {
         let t = Arc::new(TenantMetrics::default());
         map.insert(tenant.to_string(), Arc::clone(&t));
         t
+    }
+
+    /// Records that a worker served a batch on model `version` running at `precision`
+    /// (idempotent; workers call it once per observed swap, not per batch).
+    pub fn record_version(&self, version: u64, precision: &'static str) {
+        crate::lock_mx(&self.versions).insert(version, precision);
     }
 
     /// Records one served request's end-to-end latency and queue wait.
@@ -366,6 +375,7 @@ impl Metrics {
             },
             plan_cache: plan_cache_stats(),
             tenants,
+            versions: crate::lock_mx(&self.versions).iter().map(|(&v, &p)| (v, p)).collect(),
         }
     }
 }
@@ -398,6 +408,9 @@ pub struct MetricsSnapshot {
     pub plan_cache: PlanCacheStats,
     /// Per-tenant counters, keyed by tenant name.
     pub tenants: Vec<(String, TenantSnapshot)>,
+    /// Precision of every served model version, in version order — the observable a
+    /// mixed-precision rollout watches while shifting traffic.
+    pub versions: Vec<(u64, &'static str)>,
 }
 
 impl MetricsSnapshot {
@@ -435,7 +448,7 @@ impl MetricsSnapshot {
              \"model_faults\": {}, \"rollbacks\": {}, \"internal_errors\": {}, \
              \"brownout_level\": {}, \"brownout_raises\": {}, \"last_retry_after_us\": {}}}, \
              \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}, \
-             \"tenants\": {{",
+             \"versions\": {{",
             self.queue_depth,
             self.batches,
             self.early_closes,
@@ -467,6 +480,11 @@ impl MetricsSnapshot {
             self.plan_cache.misses,
             self.plan_cache.hit_rate(),
         );
+        for (i, (version, precision)) in self.versions.iter().enumerate() {
+            let comma = if i + 1 < self.versions.len() { ", " } else { "" };
+            let _ = write!(s, "\"{version}\": \"{precision}\"{comma}");
+        }
+        s.push_str("}, \"tenants\": {");
         for (i, (name, t)) in self.tenants.iter().enumerate() {
             let comma = if i + 1 < self.tenants.len() { ", " } else { "" };
             let _ = write!(

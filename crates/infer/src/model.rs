@@ -13,15 +13,83 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use rita_core::checkpoint::{Checkpoint, CheckpointError, TaskKind};
+use rita_core::checkpoint::{Checkpoint, CheckpointError, TaskKind, TensorRecord};
 use rita_core::graph::build_graph;
 use rita_core::model::embedding::sinusoidal_table;
 use rita_core::model::RitaConfig;
 use rita_core::scheduler::MemoryModel;
 use rita_nn::graph::{AttnOp, Binding, Graph, Op};
-use rita_tensor::NdArray;
+use rita_tensor::{NdArray, QuantMatrix, MAX_QUANT_K};
 
 use crate::plan::{note_plan_cache, CachedPlan, InferError};
+
+/// Numeric policy of a loaded model: which kernels the plan executor dispatches and
+/// how checkpoint weight records are bound.
+///
+/// * Under an int8 policy, eligible weight matrices — rank-2 records consumed only as
+///   the weight operand of `Matmul`/`Linear`/`WindowEmbed` nodes — are bound as
+///   pre-packed [`QuantMatrix`] panels and multiplied by the quantized engine
+///   (`NdArray::matmul_quant`): int8 checkpoint records bind **directly**, with no
+///   load-time inflation to f32, and f32 `.weight` records are quantized once at
+///   load. Ineligible records (norm gains, biases, projection tables consumed as a
+///   matmul *lhs*) always stay f32.
+/// * Under a bf16-activations policy, attention K/V tiles are packed to bf16
+///   (`rita_tensor::fused_attention_bf16_kv`), halving the score/value streaming
+///   traffic; softmax statistics and accumulators stay f32.
+/// * Under [`Precision::F32`], int8 records are explicitly dequantized at load — the
+///   back-compat escape hatch, and the only policy that inflates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Everything f32: quantized records are dequantized at load.
+    #[default]
+    F32,
+    /// Int8 per-channel weights through the quantized GEMM engine; f32 activations.
+    Int8,
+    /// F32 weights, attention K/V operands stored bf16.
+    Bf16Activations,
+    /// Int8 weights *and* bf16 attention K/V — the full reduced-precision path.
+    Int8Bf16,
+}
+
+impl Precision {
+    /// Whether eligible weights bind as packed int8 panels.
+    pub fn uses_int8(self) -> bool {
+        matches!(self, Precision::Int8 | Precision::Int8Bf16)
+    }
+
+    /// Whether attention K/V operands are stored bf16 during fused attention.
+    pub fn kv_bf16(self) -> bool {
+        matches!(self, Precision::Bf16Activations | Precision::Int8Bf16)
+    }
+
+    /// Stable lowercase label, used by metrics snapshots and bench reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+            Precision::Bf16Activations => "bf16-act",
+            Precision::Int8Bf16 => "int8+bf16",
+        }
+    }
+
+    /// The policy a checkpoint asks for by its own record dtypes: any int8 record
+    /// means the checkpoint was quantized offline and should serve through the int8
+    /// engine (binding it under `F32` would silently inflate every weight).
+    pub fn for_checkpoint(ckpt: &Checkpoint) -> Self {
+        let quantized = ckpt.tensors.iter().any(|(_, t)| matches!(t, TensorRecord::Int8 { .. }));
+        if quantized {
+            Precision::Int8
+        } else {
+            Precision::F32
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A checkpoint loaded into servable form: the forward graph with every parameter
 /// value bound to a plain tensor, frozen scheduler state, and a cache of compiled
@@ -31,8 +99,13 @@ pub struct InferModel {
     config: RitaConfig,
     task: TaskKind,
     graph: Graph,
-    /// Checkpoint tensor (or positional table) per graph value, `None` for activations.
+    precision: Precision,
+    /// Checkpoint tensor (or positional table) per graph value, `None` for activations
+    /// and for weights bound quantized.
     bound: Vec<Option<NdArray>>,
+    /// Pre-packed int8 weight panels per graph value under an int8 policy — the
+    /// executor multiplies through these directly; no f32 copy of the weight exists.
+    quant: Vec<Option<Arc<QuantMatrix>>>,
     /// Shape per bound name, for plan compilation.
     shapes_by_name: HashMap<String, Vec<usize>>,
     num_classes: Option<usize>,
@@ -49,25 +122,78 @@ impl InferModel {
     /// compiles, and a mismatch fails that request with a typed error rather than
     /// panicking a worker.
     pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
+        Self::from_checkpoint_with(ckpt, Precision::for_checkpoint(ckpt))
+    }
+
+    /// [`InferModel::from_checkpoint`] with an explicit numeric policy — serve a
+    /// quantized checkpoint dequantized (`Precision::F32`), quantize an f32 checkpoint
+    /// at load (`Precision::Int8`), or turn on bf16 K/V storage. The default entry
+    /// point picks the policy the checkpoint's own record dtypes ask for.
+    pub fn from_checkpoint_with(
+        ckpt: &Checkpoint,
+        precision: Precision,
+    ) -> Result<Self, CheckpointError> {
         let config = ckpt.config;
         config.check().map_err(CheckpointError::Corrupted)?;
-        let by_path: HashMap<&str, &NdArray> =
+        let by_path: HashMap<&str, &TensorRecord> =
             ckpt.tensors.iter().map(|(p, t)| (p.as_str(), t)).collect();
 
         let mut graph = build_graph(&config, ckpt.task, &ckpt.scheduler);
         graph.prune_missing_optional(&|path| by_path.contains_key(path));
         graph.peephole();
 
+        // A value may bind quantized only if *every* consumption is the weight
+        // operand of a quantized-capable op — then no kernel ever needs the f32 form.
+        let mut weight_only = vec![true; graph.values.len()];
+        let mut consumed = vec![false; graph.values.len()];
+        for node in &graph.nodes {
+            for (pos, v) in node.inputs.iter().enumerate() {
+                consumed[v.0] = true;
+                let weight_pos = pos == 1
+                    && matches!(node.op, Op::Matmul | Op::Linear { .. } | Op::WindowEmbed { .. });
+                if !weight_pos {
+                    weight_only[v.0] = false;
+                }
+            }
+        }
+
         let mut bound: Vec<Option<NdArray>> = vec![None; graph.values.len()];
+        let mut quant: Vec<Option<Arc<QuantMatrix>>> = vec![None; graph.values.len()];
         let mut shapes_by_name = HashMap::new();
         let mut used: std::collections::HashSet<&str> = Default::default();
         for (i, info) in graph.values.iter().enumerate() {
             match &info.binding {
                 Some(Binding::Param { path, optional }) => match by_path.get(path.as_str()) {
-                    Some(&t) => {
+                    Some(&rec) => {
                         used.insert(path.as_str());
-                        shapes_by_name.insert(path.clone(), t.shape().to_vec());
-                        bound[i] = Some(t.clone());
+                        shapes_by_name.insert(path.clone(), rec.shape().to_vec());
+                        let eligible = precision.uses_int8()
+                            && weight_only[i]
+                            && consumed[i]
+                            && rec.shape().len() == 2
+                            && rec.shape()[0] <= MAX_QUANT_K;
+                        match rec {
+                            // Offline-quantized records bind their packed panels
+                            // directly — the int8 payload never inflates to f32.
+                            TensorRecord::Int8 { shape, data, scales } if eligible => {
+                                quant[i] = Some(Arc::new(QuantMatrix::from_quantized(
+                                    data,
+                                    scales.clone(),
+                                    shape[0],
+                                    shape[1],
+                                )));
+                            }
+                            // Load-time quantization of a trained f32 weight under an
+                            // int8 policy — same routine the offline pass uses.
+                            TensorRecord::F32(t) if eligible && path.ends_with(".weight") => {
+                                quant[i] = Some(Arc::new(QuantMatrix::quantize(
+                                    t.as_slice(),
+                                    rec.shape()[0],
+                                    rec.shape()[1],
+                                )));
+                            }
+                            rec => bound[i] = Some(rec.to_f32()),
+                        }
                     }
                     // Absent optionals were pruned out of the node set above; the
                     // orphaned value just stays unbound.
@@ -114,12 +240,24 @@ impl InferModel {
             config,
             task: ckpt.task,
             graph,
+            precision,
             bound,
+            quant,
             shapes_by_name,
             num_classes,
             mean_groups,
             plans: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The numeric policy this model executes under.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of weight matrices bound as packed int8 panels (0 under f32 policies).
+    pub fn quantized_params(&self) -> usize {
+        self.quant.iter().filter(|q| q.is_some()).count()
     }
 
     /// Architecture of the loaded model.
@@ -209,7 +347,15 @@ impl InferModel {
             }));
         }
         let cached = self.plan_for(shape[0], shape[2])?;
-        crate::plan::execute(&self.graph, &cached, &self.bound, x, target)
+        crate::plan::execute(
+            &self.graph,
+            &cached,
+            &self.bound,
+            &self.quant,
+            self.precision.kv_bf16(),
+            x,
+            target,
+        )
     }
 
     /// Encodes a raw batch `(batch, channels, length)` into contextual embeddings

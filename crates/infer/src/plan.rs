@@ -17,9 +17,11 @@ use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use std::sync::Arc;
+
 use rita_core::group::group_key_blocks;
 use rita_nn::graph::{AttnOp, Graph, Node, Op, Plan, PlanError, ValueId};
-use rita_tensor::{fused_attention, NdArray};
+use rita_tensor::{fused_attention, fused_attention_bf16_kv, NdArray, QuantMatrix};
 
 use crate::reclaim;
 
@@ -143,13 +145,18 @@ fn node_err(node: &Node, e: impl std::fmt::Display) -> InferError {
 
 /// Executes `plan` over `graph` up to (and including) the node producing `target`.
 ///
-/// `bound` holds the checkpoint tensors (and positional table) per [`ValueId`];
+/// `bound` holds the checkpoint tensors (and positional table) per [`ValueId`] and
+/// `quant` the int8 weight panels bound in their place under an int8 policy;
 /// node-produced activations live in a scratch slot vector and are recycled into the
-/// thread-local pool the moment the schedule is past their last use.
+/// thread-local pool the moment the schedule is past their last use. `kv_bf16` routes
+/// fused attention through bf16 K/V storage.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute(
     graph: &Graph,
     cached: &CachedPlan,
     bound: &[Option<NdArray>],
+    quant: &[Option<Arc<QuantMatrix>>],
+    kv_bf16: bool,
     x: &NdArray,
     target: ValueId,
 ) -> Result<NdArray, InferError> {
@@ -165,13 +172,23 @@ pub(crate) fn execute(
     for (pos, &ni) in plan.order.iter().enumerate() {
         let node = &graph.nodes[ni];
         let mut ins = Vec::with_capacity(node.inputs.len());
+        let mut qins = Vec::with_capacity(node.inputs.len());
         for v in &node.inputs {
+            if let Some(wq) = &quant[v.0] {
+                // Quantized weight: the packed panels ride in `qins`; the `ins` slot
+                // gets an empty placeholder no kernel may touch (a consumer that does
+                // not understand `qins` fails its shape check loudly).
+                qins.push(Some(wq.clone()));
+                ins.push(NdArray::zeros(&[0]));
+                continue;
+            }
+            qins.push(None);
             let arr = bound[v.0].as_ref().or(slots[v.0].as_ref()).ok_or_else(|| {
                 node_err(node, format!("unbound value '{}'", graph.values[v.0].name))
             })?;
             ins.push(arr.clone());
         }
-        let out = exec_node(node, &ins, plan.input_shape[2])?;
+        let out = exec_node(node, &ins, &qins, plan.input_shape[2], kv_bf16)?;
         drop(ins); // release our handles so last-use recycling can reclaim storage
         slots[node.output.0] = Some(out);
         let mut seen = HashSet::new();
@@ -197,12 +214,25 @@ pub(crate) fn execute(
 /// Runs one node's kernels — the same calls, in the same order, as the training
 /// forward. Intermediates internal to a node are reclaimed here; slot lifetimes are
 /// the executor loop's job.
-fn exec_node(node: &Node, ins: &[NdArray], input_len: usize) -> Result<NdArray, InferError> {
+fn exec_node(
+    node: &Node,
+    ins: &[NdArray],
+    qins: &[Option<Arc<QuantMatrix>>],
+    input_len: usize,
+    kv_bf16: bool,
+) -> Result<NdArray, InferError> {
+    // The weight operand of the three GEMM-shaped ops may arrive quantized; the
+    // dispatch below is the *only* place the executor branches on precision for
+    // weights — every other op sees f32 exactly as before.
+    let weight_mm = |x: &NdArray, w: &NdArray, wq: &Option<Arc<QuantMatrix>>| match wq {
+        Some(wq) => x.matmul_quant(wq),
+        None => x.matmul(w),
+    };
     match &node.op {
-        Op::Matmul => ins[0].matmul(&ins[1]).map_err(|e| node_err(node, e)),
+        Op::Matmul => weight_mm(&ins[0], &ins[1], &qins[1]).map_err(|e| node_err(node, e)),
         Op::AddBias => ins[0].add(&ins[1]).map_err(|e| node_err(node, e)),
         Op::Linear { bias } => {
-            let y = ins[0].matmul(&ins[1]).map_err(|e| node_err(node, e))?;
+            let y = weight_mm(&ins[0], &ins[1], &qins[1]).map_err(|e| node_err(node, e))?;
             if *bias {
                 let out = y.add(&ins[2]).map_err(|e| node_err(node, e))?;
                 reclaim(y);
@@ -216,7 +246,7 @@ fn exec_node(node: &Node, ins: &[NdArray], input_len: usize) -> Result<NdArray, 
         }
         Op::WindowEmbed { window, stride, bias } => {
             let windows = ins[0].unfold1d(*window, *stride).map_err(|e| node_err(node, e))?;
-            let y = windows.matmul(&ins[1]).map_err(|e| node_err(node, e))?;
+            let y = weight_mm(&windows, &ins[1], &qins[1]).map_err(|e| node_err(node, e))?;
             reclaim(windows);
             if *bias {
                 let out = y.add(&ins[2]).map_err(|e| node_err(node, e))?;
@@ -298,7 +328,7 @@ fn exec_node(node: &Node, ins: &[NdArray], input_len: usize) -> Result<NdArray, 
                 .reshape(&[b, n, h * dh])
                 .map_err(|e| node_err(node, e))
         }
-        Op::Attention(attn) => exec_attention(node, attn, ins),
+        Op::Attention(attn) => exec_attention(node, attn, ins, kv_bf16),
         Op::ClsPool => {
             let shape = ins[0].shape().to_vec();
             ins[0]
@@ -319,14 +349,23 @@ fn exec_node(node: &Node, ins: &[NdArray], input_len: usize) -> Result<NdArray, 
 
 /// Mirrors the corresponding `Attention::forward` on head-split
 /// `(batch, heads, windows, head_dim)` tensors.
-fn exec_attention(node: &Node, attn: &AttnOp, ins: &[NdArray]) -> Result<NdArray, InferError> {
+fn exec_attention(
+    node: &Node,
+    attn: &AttnOp,
+    ins: &[NdArray],
+    kv_bf16: bool,
+) -> Result<NdArray, InferError> {
     let (q, k, v) = (&ins[0], &ins[1], &ins[2]);
     // Rank 4 was checked ahead of time by `attention_shape` during plan compilation.
     let dh = *q.shape().last().ok_or_else(|| node_err(node, "rank-0 query"))? as f32;
+    // Under a bf16-activations policy the fused kernel stores its packed K/V panels
+    // as bf16 and widens in registers; Performer/Linformer decompose into plain
+    // matmuls and stay f32.
+    let fused = if kv_bf16 { fused_attention_bf16_kv } else { fused_attention };
     match attn {
         AttnOp::Vanilla => {
             let scale = 1.0 / dh.sqrt();
-            Ok(fused_attention(q, k, v, scale, None).map_err(|e| node_err(node, e))?.out)
+            Ok(fused(q, k, v, scale, None).map_err(|e| node_err(node, e))?.out)
         }
         AttnOp::Group { n_groups, min_groups, kmeans_iters } => {
             let shape = q.shape();
@@ -355,7 +394,7 @@ fn exec_attention(node: &Node, attn: &AttnOp, ins: &[NdArray]) -> Result<NdArray
             let weights =
                 NdArray::from_vec(counts_flat, &[b, h, groups]).map_err(|e| node_err(node, e))?;
             let scale = 1.0 / dh.sqrt();
-            let out = fused_attention(q, &representatives, &aggregated, scale, Some(&weights))
+            let out = fused(q, &representatives, &aggregated, scale, Some(&weights))
                 .map_err(|e| node_err(node, e))?
                 .out;
             reclaim(representatives);

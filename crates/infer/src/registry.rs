@@ -132,7 +132,24 @@ impl ModelRegistry {
     pub fn publish(&self, ckpt: &Checkpoint) -> Result<u64, PublishError> {
         // Load and verify outside the lock: they are the slow part, and readers
         // should keep serving the old version meanwhile.
-        let model = Arc::new(InferModel::from_checkpoint(ckpt)?);
+        self.install(ckpt, InferModel::from_checkpoint(ckpt)?)
+    }
+
+    /// [`publish`](Self::publish) with an explicit numeric precision instead of the
+    /// checkpoint's own default: `Precision::Int8` quantizes eligible f32 weights at
+    /// load (the canary step of a mixed-precision rollout), `Precision::F32` inflates
+    /// a quantized checkpoint back to f32 (the escape hatch). The same static
+    /// verification gates activation either way.
+    pub fn publish_with(
+        &self,
+        ckpt: &Checkpoint,
+        precision: crate::Precision,
+    ) -> Result<u64, PublishError> {
+        self.install(ckpt, InferModel::from_checkpoint_with(ckpt, precision)?)
+    }
+
+    fn install(&self, ckpt: &Checkpoint, model: InferModel) -> Result<u64, PublishError> {
+        let model = Arc::new(model);
         let report = rita_verify::verify_with_graph(ckpt, model.graph());
         if report.has_errors() {
             return Err(PublishError::Rejected(report));
@@ -532,6 +549,41 @@ mod tests {
         assert!(reg.get(h.version).is_some());
     }
 
+    /// The mixed-precision rollout contract: publish the int8 quantization of the
+    /// live f32 version, observe per-version precision on the handles, and when the
+    /// canary "regresses", quarantine rolls traffic back onto the f32 weights.
+    #[test]
+    fn mixed_precision_rollout_rolls_back_through_quarantine() {
+        let reg = ModelRegistry::new();
+        let f32_ckpt = checkpoint(1);
+        let v1 = reg.publish(&f32_ckpt).unwrap();
+        assert_eq!(reg.get(v1).unwrap().model.precision(), crate::Precision::F32);
+
+        // Canary: the quantized twin publishes as int8 automatically (its records
+        // carry the dtype), with weights bound as packed panels, not inflated f32.
+        let v2 = reg.publish(&f32_ckpt.quantize()).unwrap();
+        let canary = reg.get(v2).unwrap();
+        assert_eq!(canary.model.precision(), crate::Precision::Int8);
+        assert!(canary.model.quantized_params() > 0, "int8 records must bind as panels");
+        assert_eq!(reg.current_version(), Some(v2));
+
+        // publish_with is the other rollout direction: force-quantize the f32
+        // checkpoint at load, and force-inflate the quantized one back to f32.
+        let v3 = reg.publish_with(&f32_ckpt, crate::Precision::Int8).unwrap();
+        assert_eq!(reg.get(v3).unwrap().model.precision(), crate::Precision::Int8);
+        let v4 = reg.publish_with(&f32_ckpt.quantize(), crate::Precision::F32).unwrap();
+        let inflated = reg.get(v4).unwrap();
+        assert_eq!(inflated.model.precision(), crate::Precision::F32);
+        assert_eq!(inflated.model.quantized_params(), 0);
+
+        // Accuracy regression detected on the canary: quarantine repoints traffic.
+        assert!(reg.activate(v2));
+        assert_eq!(reg.quarantine(v2), Some(v4));
+        assert_eq!(reg.current_version(), Some(v4));
+        assert_eq!(reg.current().unwrap().model.precision(), crate::Precision::F32);
+        assert!(reg.is_quarantined(v2));
+    }
+
     #[test]
     fn statically_rejected_checkpoints_never_become_current() {
         let reg = ModelRegistry::new();
@@ -542,7 +594,7 @@ mod tests {
         // only the static analyzer can refuse this before a request trips on it.
         for (p, t) in bad.tensors.iter_mut() {
             if p == "head.weight" {
-                *t = rita_tensor::NdArray::zeros(&[3, 3]);
+                *t = rita_core::checkpoint::TensorRecord::F32(rita_tensor::NdArray::zeros(&[3, 3]));
             }
         }
         match reg.publish(&bad) {

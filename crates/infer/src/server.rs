@@ -63,8 +63,8 @@ use rita_data::batch::{batch_indices_by_length, stack_samples};
 use rita_tensor::{with_worker_threads, worker_budget, NdArray, SeedableRng64};
 
 use crate::metrics::{Metrics, TenantMetrics};
-use crate::model::InferModel;
-use crate::registry::{ModelHandle, ModelRegistry};
+use crate::model::{InferModel, Precision};
+use crate::registry::{ModelHandle, ModelRegistry, PublishError};
 use crate::session::{validate_request, RequestError};
 
 /// Admission policy for one tenant.
@@ -187,6 +187,12 @@ pub struct ServerConfig {
     pub respawn_backoff: Duration,
     /// Ceiling on the respawn backoff.
     pub respawn_backoff_max: Duration,
+    /// Numeric precision applied to checkpoints published through
+    /// [`Server::publish`]. `None` honours each checkpoint's own dtypes (f32 records
+    /// serve as f32, int8 records serve quantized); `Some(p)` forces policy `p`, e.g.
+    /// `Some(Precision::Int8)` quantizes eligible f32 weights at load for a
+    /// mixed-precision rollout. Publishing directly on the registry bypasses this.
+    pub precision: Option<Precision>,
 }
 
 impl Default for ServerConfig {
@@ -205,6 +211,7 @@ impl Default for ServerConfig {
             brownout: BrownoutPolicy::default(),
             respawn_backoff: Duration::from_millis(10),
             respawn_backoff_max: Duration::from_secs(1),
+            precision: None,
         }
     }
 }
@@ -819,6 +826,17 @@ impl Server {
         &self.shared.registry
     }
 
+    /// Publishes `ckpt` through the registry at the server's configured
+    /// [`precision`](ServerConfig::precision) (each checkpoint's own dtypes when
+    /// `None`). The swap is atomic exactly as with a direct registry publish;
+    /// in-flight batches finish on the version they snapshotted.
+    pub fn publish(&self, ckpt: &rita_core::checkpoint::Checkpoint) -> Result<u64, PublishError> {
+        match self.shared.config.precision {
+            Some(p) => self.shared.registry.publish_with(ckpt, p),
+            None => self.shared.registry.publish(ckpt),
+        }
+    }
+
     /// The server's metrics (snapshot any time).
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.shared.metrics
@@ -1116,6 +1134,11 @@ fn worker_loop(shared: &Shared) {
     while let Some(batch) = next_batch(shared) {
         if last_version.is_some_and(|v| v != batch.handle.version) {
             shared.metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        if last_version != Some(batch.handle.version) {
+            shared
+                .metrics
+                .record_version(batch.handle.version, batch.handle.model.precision().as_str());
         }
         last_version = Some(batch.handle.version);
         serve_batch(shared, batch);

@@ -485,9 +485,11 @@ pub struct Plan {
     /// For each value, the schedule position of its final read, if any. A
     /// node-produced value may be recycled the moment its last read completes.
     pub last_use: Vec<Option<usize>>,
-    /// Slot capacities (in `f32` elements) of the planned activation arena — feed to
+    /// Slot capacities **in bytes** of the planned activation arena — feed to
     /// `rita_tensor::pool_reserve` so every major activation is a pool hit from the
-    /// first request. Kernel-internal scratch still falls back to best-fit.
+    /// first request. Byte-denominated so mixed-precision executors (f32 activations
+    /// today, narrower dtypes behind the `Precision` knob) share one sizing currency
+    /// with the pool. Kernel-internal scratch still falls back to best-fit.
     pub arena: Vec<usize>,
     /// The graph input shape this plan was compiled for.
     pub input_shape: Vec<usize>,
@@ -831,17 +833,19 @@ impl Graph {
                     live[s] += 1;
                 }
             } else {
-                let numel: usize = shapes[out].iter().product();
+                // Activations are f32 today; the arena is denominated in bytes so the
+                // capacities stay meaningful once narrower dtypes flow through.
+                let bytes: usize = 4 * shapes[out].iter().product::<usize>();
                 let mut best: Option<(usize, usize)> = None;
                 for (fi, &s) in free.iter().enumerate() {
-                    if slots[s] >= numel && best.is_none_or(|(_, c)| slots[s] < c) {
+                    if slots[s] >= bytes && best.is_none_or(|(_, c)| slots[s] < c) {
                         best = Some((fi, slots[s]));
                     }
                 }
                 let s = match best {
                     Some((fi, _)) => free.swap_remove(fi),
                     None => {
-                        slots.push(numel);
+                        slots.push(bytes);
                         live.push(0);
                         slots.len() - 1
                     }
@@ -922,7 +926,7 @@ mod tests {
         assert_eq!(plan.last_use[y1b.0], Some(4));
         // Five materialising nodes, but lifetimes overlap at most three deep.
         assert_eq!(plan.arena.len(), 3);
-        assert!(plan.arena.iter().all(|&c| c == 2 * 5 * 8));
+        assert!(plan.arena.iter().all(|&c| c == 4 * (2 * 5 * 8)), "slots are in bytes");
     }
 
     #[test]

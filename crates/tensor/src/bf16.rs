@@ -1,0 +1,152 @@
+//! `bf16` — brain-float storage for memory-bound operands.
+//!
+//! A `bf16` value is the upper 16 bits of an IEEE-754 `f32`: same 8-bit exponent,
+//! mantissa truncated from 23 to 7 bits. That makes conversion a shift (widening) or a
+//! shift plus a rounding add (narrowing) — cheap enough to run inside a packing loop or
+//! a micro-kernel without touching the FPU. The fused-attention tiles use it as a
+//! *storage* format for K/V panels: operands live in memory at 2 bytes/element and are
+//! widened to `f32` in registers, so every arithmetic result (softmax statistics,
+//! accumulators) stays full precision — the policy the numerics section of DESIGN.md
+//! pins down.
+//!
+//! Narrowing uses **round-to-nearest-even** (RNE), the IEEE default: the discarded
+//! 16 bits round the kept mantissa up when they exceed half an ulp, and break exact
+//! ties toward the even representation. NaNs are quietened rather than rounded — a NaN
+//! whose payload lives entirely in the discarded bits must not collapse to infinity.
+
+/// Narrows `x` to bf16 with round-to-nearest-even. NaN inputs stay NaN (the quiet bit
+/// is forced so a payload living only in the low mantissa bits cannot produce an
+/// infinity); everything else — normals, subnormals, zeros, infinities — rounds as
+/// IEEE RNE on the 16 discarded bits.
+#[inline(always)]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep sign + exponent + top mantissa bits, force a mantissa bit so the
+        // result is still NaN even when the payload was entirely in the low bits.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // RNE: add 0x7FFF plus the lowest kept bit; exact halves then carry into the
+    // kept mantissa only when it is odd. A mantissa carry that overflows into the
+    // exponent is correct too (rounds up to the next binade or to infinity).
+    let lsb = (bits >> 16) & 1;
+    ((bits + 0x7FFF + lsb) >> 16) as u16
+}
+
+/// Widens a bf16 value back to `f32` — exact (bf16 is a subset of f32).
+#[inline(always)]
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Narrows a whole slice into `dst` (resized to match).
+pub fn encode_bf16(src: &[f32], dst: &mut Vec<u16>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&x| f32_to_bf16(x)));
+}
+
+/// Widens a whole slice into `dst` (resized to match).
+pub fn decode_bf16(src: &[u16], dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&b| bf16_to_f32(b)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: f32) -> f32 {
+        bf16_to_f32(f32_to_bf16(x))
+    }
+
+    #[test]
+    fn exactly_representable_values_round_trip_bit_exactly() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, -2.0, 1.5, 0.09375, f32::INFINITY] {
+            assert_eq!(roundtrip(x).to_bits(), x.to_bits(), "{x}");
+        }
+        assert_eq!(f32_to_bf16(-0.0), 0x8000, "signed zero keeps its sign");
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        // 1.0 + 2^-9 sits a quarter of a bf16 ulp above 1.0: rounds down.
+        assert_eq!(roundtrip(1.0 + f32::powi(2.0, -9)), 1.0);
+        // 1.0 + 3·2^-9 sits three quarters up: rounds to 1.0 + 2^-7.
+        assert_eq!(roundtrip(1.0 + 3.0 * f32::powi(2.0, -9)), 1.0 + f32::powi(2.0, -7));
+    }
+
+    #[test]
+    fn exact_ties_break_to_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 (even mantissa) and 1.0 + 2^-7
+        // (odd mantissa): RNE keeps the even one.
+        assert_eq!(roundtrip(1.0 + f32::powi(2.0, -8)), 1.0);
+        // 1.0 + 2^-7 + 2^-8 is halfway between odd 1.0+2^-7 and even 1.0+2^-6.
+        let x = 1.0 + f32::powi(2.0, -7) + f32::powi(2.0, -8);
+        assert_eq!(roundtrip(x), 1.0 + f32::powi(2.0, -6));
+        // The negative mirror ties the same way (rounding acts on magnitude bits).
+        assert_eq!(roundtrip(-(1.0 + f32::powi(2.0, -8))), -1.0);
+    }
+
+    #[test]
+    fn mantissa_carry_can_ride_into_the_exponent() {
+        // The largest f32 below 2.0 rounds up across the binade boundary.
+        assert_eq!(roundtrip(1.9999999), 2.0);
+        // The largest finite f32 rounds up to infinity (its top mantissa bits are
+        // all ones, so RNE carries out of the mantissa and past the max exponent).
+        assert_eq!(roundtrip(f32::MAX), f32::INFINITY);
+        assert_eq!(roundtrip(-f32::MAX), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn subnormals_round_like_any_other_bit_pattern() {
+        // f32 subnormals have exponent 0; bf16 keeps the top 7 mantissa bits of the
+        // subnormal field with the same RNE rule. The smallest f32 subnormal rounds
+        // to zero; one with a high mantissa bit set survives as a bf16 subnormal.
+        assert_eq!(roundtrip(f32::from_bits(1)), 0.0);
+        let sub = f32::from_bits(0x0040_0000); // subnormal, highest mantissa bit set
+        assert_eq!(roundtrip(sub).to_bits(), sub.to_bits());
+        // Sign of an underflowing negative subnormal is preserved (-0.0).
+        assert_eq!(roundtrip(-f32::from_bits(1)).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn nan_payloads_stay_nan() {
+        assert!(roundtrip(f32::NAN).is_nan());
+        // A signalling-style NaN whose payload is entirely in the discarded low
+        // bits must not round to infinity.
+        let low_payload_nan = f32::from_bits(0x7F80_0001);
+        assert!(low_payload_nan.is_nan());
+        assert!(roundtrip(low_payload_nan).is_nan());
+        // Sign bit of a NaN is preserved.
+        let neg_nan = f32::from_bits(0xFF80_0001);
+        assert!(roundtrip(neg_nan).is_nan());
+        assert_eq!(roundtrip(neg_nan).to_bits() >> 31, 1);
+    }
+
+    #[test]
+    fn narrowing_error_is_within_half_an_ulp() {
+        // Property sweep: for a spread of magnitudes, |x - bf16(x)| ≤ 2^-8 · |x|
+        // (half of the 7-bit mantissa's ulp).
+        let mut x = 1.1754944e-38f32; // smallest normal
+        while x < 1.0e38 {
+            for sign in [1.0f32, -1.0] {
+                let v = sign * x * 1.337; // avoid exactly-representable powers of two
+                let err = (roundtrip(v) - v).abs();
+                assert!(err <= v.abs() * f32::powi(2.0, -8), "{v}: err {err}");
+            }
+            x *= 7.3;
+        }
+    }
+
+    #[test]
+    fn slice_encode_decode_round_trip() {
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.37).collect();
+        let mut enc = Vec::new();
+        let mut dec = Vec::new();
+        encode_bf16(&src, &mut enc);
+        decode_bf16(&enc, &mut dec);
+        for (a, b) in src.iter().zip(&dec) {
+            assert!((a - b).abs() <= a.abs() * f32::powi(2.0, -8));
+        }
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(clippy::all)]
 
 mod array;
+mod bf16;
 mod broadcast;
 mod error;
 mod fused;
@@ -43,6 +44,7 @@ mod gemm;
 mod matmul;
 mod parallel;
 mod pool;
+mod qgemm;
 mod random;
 mod reduce;
 mod segment;
@@ -50,10 +52,14 @@ mod shape;
 mod window;
 
 pub use array::NdArray;
+pub use bf16::{bf16_to_f32, decode_bf16, encode_bf16, f32_to_bf16};
 pub use error::TensorError;
-pub use fused::{fused_attention, fused_attention_backward, FusedAttention};
+pub use fused::{
+    fused_attention, fused_attention_backward, fused_attention_bf16_kv, FusedAttention,
+};
 pub use parallel::{scoped_chunks_mut, with_worker_threads, worker_budget};
 pub use pool::{pool_reserve, pool_reset, pool_stats, recycle, PoolStats};
+pub use qgemm::{dequantize_columns, qgemm, quantize_columns, QuantMatrix, MAX_QUANT_K};
 pub use random::{rng_from_seed, SeedableRng64};
 
 /// Convenience result alias used across the crate.

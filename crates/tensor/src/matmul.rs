@@ -11,6 +11,7 @@
 use crate::broadcast::effective_strides;
 use crate::gemm::gemm_strided;
 use crate::parallel::{scoped_chunks_mut, worker_budget};
+use crate::qgemm::{qgemm, QuantMatrix};
 use crate::{NdArray, Result, TensorError};
 
 /// Minimum number of output elements before the kernels fan work out to threads.
@@ -191,6 +192,59 @@ impl NdArray {
                     lk,
                     rn,
                     alpha,
+                );
+            }
+        }
+        NdArray::from_vec(out, &out_shape)
+    }
+
+    /// `self · wq` where the rhs is a pre-packed per-channel int8 [`QuantMatrix`] —
+    /// the inference pattern `activations × weights` with the weight panels already
+    /// quantized and packed at model load. The rhs is rank-2 `(k, n)` and shared by
+    /// every batch entry, so all leading lhs dimensions collapse into output rows of
+    /// one quantized product (large products split rows across the worker pool; row
+    /// splitting is safe because activation scales are per-row). Strided lhs views
+    /// fall back to a per-matrix walk through their own strides, like
+    /// [`NdArray::matmul`].
+    pub fn matmul_quant(&self, wq: &QuantMatrix) -> Result<NdArray> {
+        let nd = self.ndim();
+        if nd < 2 || self.shape[nd - 1] != wq.k() {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: vec![wq.k(), wq.n()],
+            });
+        }
+        let (k, n) = (wq.k(), wq.n());
+        let m: usize = self.shape[..nd - 1].iter().product();
+        let mut out_shape = self.shape[..nd - 1].to_vec();
+        out_shape.push(n);
+        let mut out = crate::pool::alloc_zeroed(m * n);
+        if self.is_contiguous() {
+            let a = self.as_slice();
+            let threads = worker_budget();
+            if m * n >= PARALLEL_THRESHOLD && threads > 1 && m >= 2 {
+                let rows_per = m.div_ceil(threads);
+                scoped_chunks_mut(&mut out, n, rows_per, |row0, chunk| {
+                    qgemm(&a[row0 * k..], k, 1, chunk.len() / n, wq, chunk, 1.0);
+                });
+            } else {
+                qgemm(a, k, 1, m, wq, &mut out, 1.0);
+            }
+        } else {
+            let la = mat_layout(&self.shape, &self.strides);
+            let (ars, acs) = la.strides();
+            let lm = self.shape[nd - 2];
+            let batch_shape = self.shape[..nd - 2].to_vec();
+            let ldata: &[f32] = &self.storage;
+            for (bi, off) in batch_offsets(self, &batch_shape).into_iter().enumerate() {
+                qgemm(
+                    &ldata[off..],
+                    ars,
+                    acs,
+                    lm,
+                    wq,
+                    &mut out[bi * lm * n..(bi + 1) * lm * n],
+                    1.0,
                 );
             }
         }
@@ -443,6 +497,59 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         let expect = naive_matmul(&a, &b);
         assert!(allclose(c.as_slice(), expect.as_slice(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn matmul_quant_driver_is_exact_over_qgemm_across_every_path() {
+        // The driver's job is batching, the parallel row split, and strided
+        // fallbacks; each path must be *bit-identical* to a direct `qgemm` call
+        // (row quantization is per-row, so splitting rows changes nothing).
+        // Accuracy vs f32 is the quantized engine's own test suite's job.
+        let (k, n) = (24usize, 18usize);
+        let w = NdArray::arange(-0.6, 0.0123, k * n).reshape(&[k, n]).unwrap();
+        let wq = QuantMatrix::quantize(w.as_slice(), k, n);
+
+        let a2 = NdArray::arange(0.0, 0.021, 7 * k).reshape(&[7, k]).unwrap();
+        let q2 = a2.matmul_quant(&wq).unwrap();
+        assert_eq!(q2.shape(), &[7, n]);
+        let mut direct = vec![0.0f32; 7 * n];
+        qgemm(a2.as_slice(), k, 1, 7, &wq, &mut direct, 1.0);
+        assert_eq!(q2.as_slice(), &direct[..]);
+
+        // Batched lhs: leading dims collapse into rows of the same single product.
+        let a3 = NdArray::arange(-0.3, 0.007, 3 * 5 * k).reshape(&[3, 5, k]).unwrap();
+        let q3 = a3.matmul_quant(&wq).unwrap();
+        assert_eq!(q3.shape(), &[3, 5, n]);
+        let mut direct3 = vec![0.0f32; 15 * n];
+        qgemm(a3.as_slice(), k, 1, 15, &wq, &mut direct3, 1.0);
+        assert_eq!(q3.as_slice(), &direct3[..]);
+
+        // Big enough to take the threaded row split — still bit-identical.
+        let m = 4 * PARALLEL_THRESHOLD / (k * n);
+        let ab = NdArray::arange(0.0, 0.0004, m * k).reshape(&[m, k]).unwrap();
+        let qb = ab.matmul_quant(&wq).unwrap();
+        let mut directb = vec![0.0f32; m * n];
+        qgemm(ab.as_slice(), k, 1, m, &wq, &mut directb, 1.0);
+        assert_eq!(qb.as_slice(), &directb[..]);
+
+        // A transposed (non-contiguous) lhs view walks the strided path.
+        let at = NdArray::arange(0.1, 0.011, k * 6).reshape(&[k, 6]).unwrap();
+        let view = at.transpose_last2().unwrap(); // (6, k) view
+        let qv = view.matmul_quant(&wq).unwrap();
+        let fv = view.materialize().matmul_quant(&wq).unwrap();
+        assert_eq!(qv.as_slice(), fv.as_slice());
+
+        // And the whole chain lands near the f32 product (coarsely — both operands
+        // are quantized): relative Frobenius error under 2%.
+        let wd = NdArray::from_vec(wq.dequantize(), &[k, n]).unwrap();
+        let f2 = a2.matmul(&wd).unwrap();
+        let num: f32 =
+            q2.as_slice().iter().zip(f2.as_slice()).map(|(&q, &f)| (q - f) * (q - f)).sum();
+        let den: f32 = f2.as_slice().iter().map(|&f| f * f).sum();
+        assert!((num / den).sqrt() < 0.02, "relative error {}", (num / den).sqrt());
+
+        // Mismatched inner dim is a typed error.
+        assert!(NdArray::zeros(&[2, k + 1]).matmul_quant(&wq).is_err());
     }
 
     #[test]

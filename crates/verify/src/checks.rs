@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rita_core::checkpoint::{Checkpoint, TensorRecord};
 use rita_nn::graph::{Binding, Graph, Plan};
 
 use crate::report::{Analysis, Diagnostic, VerifyError};
@@ -368,7 +369,7 @@ pub fn verify_shapes(
 ///    reuse that clobbers storage a not-yet-performed read (per the *derived* last
 ///    uses) still needs;
 /// 3. prove the planned arena covers the true allocation peak: the replay's required
-///    capacities must be dominated slot-for-slot by `plan.arena`.
+///    byte capacities must be dominated slot-for-slot by `plan.arena` (bytes).
 pub fn verify_lifetimes(
     graph: &Graph,
     plan: &Plan,
@@ -410,8 +411,10 @@ pub fn verify_lifetimes(
     // Replay the allocate/recycle walk. Aliases (view ops) share their base's
     // storage; a slot is reusable only once every value mapped onto it is past its
     // planned last use — and reusing it must not clobber a pending (derived) read.
-    let sized =
-        |v: usize| -> Option<usize> { derived_shapes[v].as_ref().map(|s| s.iter().product()) };
+    // Required capacities in bytes (4 per f32 element) — the arena's own currency.
+    let sized = |v: usize| -> Option<usize> {
+        derived_shapes[v].as_ref().map(|s| 4 * s.iter().product::<usize>())
+    };
     struct Slot {
         cap: usize,
         live: usize,
@@ -511,8 +514,8 @@ pub fn verify_lifetimes(
 /// Analysis 5 — binding coverage over the graph × checkpoint pair: every required
 /// parameter resolves, absent optionals were pruned out of the node set, and no
 /// checkpoint tensor is orphaned. (Shape agreement of bound parameters is the shape
-/// analysis's leaf check; dtype is uniform by construction — the checkpoint format
-/// stores f32 tensors only.)
+/// analysis's leaf check; record-internal dtype soundness is [`verify_records`]'s
+/// job, since binding coverage only sees logical shapes.)
 pub fn verify_bindings(graph: &Graph, tensors: &HashMap<String, Vec<usize>>) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let consumers = consumer_counts(graph);
@@ -532,6 +535,90 @@ pub fn verify_bindings(graph: &Graph, tensors: &HashMap<String, Vec<usize>>) -> 
     orphans.sort();
     for path in orphans {
         diags.push(Diagnostic::error(Analysis::Binding, path.clone(), VerifyError::OrphanTensor));
+    }
+    diags
+}
+
+/// Analysis 6 — record dtype soundness over the version-3 checkpoint formats: every
+/// quantized or bf16 record must be *internally* consistent before anything
+/// dequantizes through it. The byte reader already cross-checks the redundant payload
+/// length against dtype × dims, but a checkpoint assembled (or mutated) in memory
+/// never went through the reader — and scale *values* are data the reader does not
+/// judge. Re-derived here, per record:
+///
+/// - int8 records must be rank-2 with a reduction depth the i32 accumulator covers
+///   (`k <= rita_tensor::MAX_QUANT_K`), carry exactly `k * n` payload bytes, and one
+///   finite, strictly positive scale per output column — a NaN, infinite, zero, or
+///   negative scale poisons or sign-flips an entire column on dequantization;
+/// - bf16 records must carry exactly one `u16` word per logical element.
+///
+/// f32 records have no side metadata to disagree with and are vacuously sound.
+pub fn verify_records(ckpt: &Checkpoint) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (path, rec) in &ckpt.tensors {
+        match rec {
+            TensorRecord::F32(_) => {}
+            TensorRecord::Int8 { shape, data, scales } => {
+                if shape.len() != 2 {
+                    diags.push(Diagnostic::error(
+                        Analysis::Dtype,
+                        path.clone(),
+                        VerifyError::UnquantizableShape {
+                            shape: shape.clone(),
+                            detail: format!("rank {} but the int8 engine is rank-2", shape.len()),
+                        },
+                    ));
+                    continue;
+                }
+                let (k, n) = (shape[0], shape[1]);
+                if k > rita_tensor::MAX_QUANT_K {
+                    diags.push(Diagnostic::error(
+                        Analysis::Dtype,
+                        path.clone(),
+                        VerifyError::UnquantizableShape {
+                            shape: shape.clone(),
+                            detail: format!(
+                                "reduction depth {k} exceeds the i32-exact bound {}",
+                                rita_tensor::MAX_QUANT_K
+                            ),
+                        },
+                    ));
+                }
+                if data.len() != k * n {
+                    diags.push(Diagnostic::error(
+                        Analysis::Dtype,
+                        path.clone(),
+                        VerifyError::PayloadMismatch { elements: data.len(), expected: k * n },
+                    ));
+                }
+                if scales.len() != n {
+                    diags.push(Diagnostic::error(
+                        Analysis::Dtype,
+                        path.clone(),
+                        VerifyError::ScaleCountMismatch { scales: scales.len(), columns: n },
+                    ));
+                }
+                if let Some((column, &s)) =
+                    scales.iter().enumerate().find(|(_, s)| !s.is_finite() || **s <= 0.0)
+                {
+                    diags.push(Diagnostic::error(
+                        Analysis::Dtype,
+                        path.clone(),
+                        VerifyError::BadScale { column, value: format!("{s}") },
+                    ));
+                }
+            }
+            TensorRecord::Bf16 { shape, data } => {
+                let numel: usize = shape.iter().product();
+                if data.len() != numel {
+                    diags.push(Diagnostic::error(
+                        Analysis::Dtype,
+                        path.clone(),
+                        VerifyError::PayloadMismatch { elements: data.len(), expected: numel },
+                    ));
+                }
+            }
+        }
     }
     diags
 }

@@ -37,7 +37,8 @@ mod report;
 mod shape;
 
 pub use checks::{
-    verify_bindings, verify_lifetimes, verify_schedule, verify_shapes, verify_structure,
+    verify_bindings, verify_lifetimes, verify_records, verify_schedule, verify_shapes,
+    verify_structure,
 };
 pub use fusion::verify_fusion;
 pub use mutate::{flip_byte, Corruption, Target, ALL};
@@ -110,7 +111,8 @@ fn plan_error_diagnostic(e: PlanError) -> Diagnostic {
 
 /// Audits a checkpoint against an already-built serving graph (pruned + fused, as
 /// [`rita_infer::InferModel::from_checkpoint`] ships it): configuration consistency,
-/// SSA structure, binding coverage, fusion legality against a freshly re-emitted
+/// SSA structure, binding coverage, record dtype soundness (quantization scales and
+/// payload/shape agreement), fusion legality against a freshly re-emitted
 /// pre-fusion reference, and full plan verification at two probe input shapes
 /// (`(1, channels, max_len)` and `(2, channels, window)`).
 ///
@@ -138,6 +140,7 @@ pub fn verify_with_graph(ckpt: &Checkpoint, post: &Graph) -> Report {
     let tensor_shapes: HashMap<String, Vec<usize>> =
         ckpt.tensors.iter().map(|(p, t)| (p.clone(), t.shape().to_vec())).collect();
     report.extend(verify_bindings(post, &tensor_shapes));
+    report.extend(verify_records(ckpt));
 
     // Fusion legality: re-emit the graph for this config/task, prune the same
     // optionals the serving path pruned, but do NOT fuse — then prove the shipped

@@ -6,17 +6,22 @@
 //! verifier that silently accepts any mutation class has a blind spot — this is the
 //! exactness-oracle discipline the kernel crates use, applied to the analyzer itself.
 
+use rita_core::checkpoint::{Checkpoint, TensorRecord};
 use rita_nn::graph::{Binding, Graph, Plan};
 
 use crate::report::Analysis;
 
-/// What a [`Corruption`] damages: a compiled [`Plan`] or the [`Graph`] itself.
+/// What a [`Corruption`] damages: a compiled [`Plan`], the [`Graph`] itself, or the
+/// in-memory [`Checkpoint`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
     /// The corruption rewrites plan tables; check with `verify_plan`.
     Plan,
     /// The corruption rewrites graph structure; check with `verify_with_graph`.
     Graph,
+    /// The corruption rewrites checkpoint tensor records; check with
+    /// `verify_checkpoint`.
+    Checkpoint,
 }
 
 /// One class of injected fault. `site` in the apply methods selects *which* schedule
@@ -43,11 +48,19 @@ pub enum Corruption {
     /// Retarget a parameter binding at a path the checkpoint does not carry —
     /// breaking resolution and orphaning the original tensor.
     RetargetParam,
+    /// Replace one int8 record's dequantization scale with an unusable value (NaN,
+    /// infinity, zero, or negative by site) — dequantizing through it would poison or
+    /// sign-flip an entire output column.
+    PerturbScale,
+    /// Break a quantized record's internal dtype/shape agreement — truncate its
+    /// payload, grow its scale vector, or push it out of rank-2 (by site) — the
+    /// in-memory analogue of a rotted dtype tag in the byte format.
+    DtypeMismatch,
 }
 
 /// Flips every bit of one byte (`site` taken modulo `buf.len()`) in place — the
 /// byte-level twin of [`Corruption`] for serialized artifacts with integrity
-/// trailers (the version-2 checkpoint format). A sweep over sites exercises damage
+/// trailers (the version-2+ checkpoint formats). A sweep over sites exercises damage
 /// in every file region: header, counts, tensor data, and the checksum trailer
 /// itself. Returns `false` on an empty buffer (no site to damage).
 pub fn flip_byte(buf: &mut [u8], site: usize) -> bool {
@@ -60,7 +73,7 @@ pub fn flip_byte(buf: &mut [u8], site: usize) -> bool {
 }
 
 /// Every corruption class, for sweeping.
-pub const ALL: [Corruption; 7] = [
+pub const ALL: [Corruption; 9] = [
     Corruption::SwapSchedule,
     Corruption::DropNode,
     Corruption::PerturbShape,
@@ -68,6 +81,8 @@ pub const ALL: [Corruption; 7] = [
     Corruption::TruncateLifetime,
     Corruption::ForgeFusion,
     Corruption::RetargetParam,
+    Corruption::PerturbScale,
+    Corruption::DtypeMismatch,
 ];
 
 impl Corruption {
@@ -79,6 +94,7 @@ impl Corruption {
             Corruption::ShrinkArena | Corruption::TruncateLifetime => Analysis::Lifetime,
             Corruption::ForgeFusion => Analysis::Fusion,
             Corruption::RetargetParam => Analysis::Binding,
+            Corruption::PerturbScale | Corruption::DtypeMismatch => Analysis::Dtype,
         }
     }
 
@@ -86,6 +102,7 @@ impl Corruption {
     pub fn target(self) -> Target {
         match self {
             Corruption::ForgeFusion | Corruption::RetargetParam => Target::Graph,
+            Corruption::PerturbScale | Corruption::DtypeMismatch => Target::Checkpoint,
             _ => Target::Plan,
         }
     }
@@ -153,7 +170,10 @@ impl Corruption {
                 plan.last_use[v] = Some(p - 1);
                 true
             }
-            Corruption::ForgeFusion | Corruption::RetargetParam => false,
+            Corruption::ForgeFusion
+            | Corruption::RetargetParam
+            | Corruption::PerturbScale
+            | Corruption::DtypeMismatch => false,
         }
     }
 
@@ -202,6 +222,79 @@ impl Corruption {
                 let v = candidates[site % candidates.len()];
                 if let Some(Binding::Param { path, .. }) = &mut graph.values[v].binding {
                     path.push_str(".bogus");
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Damage `ckpt`'s tensor records in place. Returns `false` when the checkpoint
+    /// offers no site for this class (no quantized records — both classes target the
+    /// version-3 dtypes, so an all-f32 checkpoint is immune by construction). Only
+    /// meaningful for [`Target::Checkpoint`] classes.
+    pub fn apply_to_checkpoint(self, ckpt: &mut Checkpoint, site: usize) -> bool {
+        match self {
+            Corruption::PerturbScale => {
+                let candidates: Vec<usize> = ckpt
+                    .tensors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, rec))| {
+                        matches!(rec, TensorRecord::Int8 { scales, .. } if !scales.is_empty())
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    return false;
+                }
+                let t = candidates[site % candidates.len()];
+                let TensorRecord::Int8 { scales, .. } = &mut ckpt.tensors[t].1 else {
+                    unreachable!("candidate filter admits only int8 records");
+                };
+                let column = site % scales.len();
+                scales[column] = [f32::NAN, f32::INFINITY, 0.0, -0.25][site % 4];
+                true
+            }
+            Corruption::DtypeMismatch => {
+                let candidates: Vec<usize> = ckpt
+                    .tensors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, rec))| !matches!(rec, TensorRecord::F32(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    return false;
+                }
+                let t = candidates[site % candidates.len()];
+                match &mut ckpt.tensors[t].1 {
+                    TensorRecord::Int8 { shape, data, scales } => match site % 3 {
+                        0 => {
+                            data.pop();
+                        }
+                        1 => {
+                            scales.push(1.0);
+                        }
+                        _ => {
+                            shape.push(1);
+                        }
+                    },
+                    TensorRecord::Bf16 { shape, data } => match site % 2 {
+                        0 => {
+                            data.pop();
+                        }
+                        _ => {
+                            if shape.is_empty() {
+                                shape.push(2);
+                            } else {
+                                shape[0] += 1;
+                            }
+                        }
+                    },
+                    TensorRecord::F32(_) => {
+                        unreachable!("candidate filter excludes f32 records")
+                    }
                 }
                 true
             }

@@ -37,6 +37,9 @@ pub enum Analysis {
     /// Binding coverage: params resolve in the checkpoint, no orphans, prune
     /// consistency.
     Binding,
+    /// Record dtype soundness: quantized/bf16 checkpoint records carry payloads and
+    /// scales consistent with their declared dtype and shape.
+    Dtype,
 }
 
 impl Analysis {
@@ -50,6 +53,7 @@ impl Analysis {
             Analysis::Lifetime => "lifetime",
             Analysis::Fusion => "fusion",
             Analysis::Binding => "binding",
+            Analysis::Dtype => "dtype",
         }
     }
 }
@@ -178,6 +182,38 @@ pub enum VerifyError {
         /// Where and how the two primitive expansions diverge.
         detail: String,
     },
+    /// A quantized record carries an unusable dequantization scale (non-finite, zero,
+    /// or negative): dequantizing through it would poison or flip every weight in
+    /// that output column.
+    BadScale {
+        /// Output column of the offending scale.
+        column: usize,
+        /// The scale value, formatted (kept as text so diagnostics stay `Eq`).
+        value: String,
+    },
+    /// A quantized record's scale vector does not carry one scale per output column.
+    ScaleCountMismatch {
+        /// Scales the record carries.
+        scales: usize,
+        /// Output columns (`shape[1]`) it needs.
+        columns: usize,
+    },
+    /// A record's payload element count disagrees with its declared shape — the
+    /// in-memory twin of the byte reader's dtype/paylen cross-check.
+    PayloadMismatch {
+        /// Elements the payload holds.
+        elements: usize,
+        /// Elements the shape implies.
+        expected: usize,
+    },
+    /// An int8 record whose shape the quantized engine cannot execute: not rank-2, or
+    /// a reduction depth that overflows the i32 accumulator.
+    UnquantizableShape {
+        /// The record's declared shape.
+        shape: Vec<usize>,
+        /// Which constraint failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -241,6 +277,18 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "absent optional parameter is still read by a node")
             }
             VerifyError::FusionMismatch { detail } => write!(f, "illegal fusion: {detail}"),
+            VerifyError::BadScale { column, value } => {
+                write!(f, "unusable dequantization scale {value} for output column {column}")
+            }
+            VerifyError::ScaleCountMismatch { scales, columns } => {
+                write!(f, "{scales} scales for {columns} output columns")
+            }
+            VerifyError::PayloadMismatch { elements, expected } => {
+                write!(f, "payload holds {elements} elements but the shape implies {expected}")
+            }
+            VerifyError::UnquantizableShape { shape, detail } => {
+                write!(f, "int8 record shape {shape:?} is not executable: {detail}")
+            }
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Serving demo: train a small classifier, persist it, then run the **continuous-
 //! batching serving core** over it — a versioned model registry, a multi-tenant
 //! `Server` with admission control and SLO-aware batching, a mid-traffic hot-swap to
-//! a retrained checkpoint (and a rollback), and a metrics snapshot at the end.
+//! a retrained checkpoint (and a rollback), a mixed-precision rollout (quantize the
+//! live weights to int8, shift traffic, roll back to f32), and a metrics snapshot at
+//! the end.
 //!
 //! Run with: `cargo run --release --example serve`
 //! (set `RITA_QUICK=1` for a seconds-scale smoke run, as CI does)
@@ -166,6 +168,50 @@ fn main() {
         );
         assert!(crashed >= 1, "the injected panic never fired");
         assert!(ok >= drill - 2, "recovery lost more than the crashed batch");
+    }
+
+    // 5. Mixed-precision rollout: quantize the live f32 weights offline (the same
+    //    `Checkpoint::quantize` pass a deployment runs), publish the int8 artifact as
+    //    a new version — the registry binds it straight to the quantized kernels, and
+    //    the publish path verifies its scales before activation — shift traffic onto
+    //    it, then roll back to f32. Every step is observable: the metrics snapshot
+    //    names each version's precision.
+    {
+        let quantized = ckpt.quantize();
+        let v_int8 = registry.publish(&quantized).expect("publish quantized checkpoint");
+        let current = registry.current().expect("serving version");
+        println!(
+            "published version {v_int8} ({}, {} int8 params) over the {} f32 baseline",
+            current.model.precision().as_str(),
+            current.model.quantized_params(),
+            ckpt.config.attention.name(),
+        );
+        let rollout = if quick { 12 } else { 60 };
+        let mut on_int8 = 0usize;
+        let ((), secs) = timed(|| {
+            for r in requests.iter().take(rollout) {
+                let resp = server.classify("tenant-b", r.clone()).expect("serve quantized");
+                if resp.model_version == v_int8 {
+                    on_int8 += 1;
+                }
+            }
+        });
+        assert!(on_int8 > 0, "traffic never reached the quantized version");
+        let snap = server.metrics().snapshot();
+        let precisions: Vec<String> =
+            snap.versions.iter().map(|(v, p)| format!("v{v}={p}")).collect();
+        println!(
+            "rollout: {on_int8}/{rollout} requests answered by v{v_int8} at {:.0} requests/s \
+             (served precisions: {})",
+            on_int8 as f64 / secs.max(1e-9),
+            precisions.join(", "),
+        );
+        let back = registry.rollback().expect("rollback to f32");
+        let restored = registry.current().expect("serving version");
+        println!(
+            "rolled back to version {back} ({}) — the precision swap is reversible mid-traffic",
+            restored.model.precision().as_str(),
+        );
     }
 
     let snap = server.metrics().snapshot();

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
-use rita::core::checkpoint::Checkpoint;
+use rita::core::checkpoint::{Checkpoint, TensorRecord};
 use rita::core::model::RitaConfig;
 use rita::core::tasks::{Classifier, TrainConfig};
 use rita::data::{DatasetKind, TimeseriesDataset};
@@ -99,7 +99,7 @@ fn self_test() -> ExitCode {
         .iter_mut()
         .find(|(p, _)| p.starts_with("head."))
         .expect("classifier checkpoint has a head tensor");
-    head.1 = NdArray::zeros(&[3, 3]);
+    head.1 = TensorRecord::F32(NdArray::zeros(&[3, 3]));
     let rejected = verify_checkpoint(&bad);
     println!("corrupted copy: {}", rejected.to_json());
     if !rejected.has_errors() {

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
-use rita::core::checkpoint::Checkpoint;
+use rita::core::checkpoint::{Checkpoint, TensorRecord};
 use rita::core::graph::{build_graph, run_var, POSITIONAL};
 use rita::core::model::embedding::sinusoidal_table;
 use rita::core::model::RitaConfig;
@@ -49,7 +49,7 @@ fn oracle(graph: &Graph, ckpt: &Checkpoint, x: &NdArray) -> NdArray {
         if name == POSITIONAL {
             return Some(table.clone());
         }
-        ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.clone())
+        ckpt.tensors.iter().find(|(p, _)| p == name).map(|(_, t)| t.to_f32())
     })
     .expect("oracle run")
     .to_array()
@@ -188,7 +188,7 @@ fn wrong_shape_checkpoint_tensor_fails_the_request_not_the_worker() {
         .iter_mut()
         .find(|(p, _)| p == "head.weight")
         .expect("classifier checkpoints carry a head");
-    slot.1 = NdArray::zeros(&[3, 3]); // wrong shape, right path
+    slot.1 = TensorRecord::F32(NdArray::zeros(&[3, 3])); // wrong shape, right path
 
     // Loading succeeds: every required tensor is present.
     let model = InferModel::from_checkpoint(&bad).unwrap();

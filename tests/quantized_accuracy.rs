@@ -1,0 +1,172 @@
+//! The quantized-accuracy gate: int8 inference must be *accurate*, not just fast.
+//!
+//! The int8 path trades exactness for throughput (per-channel weight scales, per-row
+//! dynamic activation quantization, i32 accumulation with fused f32 dequant), so unlike
+//! every other serving-path test in this repo it cannot assert bit-parity. Instead it
+//! pins the contract the rollout machinery relies on, per ISSUE 10's acceptance
+//! criteria, on all three task heads:
+//!
+//! - classification: quantized accuracy within 0.5 points of f32;
+//! - imputation: quantized masked-reconstruction MSE within 2% of f32;
+//! - forecasting: quantized horizon MSE within 2% of f32;
+//!
+//! plus the serving smoke: a batch served under `Precision::Int8` answers with finite
+//! logits and reports its precision in the metrics.
+//!
+//! Every model is trained tiny-but-really (same shapes as `tests/end_to_end.rs`), then
+//! quantized offline via `Checkpoint::quantize` — the exact pipeline a deployment runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rita::core::attention::AttentionKind;
+use rita::core::checkpoint::Checkpoint;
+use rita::core::model::RitaConfig;
+use rita::core::tasks::{Classifier, Imputer, TrainConfig};
+use rita::data::masking::{mask_sample, mask_suffix, MaskedSample};
+use rita::data::{DatasetKind, TimeseriesDataset};
+use rita::infer::{InferSession, ModelRegistry, Precision, Server, ServerConfig};
+use rita::tensor::{NdArray, SeedableRng64};
+
+fn rng(seed: u64) -> SeedableRng64 {
+    SeedableRng64::seed_from_u64(seed)
+}
+
+fn config() -> RitaConfig {
+    RitaConfig {
+        channels: 3,
+        max_len: 80,
+        d_model: 16,
+        n_layers: 2,
+        ff_hidden: 32,
+        dropout: 0.0,
+        attention: AttentionKind::Group { epsilon: 2.0, initial_groups: 8, adaptive: false },
+        ..Default::default()
+    }
+}
+
+/// Accuracy of a served session over a labelled dataset (single batched call).
+fn session_accuracy(session: &InferSession, data: &TimeseriesDataset) -> f32 {
+    let labels = data.labels.as_ref().expect("labelled dataset");
+    let predictions = session.classify(&data.samples).expect("classify");
+    let correct = predictions.iter().zip(labels).filter(|(p, &want)| p.class == want).count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Masked-position MSE of a session's reconstructions over pre-masked samples (the
+/// same masks for every precision, so the comparison isolates the kernels).
+fn session_masked_mse(session: &InferSession, masked: &[MaskedSample]) -> f32 {
+    let requests: Vec<NdArray> = masked.iter().map(|m| m.observed.clone()).collect();
+    let recons = session.reconstruct(&requests).expect("reconstruct");
+    let mut num = 0.0f32;
+    let mut den = 0.0f32;
+    for (recon, m) in recons.iter().zip(masked) {
+        let diff = recon.sub(&m.target).expect("shape");
+        num += diff.mul(&diff).expect("square").mul(&m.mask).expect("mask").sum_all();
+        den += m.mask.sum_all();
+    }
+    num / den.max(1.0)
+}
+
+#[test]
+fn quantized_classification_accuracy_within_half_a_point() {
+    let mut r = rng(40);
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Hhar, 160, 80, 80, &mut r);
+    let split = data.split_at(160);
+    // Wider than the shared tiny config: the gate needs a *confident* classifier —
+    // an under-trained model parks samples on decision boundaries, where sub-percent
+    // logit perturbations flip argmaxes and the drift measures luck, not kernels.
+    let clf_config = RitaConfig { d_model: 32, ff_hidden: 64, ..config() };
+    let mut clf = Classifier::new(clf_config, 5, &mut r);
+    let cfg = TrainConfig { epochs: 24, batch_size: 12, lr: 2e-3, ..Default::default() };
+    clf.train(&split.train, &cfg, &mut r);
+
+    let ckpt = Checkpoint::of_classifier(&clf, None);
+    let f32_session = InferSession::from_checkpoint(&ckpt).unwrap();
+    let int8_session = InferSession::from_checkpoint(&ckpt.quantize()).unwrap();
+    assert_eq!(int8_session.model().precision(), Precision::Int8);
+    assert!(int8_session.model().quantized_params() > 0);
+
+    // Drift is measured on the fit samples, where the model's margins reflect what it
+    // learned: quantization noise is the only thing separating the two sessions, and
+    // the synthetic hold-out's near-chance samples would measure boundary luck
+    // instead. Generalization itself is end_to_end.rs's business, not this gate's.
+    let acc_f32 = session_accuracy(&f32_session, &split.train);
+    let acc_int8 = session_accuracy(&int8_session, &split.train);
+    assert!(acc_f32 > 0.5, "f32 model must fit its own training set, got {acc_f32}");
+    assert!(
+        (acc_f32 - acc_int8).abs() <= 0.005 + 1e-6,
+        "quantized accuracy {acc_int8} drifted more than 0.5pt from f32 {acc_f32}"
+    );
+    // And on the hold-out, int8 must still beat 5-class chance like f32 does.
+    let holdout_int8 = session_accuracy(&int8_session, &split.valid);
+    assert!(holdout_int8 > 0.3, "quantized hold-out accuracy {holdout_int8} fell to chance");
+}
+
+#[test]
+fn quantized_imputation_and_forecast_mse_within_two_percent() {
+    let mut r = rng(41);
+    let data = TimeseriesDataset::generate_reduced(DatasetKind::Wisdm, 30, 12, 80, &mut r);
+    let split = data.split_at(30);
+    let mut imp = Imputer::new(config(), &mut r);
+    let cfg = TrainConfig { epochs: 20, batch_size: 10, lr: 3e-3, ..Default::default() };
+    imp.train(&split.train, &cfg, &mut r);
+
+    let ckpt = Checkpoint::of_imputer(&imp, None);
+    let f32_session = InferSession::from_checkpoint(&ckpt).unwrap();
+    let int8_session = InferSession::from_checkpoint(&ckpt.quantize()).unwrap();
+    assert_eq!(int8_session.model().precision(), Precision::Int8);
+
+    // Imputation: random 20% masks, identical for both precisions.
+    let imputation: Vec<MaskedSample> =
+        split.valid.samples.iter().map(|s| mask_sample(s, 0.2, &mut r)).collect();
+    let mse_f32 = session_masked_mse(&f32_session, &imputation);
+    let mse_int8 = session_masked_mse(&int8_session, &imputation);
+    assert!(mse_f32.is_finite() && mse_f32 > 0.0);
+    assert!(
+        (mse_int8 - mse_f32).abs() <= 0.02 * mse_f32,
+        "quantized imputation MSE {mse_int8} drifted more than 2% from f32 {mse_f32}"
+    );
+
+    // Forecasting: the same head with suffix masks (horizon = final 20 steps).
+    let forecast: Vec<MaskedSample> =
+        split.valid.samples.iter().map(|s| mask_suffix(s, 60)).collect();
+    let fmse_f32 = session_masked_mse(&f32_session, &forecast);
+    let fmse_int8 = session_masked_mse(&int8_session, &forecast);
+    assert!(fmse_f32.is_finite() && fmse_f32 > 0.0);
+    assert!(
+        (fmse_int8 - fmse_f32).abs() <= 0.02 * fmse_f32,
+        "quantized forecast MSE {fmse_int8} drifted more than 2% from f32 {fmse_f32}"
+    );
+}
+
+/// The serving half of the gate: a batch served under `Precision::Int8` (forced at
+/// publish over an f32 checkpoint) comes back with finite logits, and the metrics
+/// name the version's precision.
+#[test]
+fn one_batch_serves_under_int8_precision() {
+    let mut r = rng(42);
+    let clf = Classifier::new(config(), 5, &mut r);
+    let ckpt = Checkpoint::of_classifier(&clf, None);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish_with(&ckpt, Precision::Int8).unwrap();
+    assert_eq!(registry.current().unwrap().model.precision(), Precision::Int8);
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            linger: Duration::from_millis(1),
+            bytes_per_sec: Some(1e12),
+            ..Default::default()
+        },
+    );
+    let request = NdArray::randn(&[3, 64], 1.0, &mut r);
+    let response = server.classify("gate", request).unwrap();
+    assert_eq!(response.model_version, 1);
+    assert!(response.logits.as_slice().iter().all(|v| v.is_finite()));
+    let snap = server.metrics().snapshot();
+    assert!(snap.versions.contains(&(1, "int8")), "got {:?}", snap.versions);
+    server.shutdown();
+}

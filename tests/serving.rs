@@ -8,12 +8,12 @@ use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 use rita::core::attention::AttentionKind;
-use rita::core::checkpoint::Checkpoint;
+use rita::core::checkpoint::{Checkpoint, TensorRecord};
 use rita::core::model::RitaConfig;
 use rita::core::tasks::Classifier;
 use rita::infer::{
-    InferModel, InferSession, ModelRegistry, PublishError, RequestError, ServeError, Server,
-    ServerConfig, ShedReason, TenantPolicy,
+    InferModel, InferSession, ModelRegistry, Precision, PublishError, RequestError, ServeError,
+    Server, ServerConfig, ShedReason, TenantPolicy,
 };
 use rita::tensor::{NdArray, SeedableRng64};
 
@@ -260,6 +260,44 @@ fn hot_swap_is_atomic_and_rollback_restores_old_answers() {
     server.shutdown();
 }
 
+/// The mixed-precision rollout, observed from the serving tier: an f32 version and
+/// its int8 canary serve side by side, [`Server::publish`] honours the config's
+/// precision override, and the metrics JSON names each served version's precision.
+#[test]
+fn mixed_precision_rollout_is_observable_in_metrics() {
+    let ckpt = checkpoint(61);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(&ckpt).unwrap();
+    let config = ServerConfig { precision: Some(Precision::Int8), ..fast_config(1) };
+    let server = Server::start(Arc::clone(&registry), config);
+    let requests = mixed_requests(62, &[40, 64]);
+    assert_eq!(server.classify("mixed", requests[0].clone()).unwrap().model_version, 1);
+
+    // Roll out the canary through the server: the config forces Int8, so the same
+    // f32 checkpoint publishes with its eligible weights quantized at load.
+    let v2 = server.publish(&ckpt).unwrap();
+    assert_eq!(registry.get(v2).unwrap().model.precision(), Precision::Int8);
+    assert!(registry.get(v2).unwrap().model.quantized_params() > 0);
+    let mut served_v2 = false;
+    for _ in 0..50 {
+        if server.classify("mixed", requests[1].clone()).unwrap().model_version == v2 {
+            served_v2 = true;
+            break;
+        }
+    }
+    assert!(served_v2, "the int8 canary never served a batch");
+
+    let snap = server.metrics().snapshot();
+    assert!(snap.versions.contains(&(1, "f32")), "got {:?}", snap.versions);
+    assert!(snap.versions.contains(&(v2, "int8")), "got {:?}", snap.versions);
+    assert!(
+        snap.to_json().contains(r#""versions": {"1": "f32", "2": "int8"}"#),
+        "per-version precision missing from metrics JSON:\n{}",
+        snap.to_json()
+    );
+    server.shutdown();
+}
+
 /// A statically-rejected checkpoint can never become the active version: publish runs
 /// the independent analyzer *before* the swap, refuses with the report attached,
 /// archives nothing — and traffic in flight during the rejected publish keeps serving
@@ -283,7 +321,7 @@ fn rejected_checkpoint_never_activates_while_traffic_continues() {
     let mut bad = checkpoint(92);
     for (p, t) in bad.tensors.iter_mut() {
         if p == "head.weight" {
-            *t = NdArray::zeros(&[3, 3]); // wrong shape, right path: loads, must not serve
+            *t = TensorRecord::F32(NdArray::zeros(&[3, 3])); // wrong shape, right path: loads, must not serve
         }
     }
     std::thread::scope(|s| {

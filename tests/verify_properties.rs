@@ -5,9 +5,10 @@
 //!    task heads) verifies with zero error diagnostics, end-to-end from the
 //!    checkpoint, and its compiled plans verify clean per shape bucket.
 //! 2. **Rejection completeness** — every [`Corruption`] class the mutator can inject
-//!    (seven: swapped/dropped schedule entries, perturbed AOT shape, shrunk arena,
-//!    truncated lifetime, forged fusion, retargeted param path) is rejected with an
-//!    error diagnostic from the *matching* analysis, across several injection sites.
+//!    (nine: swapped/dropped schedule entries, perturbed AOT shape, shrunk arena,
+//!    truncated lifetime, forged fusion, retargeted param path, perturbed
+//!    dequantization scale, record dtype mismatch) is rejected with an error
+//!    diagnostic from the *matching* analysis, across several injection sites.
 //!
 //! A verifier that fails either half has a blind spot the serving tier would inherit.
 
@@ -72,6 +73,21 @@ fn all_shipped_models_verify_clean() {
     }
 }
 
+/// Half 1, version-3 dtypes: the int8 twin of every shipped model also verifies
+/// clean — the dtype analysis must reject damage, not healthy quantized records.
+#[test]
+fn quantized_checkpoints_verify_clean() {
+    for (kind_name, kind) in attention_kinds() {
+        for (head, ckpt) in checkpoints_for(kind) {
+            let report = verify_checkpoint(&ckpt.quantize());
+            assert!(
+                !report.has_errors(),
+                "{kind_name}/{head} (quantized) should verify clean, got:\n{report}"
+            );
+        }
+    }
+}
+
 /// Compiled plans — per shape bucket, including a non-maximal length — verify clean.
 #[test]
 fn compiled_plans_verify_clean_per_shape_bucket() {
@@ -102,6 +118,9 @@ fn every_corruption_class_is_rejected_by_the_matching_analysis() {
         let (g, shapes) = serving_graph(&ckpt);
         let lookup = |name: &str| shapes.get(name).cloned();
         let clean_plan = g.compile(&[2, 2, 50], &lookup).expect("clean plan compiles");
+        // The checkpoint-record classes only have sites on the v3 dtypes, so they
+        // sweep over the quantized twin of the same checkpoint.
+        let quantized = ckpt.quantize();
 
         for corruption in ALL {
             let expected = corruption.expected_analysis();
@@ -120,6 +139,13 @@ fn every_corruption_class_is_rejected_by_the_matching_analysis() {
                             panic!("{kind_name}: no site {site} for {corruption:?}");
                         }
                         verify_with_graph(&ckpt, &mutated)
+                    }
+                    Target::Checkpoint => {
+                        let mut mutated = quantized.clone();
+                        if !corruption.apply_to_checkpoint(&mut mutated, site) {
+                            panic!("{kind_name}: no site {site} for {corruption:?}");
+                        }
+                        verify_checkpoint(&mutated)
                     }
                 };
                 assert!(
